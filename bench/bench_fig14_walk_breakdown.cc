@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 14: breakdown of host (left) and guest (right) ECPT walk
+ * kinds — Direct / Size / Partial / Complete — per application for
+ * Nested ECPTs THP, plus the Section-9.4 average parallel accesses per
+ * step and MMU-cache hit rates.
+ *
+ * Paper: host walks ~90% direct (hypervisor huge pages); guest walks
+ * ~82% size, except GUPS/SysBench/MUMmer where direct dominates;
+ * steps average 2.8 / 2.8 / 1.6 parallel accesses (THP).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace necpt;
+
+int
+main()
+{
+    benchBanner("Breakdown of host and guest ECPT walk kinds",
+                "Figure 14 / Section 9.4");
+    const SimParams params = paramsFromEnv();
+    const auto apps = appsFromEnv();
+
+    const std::vector<ExperimentConfig> configs = {
+        makeConfig(ConfigId::NestedEcptThp),
+    };
+    const ResultGrid grid = runGrid(configs, apps, params);
+
+    std::printf("%-10s | %-35s | %-35s\n", "", "host walks",
+                "guest walks");
+    std::printf("%-10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "App",
+                "direct", "size", "partial", "complete", "direct",
+                "size", "partial", "complete");
+    double havg[4] = {0, 0, 0, 0}, gavg[4] = {0, 0, 0, 0};
+    for (const auto &app : apps) {
+        const SimResult &r = grid.at("Nested ECPTs THP", app);
+        std::printf("%-10s | %8.3f %8.3f %8.3f %8.3f "
+                    "| %8.3f %8.3f %8.3f %8.3f\n",
+                    app.c_str(), r.host_kind_frac[0],
+                    r.host_kind_frac[1], r.host_kind_frac[2],
+                    r.host_kind_frac[3], r.guest_kind_frac[0],
+                    r.guest_kind_frac[1], r.guest_kind_frac[2],
+                    r.guest_kind_frac[3]);
+        for (int k = 0; k < 4; ++k) {
+            havg[k] += r.host_kind_frac[k] / apps.size();
+            gavg[k] += r.guest_kind_frac[k] / apps.size();
+        }
+    }
+    std::printf("%-10s | %8.3f %8.3f %8.3f %8.3f "
+                "| %8.3f %8.3f %8.3f %8.3f\n",
+                "Average", havg[0], havg[1], havg[2], havg[3], gavg[0],
+                gavg[1], gavg[2], gavg[3]);
+
+    printHeader("Average parallel accesses per nested-ECPT step "
+                "(Section 9.4; paper: 2.8 / 2.8 / 1.6 with THP)");
+    double steps[3] = {0, 0, 0};
+    for (const auto &app : apps)
+        for (int s = 0; s < 3; ++s)
+            steps[s] += grid.at("Nested ECPTs THP", app).step_avg[s]
+                / apps.size();
+    std::printf("Step 1: %.1f   Step 2: %.1f   Step 3: %.1f\n",
+                steps[0], steps[1], steps[2]);
+
+    printHeader("MMU cache hit rates (Section 9.4)");
+    double stc = 0, gp = 0, gm = 0, hp = 0, hm = 0, h1 = 0, h3 = 0;
+    for (const auto &app : apps) {
+        const SimResult &r = grid.at("Nested ECPTs THP", app);
+        stc += r.stc_hit_rate / apps.size();
+        gp += r.gcwc_pud_hit / apps.size();
+        gm += r.gcwc_pmd_hit / apps.size();
+        hp += r.hcwc_pud_hit / apps.size();
+        hm += r.hcwc_pmd_hit / apps.size();
+        h1 += r.hcwc_pte_step1_hit / apps.size();
+        h3 += r.hcwc_pte_step3_hit / apps.size();
+    }
+    std::printf("STC %.2f (paper 0.99) | gCWC PUD %.2f (0.99) PMD %.2f "
+                "(0.86) | hCWC PUD %.2f (0.99) PMD %.2f (0.80) "
+                "PTE-step1 %.2f (0.99) PTE-step3 %.2f (0.67)\n",
+                stc, gp, gm, hp, hm, h1, h3);
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): hash throughput,
+ * elastic cuckoo insert/lookup, CWT updates, cache-model accesses,
+ * DRAM-model accesses, TLB lookups, and a full nested-ECPT walk.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hh"
+#include "mem/hierarchy.hh"
+#include "mmu/tlb.hh"
+#include "pt/cuckoo.hh"
+#include "pt/ecpt.hh"
+#include "walk/nested_ecpt.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** Trivial bump allocator for the micro benches. */
+class BumpAlloc : public RegionAllocator
+{
+  public:
+    Addr
+    allocRegion(std::uint64_t bytes) override
+    {
+        const Addr r = cursor;
+        cursor += (bytes + 4095) & ~4095ULL;
+        return r;
+    }
+    void freeRegion(Addr, std::uint64_t) override {}
+
+  private:
+    Addr cursor = 0x1000'0000;
+};
+
+void
+BM_CrcHash(benchmark::State &state)
+{
+    HashFunction hash(42);
+    std::uint64_t key = 0x1234'5678;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hash(key));
+        ++key;
+    }
+}
+BENCHMARK(BM_CrcHash);
+
+void
+BM_CuckooInsert(benchmark::State &state)
+{
+    BumpAlloc alloc;
+    CuckooConfig cfg;
+    cfg.initial_slots = 16384;
+    ElasticCuckooTable<std::uint64_t> table(alloc, cfg);
+    std::uint64_t key = 0;
+    for (auto _ : state)
+        table.insert(key++, key);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooInsert);
+
+void
+BM_CuckooLookup(benchmark::State &state)
+{
+    BumpAlloc alloc;
+    CuckooConfig cfg;
+    cfg.initial_slots = 16384;
+    ElasticCuckooTable<std::uint64_t> table(alloc, cfg);
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        table.insert(k, k);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.find(key % 10000));
+        ++key;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooLookup);
+
+void
+BM_EcptMap(benchmark::State &state)
+{
+    BumpAlloc alloc;
+    EcptPageTable pt(alloc, EcptConfig{});
+    Addr va = 0;
+    for (auto _ : state) {
+        pt.map(va, va + (1ULL << 40), PageSize::Page4K);
+        va += 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcptMap);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache({"L2", 512 * 1024, 8, 16, 20});
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (!cache.access(addr, Requester::Core))
+            cache.fill(addr);
+        addr = (addr + 4096) & ((1ULL << 24) - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramModel dram;
+    Addr addr = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        now += dram.access(addr, now);
+        addr += 8192;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    TlbHierarchy tlb;
+    for (Addr va = 0; va < 64 * 4096; va += 4096)
+        tlb.install(va, {va + (1ULL << 40), PageSize::Page4K, true});
+    Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(va));
+        va = (va + 4096) & (64 * 4096 - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_NestedEcptWalk(benchmark::State &state)
+{
+    SystemConfig scfg;
+    scfg.guest_kind = PtKind::Ecpt;
+    scfg.host_kind = PtKind::Ecpt;
+    scfg.host_ecpt.has_pte_cwt = true;
+    NestedSystem sys(scfg);
+    MemoryHierarchy mem(MemHierarchyConfig{}, 1);
+    NestedEcptWalker walker(sys, mem, 0);
+    const Addr base = sys.mmapRegion(64ULL << 20);
+    for (Addr off = 0; off < (64ULL << 20); off += 4096)
+        sys.ensureResident(base + off);
+    Cycles now = 0;
+    Addr off = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(walker.translate(base + off, now));
+        off = (off + 4096) & ((64ULL << 20) - 1);
+        now += 500;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedEcptWalk);
+
+} // namespace
+
+} // namespace necpt
+
+BENCHMARK_MAIN();

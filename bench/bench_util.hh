@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries.
+ *
+ * Every bench prints the same rows/series its paper counterpart
+ * reports, using the environment run-length knobs documented in
+ * sim/experiment.hh (NECPT_WARMUP / NECPT_MEASURE / NECPT_SCALE /
+ * NECPT_APPS / NECPT_FULL).
+ */
+
+#ifndef NECPT_BENCH_BENCH_UTIL_HH
+#define NECPT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("######################################################\n");
+    std::printf("# %s\n", what.c_str());
+    std::printf("# Reproduces: %s\n", paper_ref.c_str());
+    std::printf("######################################################\n");
+}
+
+/** Geometric-mean helper over per-app values. */
+inline double
+geoMeanOver(const std::vector<std::string> &apps,
+            const std::function<double(const std::string &)> &value)
+{
+    std::vector<double> values;
+    for (const auto &app : apps)
+        values.push_back(value(app));
+    return geoMean(values);
+}
+
+} // namespace necpt
+
+#endif // NECPT_BENCH_BENCH_UTIL_HH

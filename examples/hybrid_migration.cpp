@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Migration-path scenario (Section 6): a cloud operator cannot flip
+ * guest OSes to a new page-table format overnight. The Hybrid design
+ * keeps guests on radix tables and moves only the hypervisor to
+ * ECPTs; guests need no changes. This example walks the migration:
+ *
+ *     Nested Radix  ->  Nested Hybrid  ->  Nested ECPTs
+ *
+ *   ./examples/hybrid_migration [app]   (default: MUMmer)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace necpt;
+
+    const std::string app = argc > 1 ? argv[1] : "MUMmer";
+    SimParams params = paramsFromEnv();
+    params.measure_accesses = params.measure_accesses / 2;
+
+    std::printf("Migration path for %s (Section 6):\n\n", app.c_str());
+
+    const ConfigId stages[] = {ConfigId::NestedRadix,
+                               ConfigId::NestedHybrid,
+                               ConfigId::NestedEcpt};
+    const char *notes[] = {
+        "today: radix guest + radix host (up to 24 sequential steps)",
+        "step 1: keep guest OS unchanged, host moves to ECPTs "
+        "(9 sequential steps)",
+        "step 2: guest adopts ECPTs too (3 parallel steps)",
+    };
+
+    double base_cycles = 0;
+    for (int stage = 0; stage < 3; ++stage) {
+        const SimResult r =
+            runSim(makeConfig(stages[stage]), params, app);
+        if (stage == 0)
+            base_cycles = static_cast<double>(r.cycles);
+        std::printf("%-16s speedup %.3fx | MMU busy/walk %5.0f | %s\n",
+                    r.config.c_str(),
+                    base_cycles / static_cast<double>(r.cycles),
+                    r.walks ? static_cast<double>(r.mmu_busy_cycles)
+                            / r.walks : 0.0,
+                    notes[stage]);
+    }
+
+    std::printf("\nThe hybrid stage needs no guest kernel changes — "
+                "the VM abstraction hides the host's page-table "
+                "format (Section 6).\n");
+    return 0;
+}

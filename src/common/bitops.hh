@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by page tables, caches and hash functions.
+ */
+
+#ifndef NECPT_COMMON_BITOPS_HH
+#define NECPT_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** Mask with the low @p n bits set. @p n may be 0..64. */
+constexpr std::uint64_t
+mask(int n)
+{
+    return (n >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive, hi >= lo) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, int hi, int lo)
+{
+    return (value >> lo) & mask(hi - lo + 1);
+}
+
+/** Round @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True iff @p value is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2(value); value must be non-zero. */
+constexpr int
+floorLog2(std::uint64_t value)
+{
+    return 63 - std::countl_zero(value);
+}
+
+/** Ceil of log2(value); value must be non-zero. */
+constexpr int
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOf2(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** Virtual page number of @p addr for a page of size @p size. */
+constexpr std::uint64_t
+pageNumber(Addr addr, PageSize size)
+{
+    return addr >> pageShift(size);
+}
+
+/** Base address of the page containing @p addr. */
+constexpr Addr
+pageBase(Addr addr, PageSize size)
+{
+    return alignDown(addr, pageBytes(size));
+}
+
+/** Offset of @p addr within its page. */
+constexpr std::uint64_t
+pageOffset(Addr addr, PageSize size)
+{
+    return addr & mask(pageShift(size));
+}
+
+/** Cache-line address (line-aligned) of @p addr. */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return addr & ~(line_bytes - 1);
+}
+
+/**
+ * Radix-tree index of @p va at level @p level.
+ *
+ * Level 4 = PGD (bits 47..39), 3 = PUD (38..30), 2 = PMD (29..21),
+ * 1 = PTE (20..12) — exactly the x86-64 split of Figure 1. Level 5
+ * (bits 56..48) exists for the Sunny-Cove-style 5-level mode the
+ * paper's introduction warns about (35 sequential nested steps).
+ */
+constexpr unsigned
+radixIndex(Addr va, int level)
+{
+    assert(level >= 1 && level <= 5);
+    const int lo = 12 + 9 * (level - 1);
+    return static_cast<unsigned>(bits(va, lo + 8, lo));
+}
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_BITOPS_HH

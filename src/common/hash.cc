@@ -1,0 +1,59 @@
+#include "common/hash.hh"
+
+#include "common/rng.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** CRC-64/ECMA-182 table, generated at static-init time. */
+struct Crc64Table
+{
+    std::uint64_t entry[256];
+
+    Crc64Table()
+    {
+        constexpr std::uint64_t poly = 0x42F0E1EBA9EA3693ULL;
+        for (unsigned i = 0; i < 256; ++i) {
+            std::uint64_t crc = static_cast<std::uint64_t>(i) << 56;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc & (1ULL << 63)) ? (crc << 1) ^ poly : crc << 1;
+            entry[i] = crc;
+        }
+    }
+};
+
+const Crc64Table crc_table;
+
+} // namespace
+
+std::uint64_t
+crc64(std::uint64_t value)
+{
+    std::uint64_t crc = ~std::uint64_t{0};
+    for (int byte = 0; byte < 8; ++byte) {
+        const auto in = static_cast<unsigned char>(value >> (byte * 8));
+        crc = (crc << 8) ^ crc_table.entry[((crc >> 56) ^ in) & 0xFF];
+    }
+    return ~crc;
+}
+
+HashFunction::HashFunction(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    preXor = splitmix64(sm);
+    mult = splitmix64(sm) | 1; // multiplier must be odd
+}
+
+HashFamily::HashFamily(std::uint64_t family_seed, int ways)
+    : ways_(ways)
+{
+    std::uint64_t sm = family_seed;
+    for (int size = 0; size < num_page_sizes; ++size)
+        for (int way = 0; way < max_ways; ++way)
+            functions[size][way] = HashFunction(splitmix64(sm));
+}
+
+} // namespace necpt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The hash-function family used by hashed and elastic cuckoo page tables.
+ *
+ * Table 2 of the paper specifies CRC hash functions with a 2-cycle latency.
+ * Each ECPT way uses an independently seeded member of the family so that a
+ * key colliding in one way is (practically) independent in the others —
+ * the property cuckoo hashing relies on.
+ */
+
+#ifndef NECPT_COMMON_HASH_HH
+#define NECPT_COMMON_HASH_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** CRC-64/ECMA polynomial evaluation of an 8-byte message. */
+std::uint64_t crc64(std::uint64_t value);
+
+/**
+ * One member of the seeded CRC hash family.
+ *
+ * A HashFunction maps a virtual page number to a table slot index; the
+ * caller reduces modulo its table size. Seeding XORs and multiplies the
+ * input with splitmix-derived constants before the CRC pass, giving
+ * independent functions per (page-size table, way).
+ */
+class HashFunction
+{
+  public:
+    HashFunction() : preXor(0), mult(0x9E3779B97F4A7C15ULL) {}
+
+    /** Build the family member with the given @p seed. */
+    explicit HashFunction(std::uint64_t seed);
+
+    /** Hash a (page-number) key to a 64-bit value. */
+    std::uint64_t
+    operator()(std::uint64_t key) const
+    {
+        return crc64((key ^ preXor) * mult);
+    }
+
+    /** Hardware latency of the hash unit (Table 2: 2 cycles). */
+    static constexpr Cycles latency = 2;
+
+  private:
+    std::uint64_t preXor;
+    std::uint64_t mult;
+};
+
+/**
+ * A family of hash functions indexed by (page-size, way).
+ *
+ * Guest and host use different family seeds (the paper's gH vs hH).
+ */
+class HashFamily
+{
+  public:
+    static constexpr int max_ways = 8;
+
+    /** Build a family for up to @p ways ways per page size. */
+    explicit HashFamily(std::uint64_t family_seed, int ways = 3);
+
+    /** The hash function for @p size 's table, way @p way. */
+    const HashFunction &
+    way(PageSize size, int way) const
+    {
+        return functions[static_cast<int>(size)][way];
+    }
+
+    int numWays() const { return ways_; }
+
+  private:
+    std::array<std::array<HashFunction, max_ways>, num_page_sizes> functions;
+    int ways_;
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_HASH_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-flavored status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() flags a simulator bug (aborts); fatal() flags a user/config error
+ * (clean exit(1)); warn()/inform() print and continue.
+ */
+
+#ifndef NECPT_COMMON_LOG_HH
+#define NECPT_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace necpt
+{
+
+namespace log_detail
+{
+
+template <typename... Args>
+void
+emit(const char *tag, const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    if constexpr (sizeof...(Args) == 0)
+        std::fputs(fmt, stderr);
+    else
+        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+}
+
+} // namespace log_detail
+
+/** Unrecoverable simulator bug: print and abort (core-dumpable). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    log_detail::emit("panic", fmt, std::forward<Args>(args)...);
+    std::abort();
+}
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    log_detail::emit("fatal", fmt, std::forward<Args>(args)...);
+    std::exit(1);
+}
+
+/** Possibly-incorrect behavior the user should know about. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    log_detail::emit("warn", fmt, std::forward<Args>(args)...);
+}
+
+/** Normal status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    log_detail::emit("info", fmt, std::forward<Args>(args)...);
+}
+
+/** panic() unless @p cond holds. */
+#define NECPT_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::necpt::panic("assertion failed: %s (%s:%d)", #cond,           \
+                           __FILE__, __LINE__);                             \
+    } while (0)
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_LOG_HH

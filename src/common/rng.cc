@@ -1,0 +1,30 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace necpt
+{
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    // Inverse-CDF sampling of a continuous power-law on [1, n+1), which is
+    // a close, cheap approximation of the discrete Zipf distribution for
+    // the locality-skew purposes of the workload generators.
+    const double u = uniform();
+    double value;
+    if (s == 1.0) {
+        value = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+        const double one_minus_s = 1.0 - s;
+        const double max_cdf =
+            std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0;
+        value = std::pow(1.0 + u * max_cdf, 1.0 / one_minus_s);
+    }
+    auto rank = static_cast<std::uint64_t>(value) - 1;
+    return (rank >= n) ? n - 1 : rank;
+}
+
+} // namespace necpt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (workload address streams,
+ * allocator fragmentation, cuckoo eviction choices) draws from a seeded
+ * Rng so that a given configuration always reproduces the same result —
+ * matching the paper's "deterministic simulation methodology, no error
+ * bars" note in Section 8.
+ */
+
+#ifndef NECPT_COMMON_RNG_HH
+#define NECPT_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace necpt
+{
+
+/** splitmix64: used to expand a single seed into stream state. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** PRNG — fast, high-quality, fully deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5EED5EED5EED5EEDULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free multiply-shift (bias negligible for
+        // simulation workload purposes given 64-bit inputs).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Approximately Zipf-distributed rank in [0, n) with exponent @p s,
+     * using inverse-CDF on a power-law approximation. Used by graph and
+     * OLTP workload generators for skewed popularity.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s);
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_RNG_HH

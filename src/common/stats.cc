@@ -1,0 +1,40 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace necpt
+{
+
+std::uint64_t
+Histogram::percentile(double pct) const
+{
+    if (total_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t bin = 0; bin < bins.size(); ++bin) {
+        seen += bins[bin];
+        if (seen >= target) {
+            // Report the middle of the bin; the overflow bin reports max.
+            if (bin == bins.size() - 1)
+                return max_;
+            return bin * width + width / 2;
+        }
+    }
+    return max_;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace necpt

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, ratios, histograms and
+ * windowed rate monitors (the latter drive the paper's adaptive PTE-hCWT
+ * caching decision, Section 4.2 / Figure 12).
+ */
+
+#ifndef NECPT_COMMON_STATS_HH
+#define NECPT_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** A simple saturating-free event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    Counter &operator++() { ++value_; return *this; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Hit/miss pair with a derived rate. */
+class HitMiss
+{
+  public:
+    void hit(std::uint64_t n = 1) { hits_ += n; }
+    void miss(std::uint64_t n = 1) { misses_ += n; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+
+    /** Hit rate in [0,1]; 0 when there were no accesses. */
+    double
+    rate() const
+    {
+        const auto total = accesses();
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    void
+    reset()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Fixed-bin latency histogram (Figure 11: page-walk latency bins).
+ *
+ * Values above the last bin edge land in an overflow bin.
+ */
+class Histogram
+{
+  public:
+    /** @param bin_width width of each bin; @param num_bins bin count. */
+    Histogram(std::uint64_t bin_width, std::size_t num_bins)
+        : width(bin_width), bins(num_bins + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t value)
+    {
+        auto idx = value / width;
+        if (idx >= bins.size() - 1)
+            idx = bins.size() - 1;
+        ++bins[idx];
+        ++total_;
+        sum_ += value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count(std::size_t bin) const { return bins[bin]; }
+    std::size_t numBins() const { return bins.size(); }
+    std::uint64_t binWidth() const { return width; }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /** The value at the given percentile (0..100), linear within bins. */
+    std::uint64_t percentile(double pct) const;
+
+    /** Fraction of samples in @p bin (0 when empty). */
+    double
+    probability(std::size_t bin) const
+    {
+        return total_ ? static_cast<double>(bins[bin]) / total_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        std::fill(bins.begin(), bins.end(), 0);
+        total_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Windowed hit-rate monitor.
+ *
+ * The adaptive caching controller (Section 4.2) samples hit rates over
+ * intervals of a fixed number of cycles (Figure 12 uses 5M-cycle
+ * intervals). The monitor tracks the current window and reports the last
+ * completed window's rate.
+ */
+class RateMonitor
+{
+  public:
+    explicit RateMonitor(Cycles interval_cycles = 5'000'000)
+        : interval(interval_cycles)
+    {}
+
+    /** Record an event at @p now; @p was_hit tells hit vs miss. */
+    void
+    record(Cycles now, bool was_hit)
+    {
+        rollover(now);
+        if (was_hit)
+            ++window_hits;
+        ++window_events;
+    }
+
+    /** The most recent completed window's hit rate (or -1 if none yet). */
+    double lastRate() const { return last_rate; }
+
+    /** True once at least one full window has completed. */
+    bool hasSample() const { return last_rate >= 0.0; }
+
+    /** All completed window rates, for Figure 12-style reporting. */
+    const std::vector<double> &history() const { return rates; }
+
+    Cycles intervalCycles() const { return interval; }
+
+  private:
+    void
+    rollover(Cycles now)
+    {
+        if (window_start == 0 && window_events == 0 && rates.empty())
+            window_start = now;
+        while (now >= window_start + interval) {
+            if (window_events > 0) {
+                last_rate =
+                    static_cast<double>(window_hits) / window_events;
+                rates.push_back(last_rate);
+            }
+            window_hits = 0;
+            window_events = 0;
+            window_start += interval;
+        }
+    }
+
+    Cycles interval;
+    Cycles window_start = 0;
+    std::uint64_t window_hits = 0;
+    std::uint64_t window_events = 0;
+    double last_rate = -1.0;
+    std::vector<double> rates;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geoMean(const std::vector<double> &values);
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_STATS_HH

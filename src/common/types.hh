@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fundamental address and timing types shared by every nECPT module.
+ *
+ * The simulator distinguishes three address spaces, mirroring the paper's
+ * terminology (Section 2.1):
+ *   - guest virtual addresses (gVA),
+ *   - guest physical addresses (gPA), and
+ *   - host physical addresses (hPA).
+ * All three are 64-bit values; distinct aliases keep interfaces readable.
+ */
+
+#ifndef NECPT_COMMON_TYPES_HH
+#define NECPT_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace necpt
+{
+
+/** A raw 64-bit address. */
+using Addr = std::uint64_t;
+
+/** Guest virtual address (gVA). */
+using GuestVirtAddr = Addr;
+
+/** Guest physical address (gPA): what the guest OS believes is physical. */
+using GuestPhysAddr = Addr;
+
+/** Host physical address (hPA): a real machine address. */
+using HostPhysAddr = Addr;
+
+/** Simulated clock cycles (2GHz core clock in the default machine). */
+using Cycles = std::uint64_t;
+
+/** Retired-instruction counter used for PKI-style statistics. */
+using InstCount = std::uint64_t;
+
+/** An invalid / not-present address sentinel. */
+constexpr Addr invalid_addr = ~Addr{0};
+
+/**
+ * The page sizes supported by the x86-64-like machine we model.
+ *
+ * The names follow the radix-table level that maps the page: a PTE-level
+ * entry maps 4KB, a PMD-level entry maps 2MB and a PUD-level entry maps 1GB
+ * (paper Section 3: PTE-, PMD-, PUD-ECPT).
+ */
+enum class PageSize : std::uint8_t
+{
+    Page4K = 0,
+    Page2M = 1,
+    Page1G = 2,
+};
+
+/** Number of distinct page sizes (the paper's n = 3). */
+constexpr int num_page_sizes = 3;
+
+/** Byte size of a page of the given size class. */
+constexpr std::uint64_t
+pageBytes(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return 4096ULL;
+      case PageSize::Page2M: return 2ULL * 1024 * 1024;
+      case PageSize::Page1G: return 1024ULL * 1024 * 1024;
+    }
+    return 4096ULL;
+}
+
+/** log2 of the page size in bytes (12, 21, 30). */
+constexpr int
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return 12;
+      case PageSize::Page2M: return 21;
+      case PageSize::Page1G: return 30;
+    }
+    return 12;
+}
+
+/** Short human-readable name ("4K", "2M", "1G"). */
+inline const char *
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return "4K";
+      case PageSize::Page2M: return "2M";
+      case PageSize::Page1G: return "1G";
+    }
+    return "?";
+}
+
+/** All page sizes, smallest first, for range-for iteration. */
+constexpr PageSize all_page_sizes[num_page_sizes] = {
+    PageSize::Page4K, PageSize::Page2M, PageSize::Page1G,
+};
+
+/** Cache-line size used throughout the machine (Table 2: 64B lines). */
+constexpr std::uint64_t line_bytes = 64;
+constexpr int line_shift = 6;
+
+/** Byte size of one page-table entry (Section 9.5: 8 bytes). */
+constexpr std::uint64_t pte_bytes = 8;
+
+/** Whether a memory access was issued by the core or by the MMU walker. */
+enum class Requester : std::uint8_t
+{
+    Core = 0,
+    Mmu = 1,
+};
+
+/** Read/write intent of a memory access. */
+enum class AccessType : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_TYPES_HH

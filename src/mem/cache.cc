@@ -1,0 +1,97 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : cfg(config)
+{
+    NECPT_ASSERT(cfg.size_bytes % (line_bytes * cfg.assoc) == 0);
+    sets = cfg.size_bytes / (line_bytes * cfg.assoc);
+    NECPT_ASSERT(isPowerOf2(sets));
+    ways.resize(sets * cfg.assoc);
+}
+
+bool
+SetAssocCache::access(Addr addr, Requester requester)
+{
+    const Addr line = lineAddr(addr);
+    const auto set = setIndex(line);
+    const auto tag = tagOf(line);
+    Way *base = &ways[set * cfg.assoc];
+    for (int i = 0; i < cfg.assoc; ++i) {
+        if (base[i].valid && base[i].tag == tag) {
+            base[i].lru = ++tick;
+            stats_[static_cast<int>(requester)].hit();
+            return true;
+        }
+    }
+    stats_[static_cast<int>(requester)].miss();
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const auto set = setIndex(line);
+    const auto tag = tagOf(line);
+    const Way *base = &ways[set * cfg.assoc];
+    for (int i = 0; i < cfg.assoc; ++i)
+        if (base[i].valid && base[i].tag == tag)
+            return true;
+    return false;
+}
+
+void
+SetAssocCache::fill(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const auto set = setIndex(line);
+    const auto tag = tagOf(line);
+    Way *base = &ways[set * cfg.assoc];
+    // Already present: just refresh recency.
+    for (int i = 0; i < cfg.assoc; ++i) {
+        if (base[i].valid && base[i].tag == tag) {
+            base[i].lru = ++tick;
+            return;
+        }
+    }
+    // Pick an invalid way, else LRU victim.
+    int victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int i = 0; i < cfg.assoc; ++i) {
+        if (!base[i].valid) {
+            victim = i;
+            break;
+        }
+        if (base[i].lru < oldest) {
+            oldest = base[i].lru;
+            victim = i;
+        }
+    }
+    base[victim] = {tag, ++tick, true};
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const auto set = setIndex(line);
+    const auto tag = tagOf(line);
+    Way *base = &ways[set * cfg.assoc];
+    for (int i = 0; i < cfg.assoc; ++i)
+        if (base[i].valid && base[i].tag == tag)
+            base[i].valid = false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &way : ways)
+        way.valid = false;
+}
+
+} // namespace necpt

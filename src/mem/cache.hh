@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Set-associative cache tag-array model with true-LRU replacement.
+ *
+ * The model tracks which lines are resident (so page-walk pollution is
+ * real: walker fills evict demand lines and vice versa) and per-requester
+ * hit/miss statistics for the Figure 13 RPKI/MPKI characterization. Data
+ * values are not stored — only addresses matter for translation studies.
+ */
+
+#ifndef NECPT_MEM_CACHE_HH
+#define NECPT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** Static geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name;          //!< e.g. "L2"
+    std::uint64_t size_bytes;  //!< total capacity
+    int assoc;                 //!< ways per set
+    Cycles latency;            //!< round-trip hit latency (Table 2)
+    int mshrs;                 //!< miss-status handling registers
+};
+
+/**
+ * A single cache level.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr (any byte address). On a hit the line's recency is
+     * updated. Statistics are charged to @p requester.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr, Requester requester);
+
+    /** Probe without updating recency or statistics. */
+    bool contains(Addr addr) const;
+
+    /** Install the line containing @p addr, evicting LRU if needed. */
+    void fill(Addr addr);
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Drop all lines (keeps statistics). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg; }
+    const HitMiss &stats(Requester requester) const
+    {
+        return stats_[static_cast<int>(requester)];
+    }
+
+    void
+    resetStats()
+    {
+        stats_[0].reset();
+        stats_[1].reset();
+    }
+
+    std::uint64_t numSets() const { return sets; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0; //!< higher = more recent
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(Addr line) const { return (line >> line_shift) & (sets - 1); }
+    std::uint64_t tagOf(Addr line) const { return line >> line_shift; }
+
+    CacheConfig cfg;
+    std::uint64_t sets;
+    std::vector<Way> ways;     //!< sets * assoc, row-major by set
+    std::uint64_t tick = 0;    //!< LRU timestamp source
+    HitMiss stats_[2];
+};
+
+} // namespace necpt
+
+#endif // NECPT_MEM_CACHE_HH

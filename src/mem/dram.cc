@@ -1,0 +1,75 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace necpt
+{
+
+DramModel::DramModel(const DramConfig &config)
+    : cfg(config), banks(config.channels * config.banks_per_channel),
+      bus_busy(config.channels, 0)
+{
+}
+
+int
+DramModel::bankIndex(Addr addr)
+ const
+{
+    // Line-interleave channels, then row-interleave banks within a
+    // channel, the common mapping for parallelism-friendly layouts.
+    const auto line = addr >> line_shift;
+    const auto channel = line % cfg.channels;
+    const auto bank =
+        (addr / cfg.row_bytes) % cfg.banks_per_channel;
+    return static_cast<int>(channel * cfg.banks_per_channel + bank);
+}
+
+std::uint64_t
+DramModel::rowOf(Addr addr) const
+{
+    return addr / (cfg.row_bytes * cfg.channels);
+}
+
+Cycles
+DramModel::access(Addr addr, Cycles now)
+{
+    const int bank_idx = bankIndex(addr);
+    Bank &bank = banks[bank_idx];
+    const int channel = bank_idx / cfg.banks_per_channel;
+    const auto row = rowOf(addr);
+    const int k = cfg.core_cycles_per_dram_cycle;
+
+    const Cycles start = std::max(now, bank.busy_until);
+    Cycles service; // core cycles of bank occupancy for this access
+    if (bank.row_open && bank.open_row == row) {
+        row_hits.hit();
+        service = static_cast<Cycles>(cfg.t_cas * k);
+    } else {
+        row_hits.miss();
+        int dram_cycles = cfg.t_rcd + cfg.t_cas;
+        if (bank.row_open) {
+            dram_cycles += cfg.t_rp;
+            // Respect tRAS: a row must stay active at least tRAS.
+            const Cycles min_close =
+                bank.activated_at + static_cast<Cycles>(cfg.t_ras * k);
+            if (start < min_close)
+                dram_cycles +=
+                    static_cast<int>((min_close - start) / k);
+        }
+        service = static_cast<Cycles>(dram_cycles * k);
+        bank.activated_at = start;
+    }
+    bank.open_row = row;
+    bank.row_open = true;
+
+    // The data burst serializes on the channel's shared bus.
+    const Cycles burst = static_cast<Cycles>(cfg.burst * k);
+    Cycles data_start = std::max(start + service, bus_busy[channel]);
+    bus_busy[channel] = data_start + burst;
+    bank.busy_until = data_start + burst;
+    return bank.busy_until - now;
+}
+
+} // namespace necpt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DRAMSim2-flavored main-memory timing model.
+ *
+ * Models the Table-2 memory system: 4 channels x 8 banks, DDR at 1GHz
+ * (the core runs at 2GHz, so every DRAM cycle is two core cycles), with
+ * open-page row-buffer policy and tRP-tCAS-tRCD-tRAS = 11-11-11-28.
+ * Per-bank busy windows make concurrent accesses to the same bank
+ * serialize, which is what charges wide parallel walk batches for their
+ * bandwidth (Section 3/4 motivation).
+ */
+
+#ifndef NECPT_MEM_DRAM_HH
+#define NECPT_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/**
+ * Static DRAM organization and timing (in DRAM cycles).
+ *
+ * The Table-2 machine has 4 channels x 8 banks shared by 8 cores; the
+ * default models one core's generous share (2 channels, 8 banks each) so that the
+ * bandwidth pressure of wide parallel probe groups is felt the way it
+ * is on the full machine (the Section 3/4 motivation for limiting
+ * parallel accesses). Multi-core simulations should restore 4x8.
+ */
+struct DramConfig
+{
+    int channels = 2;
+    int banks_per_channel = 8;
+    std::uint64_t row_bytes = 8192;   //!< row-buffer size per bank
+    int t_rp = 11;                    //!< precharge
+    int t_cas = 11;                   //!< column access
+    int t_rcd = 11;                   //!< RAS-to-CAS
+    int t_ras = 28;                   //!< row-active minimum
+    int burst = 4;                    //!< data burst occupancy
+    int core_cycles_per_dram_cycle = 2; //!< 2GHz core / 1GHz DRAM
+};
+
+/**
+ * Open-page DRAM timing model.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig{});
+
+    /**
+     * Perform one line read beginning no earlier than @p now (core
+     * cycles). Updates bank state.
+     *
+     * @return total core cycles from @p now until data is back
+     *         (includes any queueing behind a busy bank).
+     */
+    Cycles access(Addr addr, Cycles now);
+
+    /** Row-buffer hit rate so far. */
+    double rowHitRate() const { return row_hits.rate(); }
+
+    std::uint64_t numAccesses() const { return row_hits.accesses(); }
+
+    void resetStats() { row_hits.reset(); }
+
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t open_row = ~std::uint64_t{0};
+        Cycles busy_until = 0;    //!< core cycles
+        Cycles activated_at = 0;  //!< for tRAS enforcement
+        bool row_open = false;
+    };
+
+    int bankIndex(Addr addr) const;
+    std::uint64_t rowOf(Addr addr) const;
+
+    DramConfig cfg;
+    std::vector<Bank> banks;
+    /** Per-channel data-bus occupancy (bursts serialize on the bus). */
+    std::vector<Cycles> bus_busy;
+    HitMiss row_hits;
+};
+
+} // namespace necpt
+
+#endif // NECPT_MEM_DRAM_HH

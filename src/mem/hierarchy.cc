@@ -1,0 +1,141 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace necpt
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemHierarchyConfig &config, int cores)
+    : cfg(config), dram_(config.dram)
+{
+    NECPT_ASSERT(cores >= 1);
+    for (int i = 0; i < cores; ++i) {
+        l1s.push_back(std::make_unique<SetAssocCache>(cfg.l1));
+        l2s.push_back(std::make_unique<SetAssocCache>(cfg.l2));
+    }
+    l3_ = std::make_unique<SetAssocCache>(cfg.l3);
+}
+
+AccessResult
+MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
+                        int core)
+{
+    const bool demand = requester == Requester::Core;
+    if (demand && l1s[core]->access(addr, requester))
+        return {cfg.l1.latency, MemLevel::L1};
+
+    if (l2s[core]->access(addr, requester)) {
+        if (demand)
+            l1s[core]->fill(addr);
+        return {cfg.l2.latency, MemLevel::L2};
+    }
+
+    if (l3_->access(addr, requester)) {
+        l2s[core]->fill(addr);
+        if (demand)
+            l1s[core]->fill(addr);
+        return {cfg.l3.latency, MemLevel::L3};
+    }
+
+    const Cycles dram_lat = dram_.access(addr, now + cfg.l3.latency);
+    l3_->fill(addr);
+    l2s[core]->fill(addr);
+    if (demand)
+        l1s[core]->fill(addr);
+    return {cfg.l3.latency + dram_lat, MemLevel::Dram};
+}
+
+BatchResult
+MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
+                             int core)
+{
+    BatchResult result;
+    if (addrs.empty())
+        return result;
+
+    // Deduplicate by cache line: parallel probes of nearby table slots
+    // often share a line (eight PTEs per tagged entry, Section 2.3).
+    std::vector<Addr> lines;
+    lines.reserve(addrs.size());
+    for (Addr a : addrs) {
+        const Addr line = lineAddr(a);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+
+    result.requests = static_cast<int>(lines.size());
+
+    // Outstanding-miss completion times, bounded by L2 MSHRs.
+    std::vector<Cycles> outstanding;
+    const int mshrs = cfg.l2.mshrs;
+    Cycles finish = now;
+    int occupancy_peak = 0;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        // Issue in waves of mmu_issue_width, one cycle per wave.
+        Cycles issue = now + static_cast<Cycles>(i / cfg.mmu_issue_width);
+
+        // Retire any misses that completed before this issue slot.
+        std::erase_if(outstanding,
+                      [issue](Cycles c) { return c <= issue; });
+
+        if (static_cast<int>(outstanding.size()) >= mshrs) {
+            // No MSHR free: wait for the earliest completion.
+            const auto earliest =
+                *std::min_element(outstanding.begin(), outstanding.end());
+            issue = std::max(issue, earliest);
+            std::erase_if(outstanding,
+                          [issue](Cycles c) { return c <= issue; });
+        }
+
+        const AccessResult r = access(lines[i], issue, Requester::Mmu,
+                                      core);
+        const Cycles done = issue + r.latency;
+        finish = std::max(finish, done);
+
+        if (r.level != MemLevel::L2) {
+            ++result.l2_misses;
+            outstanding.push_back(done);
+            occupancy_peak = std::max(
+                occupancy_peak, static_cast<int>(outstanding.size()));
+        }
+        if (r.level == MemLevel::Dram)
+            ++result.l3_misses;
+    }
+
+    // MSHR occupancy characterization (Section 9.3).
+    mshr_samples++;
+    mshr_sum += static_cast<std::uint64_t>(occupancy_peak);
+    mshr_max = std::max(mshr_max,
+                        static_cast<std::uint64_t>(occupancy_peak));
+
+    result.latency = finish - now;
+    return result;
+}
+
+double
+MemoryHierarchy::avgMshrsInUse() const
+{
+    return mshr_samples
+        ? static_cast<double>(mshr_sum) / static_cast<double>(mshr_samples)
+        : 0.0;
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    for (auto &c : l1s)
+        c->resetStats();
+    for (auto &c : l2s)
+        c->resetStats();
+    l3_->resetStats();
+    dram_.resetStats();
+    mshr_samples = 0;
+    mshr_sum = 0;
+    mshr_max = 0;
+}
+
+} // namespace necpt

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The full memory hierarchy: per-core L1/L2, shared L3, DRAM.
+ *
+ * Two access paths exist, matching the paper's methodology:
+ *  - Core (demand) accesses probe L1 -> L2 -> L3 -> DRAM and fill all
+ *    levels on the way back.
+ *  - MMU (page-walk) accesses enter at the L2 ("MMU-initiated L2
+ *    misses", Section 9.1) and fill L2/L3 only — so translation state
+ *    competes with demand data for cache capacity, which is the cache-
+ *    pollution effect behind Figure 13.
+ *
+ * batchAccess() models a *parallel* group of MMU requests: requests are
+ * issued in waves bounded by the walker issue width, and misses are
+ * bounded by the L2 MSHR count; the batch completes when the slowest
+ * member returns. This is how the simulator charges wide nested-ECPT
+ * probe groups for bandwidth (Section 3/4).
+ */
+
+#ifndef NECPT_MEM_HIERARCHY_HH
+#define NECPT_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace necpt
+{
+
+/** Which level serviced an access. */
+enum class MemLevel : std::uint8_t { L1, L2, L3, Dram };
+
+/** Outcome of a single hierarchy access. */
+struct AccessResult
+{
+    Cycles latency;  //!< round-trip cycles from issue
+    MemLevel level;  //!< level that serviced the request
+};
+
+/** Outcome of a parallel batch of MMU accesses. */
+struct BatchResult
+{
+    Cycles latency = 0;       //!< issue-to-last-completion
+    int requests = 0;         //!< batch size
+    int l2_misses = 0;        //!< members that missed in L2
+    int l3_misses = 0;        //!< members that went to DRAM
+};
+
+/** Geometry/timing of the whole hierarchy. */
+struct MemHierarchyConfig
+{
+    CacheConfig l1{"L1", 32 * 1024, 8, 2, 8};
+    CacheConfig l2{"L2", 512 * 1024, 8, 16, 20};
+    /**
+     * Table 2: the L3 is physically distributed, 2MB per slice; the
+     * default single-core simulation models one slice (the per-core
+     * share of the 8-core machine's 16MB).
+     */
+    CacheConfig l3{"L3", 2 * 1024 * 1024, 16, 56, 20};
+    DramConfig dram{};
+    int mmu_issue_width = 4;  //!< parallel walker requests per wave
+};
+
+/**
+ * Owning facade over all cache levels and DRAM.
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const MemHierarchyConfig &config, int cores);
+
+    /** One demand or walker access starting at @p now. */
+    AccessResult access(Addr addr, Cycles now, Requester requester,
+                        int core);
+
+    /**
+     * A group of parallel MMU requests (one walk phase).
+     *
+     * @param addrs   byte addresses to fetch (deduplicated by line here)
+     * @param now     issue cycle
+     * @param core    issuing core
+     */
+    BatchResult batchAccess(const std::vector<Addr> &addrs, Cycles now,
+                            int core);
+
+    /// @name Statistics accessors (Figure 13 and MSHR characterization)
+    /// @{
+    const SetAssocCache &l1(int core) const { return *l1s[core]; }
+    const SetAssocCache &l2(int core) const { return *l2s[core]; }
+    const SetAssocCache &l3() const { return *l3_; }
+    const DramModel &dram() const { return dram_; }
+    double avgMshrsInUse() const;
+    std::uint64_t maxMshrsInUse() const { return mshr_max; }
+    /// @}
+
+    SetAssocCache &l3Mut() { return *l3_; }
+
+    void resetStats();
+
+    int numCores() const { return static_cast<int>(l1s.size()); }
+    const MemHierarchyConfig &config() const { return cfg; }
+
+  private:
+    MemHierarchyConfig cfg;
+    std::vector<std::unique_ptr<SetAssocCache>> l1s;
+    std::vector<std::unique_ptr<SetAssocCache>> l2s;
+    std::unique_ptr<SetAssocCache> l3_;
+    DramModel dram_;
+
+    std::uint64_t mshr_samples = 0;
+    std::uint64_t mshr_sum = 0;
+    std::uint64_t mshr_max = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_MEM_HIERARCHY_HH

@@ -1,0 +1,65 @@
+#include "mmu/cwc.hh"
+
+namespace necpt
+{
+
+CuckooWalkCache::CuckooWalkCache(
+    const std::array<std::size_t, num_page_sizes> &capacity,
+    Cycles latency_cycles)
+    : latency_(latency_cycles)
+{
+    for (int s = 0; s < num_page_sizes; ++s)
+        if (capacity[s] > 0)
+            levels[s] = std::make_unique<Level>(capacity[s]);
+}
+
+std::optional<std::uint64_t>
+CuckooWalkCache::lookup(PageSize level, std::uint64_t entry_key)
+{
+    Level *cache = levels[static_cast<int>(level)].get();
+    if (!cache) {
+        stats_[static_cast<int>(level)].miss();
+        return std::nullopt;
+    }
+    if (std::uint64_t *payload = cache->find(entry_key)) {
+        stats_[static_cast<int>(level)].hit();
+        return *payload;
+    }
+    stats_[static_cast<int>(level)].miss();
+    return std::nullopt;
+}
+
+void
+CuckooWalkCache::fill(PageSize level, std::uint64_t entry_key,
+                      std::uint64_t payload)
+{
+    if (Level *cache = levels[static_cast<int>(level)].get())
+        cache->insert(entry_key, payload);
+}
+
+void
+CuckooWalkCache::invalidate(PageSize level, std::uint64_t entry_key)
+{
+    if (Level *cache = levels[static_cast<int>(level)].get())
+        cache->invalidate(entry_key);
+}
+
+void
+CuckooWalkCache::flush()
+{
+    for (auto &level : levels)
+        if (level)
+            level->flush();
+}
+
+void
+CuckooWalkCache::resetStats()
+{
+    for (int s = 0; s < num_page_sizes; ++s) {
+        stats_[s].reset();
+        if (levels[s])
+            levels[s]->resetStats();
+    }
+}
+
+} // namespace necpt

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * MMU caches that accelerate radix and nested walks:
+ *
+ *  - PageWalkCache (PWC): caches intermediate radix entries (L4/L3/L2 in
+ *    native walks; the guest levels of nested walks). Keyed per level by
+ *    the VA prefix that selects the entry (Section 2.1).
+ *  - NestedPwc (NPWC): same structure for the host levels of a nested
+ *    radix walk, keyed by gPA prefixes.
+ *  - NestedTlb (NTLB): caches the gPA -> hPA translation of guest
+ *    page-table pages, letting a nested radix walk skip four host levels
+ *    per guest level (Figure 2 dashed lines).
+ *  - ShortcutTranslationCache (STC): the paper's new structure
+ *    (Section 4.1) — caches the gPA -> hPA translation of guest Cuckoo
+ *    Walk Table entries so gCWC refills need no host walk.
+ */
+
+#ifndef NECPT_MMU_WALK_CACHES_HH
+#define NECPT_MMU_WALK_CACHES_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "mmu/assoc_cache.hh"
+
+namespace necpt
+{
+
+/**
+ * Per-level cache of radix page-table entries.
+ */
+class PageWalkCache
+{
+  public:
+    /**
+     * @param min_level deepest cached level (native PWCs stop at 2
+     *        because L1/PTE entries are not cached, Section 2.1;
+     *        nested-host PWCs cache down to 1)
+     * @param max_level shallowest cached level (4)
+     * @param entries_per_level fully-associative entries per level
+     * @param latency_cycles round-trip latency (Table 2: 4 cycles)
+     */
+    PageWalkCache(int min_level, int max_level,
+                  std::size_t entries_per_level,
+                  Cycles latency_cycles = 4)
+        : min_lvl(min_level), max_lvl(max_level), latency_(latency_cycles)
+    {
+        for (int l = min_lvl; l <= max_lvl; ++l)
+            caches.push_back(std::make_unique<Level>(entries_per_level));
+    }
+
+    /** Is the level-@p level entry for @p va cached? */
+    bool
+    lookup(int level, Addr va)
+    {
+        if (level < min_lvl || level > max_lvl)
+            return false;
+        return caches[level - min_lvl]->find(prefix(va, level)) != nullptr;
+    }
+
+    /** Record the level-@p level entry for @p va. */
+    void
+    fill(int level, Addr va)
+    {
+        if (level < min_lvl || level > max_lvl)
+            return;
+        caches[level - min_lvl]->insert(prefix(va, level), true);
+    }
+
+    void
+    flush()
+    {
+        for (auto &c : caches)
+            c->flush();
+    }
+
+    Cycles latency() const { return latency_; }
+
+    const HitMiss &
+    stats(int level) const
+    {
+        return caches[level - min_lvl]->stats();
+    }
+
+  private:
+    using Level = AssocCache<std::uint64_t, bool>;
+
+    /** VA bits [47 : index-low-bit(level)] uniquely name the entry. */
+    static std::uint64_t
+    prefix(Addr va, int level)
+    {
+        return va >> (12 + 9 * (level - 1));
+    }
+
+    int min_lvl;
+    int max_lvl;
+    Cycles latency_;
+    std::vector<std::unique_ptr<Level>> caches;
+};
+
+/**
+ * Nested TLB: gPA page -> hPA frame for guest page-table pages
+ * (24 entries, fully associative, 4-cycle RT in Table 2).
+ */
+class NestedTlb
+{
+  public:
+    explicit NestedTlb(std::size_t entries = 24, Cycles latency_cycles = 4)
+        : cache(entries), latency_(latency_cycles)
+    {}
+
+    /** @return the hPA frame base, or nullptr on miss. */
+    Addr *
+    lookup(Addr gpa)
+    {
+        return cache.find(gpa >> 12);
+    }
+
+    void
+    fill(Addr gpa, Addr hpa_frame)
+    {
+        cache.insert(gpa >> 12, hpa_frame);
+    }
+
+    void flush() { cache.flush(); }
+    Cycles latency() const { return latency_; }
+    const HitMiss &stats() const { return cache.stats(); }
+    void resetStats() { cache.resetStats(); }
+
+  private:
+    AssocCache<std::uint64_t, Addr> cache;
+    Cycles latency_;
+};
+
+/**
+ * Shortcut Translation Cache (Section 4.1): gPA page -> hPA frame for
+ * guest CWT entries. 10 entries FA, 4-cycle RT (Table 2).
+ */
+class ShortcutTranslationCache
+{
+  public:
+    explicit ShortcutTranslationCache(std::size_t entries = 10,
+                                      Cycles latency_cycles = 4)
+        : cache(entries), latency_(latency_cycles)
+    {}
+
+    Addr *
+    lookup(Addr gpa)
+    {
+        return cache.find(gpa >> 12);
+    }
+
+    void
+    fill(Addr gpa, Addr hpa_frame)
+    {
+        cache.insert(gpa >> 12, hpa_frame);
+    }
+
+    void flush() { cache.flush(); }
+    Cycles latency() const { return latency_; }
+    const HitMiss &stats() const { return cache.stats(); }
+    void resetStats() { cache.resetStats(); }
+    std::size_t capacity() const { return cache.capacity(); }
+
+  private:
+    AssocCache<std::uint64_t, Addr> cache;
+    Cycles latency_;
+};
+
+} // namespace necpt
+
+#endif // NECPT_MMU_WALK_CACHES_HH

@@ -1,0 +1,116 @@
+#include "os/phys_pool.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace necpt
+{
+
+PhysMemPool::PhysMemPool(Addr base, std::uint64_t capacity_bytes)
+    : base_(base), capacity(capacity_bytes), bump(base)
+{
+    NECPT_ASSERT(pageOffset(base, PageSize::Page1G) == 0);
+    region_bump = base + alignDown(capacity_bytes * 7 / 8,
+                                   pageBytes(PageSize::Page1G));
+}
+
+Addr
+PhysMemPool::bumpAlloc(std::uint64_t bytes, std::uint64_t align)
+{
+    const Addr aligned = alignUp(bump, align);
+    if (aligned + bytes > base_ + capacity * 7 / 8)
+        fatal("physical pool frame zone exhausted "
+              "(%llu of %llu bytes used)",
+              static_cast<unsigned long long>(used),
+              static_cast<unsigned long long>(capacity));
+    bump = aligned + bytes;
+    return aligned;
+}
+
+Addr
+PhysMemPool::bumpAllocRegion(std::uint64_t bytes, std::uint64_t align)
+{
+    const Addr aligned = alignUp(region_bump, align);
+    if (aligned + bytes > base_ + capacity)
+        fatal("physical pool region zone exhausted "
+              "(%llu of %llu bytes used)",
+              static_cast<unsigned long long>(used),
+              static_cast<unsigned long long>(capacity));
+    region_bump = aligned + bytes;
+    return aligned;
+}
+
+Addr
+PhysMemPool::allocFrame(PageSize size)
+{
+    auto &list = free_frames[static_cast<int>(size)];
+    const auto bytes = pageBytes(size);
+    used += bytes;
+    if (!list.empty()) {
+        const Addr frame = list.back();
+        list.pop_back();
+        return frame;
+    }
+    return bumpAlloc(bytes, bytes);
+}
+
+void
+PhysMemPool::freeFrame(Addr frame, PageSize size)
+{
+    NECPT_ASSERT(pageOffset(frame, size) == 0);
+    used -= pageBytes(size);
+    free_frames[static_cast<int>(size)].push_back(frame);
+}
+
+Addr
+PhysMemPool::allocRegion(std::uint64_t bytes)
+{
+    bytes = alignUp(bytes, 4096);
+    auto it = free_regions.find(bytes);
+    used += bytes;
+    if (it != free_regions.end() && !it->second.empty()) {
+        const Addr region = it->second.back();
+        it->second.pop_back();
+        return region;
+    }
+    // Natural alignment (capped at 2MB) keeps a table region within as
+    // few CWT-entry windows as possible — the locality that makes the
+    // tiny Step-1 hCWC effective (Section 4.2).
+    std::uint64_t align = 4096;
+    while (align < bytes && align < (2ULL << 20))
+        align <<= 1;
+    return bumpAllocRegion(bytes, align);
+}
+
+void
+PhysMemPool::freeRegion(Addr region_base, std::uint64_t bytes)
+{
+    bytes = alignUp(bytes, 4096);
+    used -= bytes;
+    free_regions[bytes].push_back(region_base);
+}
+
+void
+PtRegionRegistry::add(Addr pt_base, std::uint64_t bytes)
+{
+    regions[pt_base] = bytes;
+}
+
+void
+PtRegionRegistry::remove(Addr pt_base, std::uint64_t bytes)
+{
+    (void)bytes;
+    regions.erase(pt_base);
+}
+
+bool
+PtRegionRegistry::contains(Addr addr) const
+{
+    auto it = regions.upper_bound(addr);
+    if (it == regions.begin())
+        return false;
+    --it;
+    return addr < it->first + it->second;
+}
+
+} // namespace necpt

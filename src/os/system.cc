@@ -1,0 +1,416 @@
+#include "os/system.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+NestedSystem::NestedSystem(const SystemConfig &config)
+    : cfg(config), mmap_cursor(config.mmap_base)
+{
+    host_pool = std::make_unique<PhysMemPool>(0, cfg.host_phys_bytes);
+    if (cfg.virtualized)
+        guest_pool = std::make_unique<PhysMemPool>(0, cfg.guest_phys_bytes);
+
+    // Guest page tables live in guest-physical space (or directly in
+    // host-physical space when native). Their regions are registered so
+    // the hypervisor backs them with 4KB pages (Section 4.3).
+    PhysMemPool &guest_space = cfg.virtualized ? *guest_pool : *host_pool;
+    guest_pt_alloc =
+        std::make_unique<PtRegionAllocator>(guest_space, pt_registry);
+    guest_node_alloc =
+        std::make_unique<ScatteredPtAllocator>(guest_space, pt_registry);
+
+    switch (cfg.guest_kind) {
+      case PtKind::Radix:
+        // Radix nodes come from the general page allocator, scattered
+        // among data frames — as real kernels allocate them.
+        guest_radix = std::make_unique<RadixPageTable>(
+            *guest_node_alloc, cfg.radix_levels);
+        break;
+      case PtKind::Ecpt: {
+        EcptConfig ecfg = cfg.guest_ecpt;
+        ecfg.has_pte_cwt = false; // the guest never keeps a PTE CWT
+        guest_ecpt =
+            std::make_unique<EcptPageTable>(*guest_pt_alloc, ecfg);
+        break;
+      }
+      case PtKind::Flat:
+        fatal("flat page tables are host-side only");
+      case PtKind::Hpt: {
+        // Classic single HPT (Section 2.2): one table, 4KB pages only,
+        // sized up front to keep the load factor moderate.
+        std::uint64_t slots = 2;
+        while (slots < (cfg.guest_phys_bytes >> 12))
+            slots <<= 1;
+        guest_hpt = std::make_unique<HashedPageTable>(*guest_pt_alloc,
+                                                      slots, 0x6857);
+        break;
+      }
+    }
+
+    if (cfg.virtualized) {
+        host_node_alloc = std::make_unique<ScatteredPtAllocator>(
+            *host_pool, host_pt_registry);
+        switch (cfg.host_kind) {
+          case PtKind::Radix:
+            host_radix = std::make_unique<RadixPageTable>(
+                *host_node_alloc, cfg.radix_levels);
+            break;
+          case PtKind::Ecpt:
+            host_ecpt =
+                std::make_unique<EcptPageTable>(*host_pool, cfg.host_ecpt);
+            break;
+          case PtKind::Flat:
+            host_flat = std::make_unique<FlatPageTable>(
+                *host_pool, cfg.guest_phys_bytes);
+            break;
+          case PtKind::Hpt: {
+            std::uint64_t slots = 2;
+            while (slots < (cfg.guest_phys_bytes >> 12) * 2)
+                slots <<= 1;
+            host_hpt = std::make_unique<HashedPageTable>(*host_pool,
+                                                         slots, 0x7857);
+            break;
+          }
+        }
+    }
+}
+
+NestedSystem::~NestedSystem() = default;
+
+Addr
+NestedSystem::mmapRegion(std::uint64_t bytes, bool thp_eligible)
+{
+    const auto align = thp_eligible ? pageBytes(PageSize::Page2M)
+                                    : pageBytes(PageSize::Page4K);
+    const Addr base = alignUp(mmap_cursor, align);
+    mmap_cursor = base + alignUp(bytes, align);
+    vmas.push_back({base, alignUp(bytes, align), thp_eligible});
+    return base;
+}
+
+Addr
+NestedSystem::mmapRegion1G(std::uint64_t bytes)
+{
+    const auto align = pageBytes(PageSize::Page1G);
+    const Addr base = alignUp(mmap_cursor, align);
+    mmap_cursor = base + alignUp(bytes, align);
+    vmas.push_back({base, alignUp(bytes, align), false, true});
+    return base;
+}
+
+const NestedSystem::Vma *
+NestedSystem::vmaOf(Addr gva) const
+{
+    for (const Vma &vma : vmas)
+        if (gva >= vma.base && gva < vma.base + vma.bytes)
+            return &vma;
+    return nullptr;
+}
+
+bool
+NestedSystem::blockCovered(std::uint64_t block, double coverage,
+                           std::uint64_t salt) const
+{
+    // Deterministic per-chunk hash draw (stride patterns would alias
+    // with strided workloads).
+    std::uint64_t sm = block ^ (cfg.seed * 0x9E3779B97F4A7C15ULL) ^ salt;
+    const auto draw = splitmix64(sm);
+    return static_cast<double>(draw >> 11) * 0x1.0p-53 < coverage;
+}
+
+void
+NestedSystem::guestMap(Addr gva, Addr gpa, PageSize size)
+{
+    if (guest_radix) {
+        guest_radix->map(gva, gpa, size);
+    } else if (guest_hpt) {
+        NECPT_ASSERT(size == PageSize::Page4K); // HPT limitation
+        const bool ok = guest_hpt->map(gva, gpa);
+        NECPT_ASSERT(ok);
+    } else {
+        guest_ecpt->map(gva, gpa, size);
+    }
+}
+
+void
+NestedSystem::hostMap(Addr gpa, Addr hpa, PageSize size)
+{
+    if (host_radix) {
+        host_radix->map(gpa, hpa, size);
+    } else if (host_ecpt) {
+        host_ecpt->map(gpa, hpa, size);
+    } else if (host_flat) {
+        host_flat->map(gpa, hpa, size);
+    } else if (host_hpt) {
+        NECPT_ASSERT(size == PageSize::Page4K); // HPT limitation
+        const bool ok = host_hpt->map(gpa, hpa);
+        NECPT_ASSERT(ok);
+    }
+}
+
+void
+NestedSystem::guestFaultIn(Addr gva, const Vma &vma)
+{
+    PhysMemPool &frames = cfg.virtualized ? *guest_pool : *host_pool;
+    ++guest_faults;
+
+    // Explicit 1GB (hugetlbfs-style) regions bypass the THP policy.
+    if (vma.use_1g) {
+        const Addr page = pageBase(gva, PageSize::Page1G);
+        guestMap(page, frames.allocFrame(PageSize::Page1G),
+                 PageSize::Page1G);
+        return;
+    }
+
+    // THP feasibility is decided per contiguous 64MB chunk: real
+    // allocators succeed or fail in zones rather than salt-and-pepper
+    // at 2MB granularity, and 64MB keeps the coverage fraction
+    // meaningful even for sub-GB arrays.
+    const auto region = gva >> 26;
+    bool use_thp = false;
+    if (cfg.guest_thp && vma.thp_eligible) {
+        auto it = guest_block_thp.find(region);
+        if (it == guest_block_thp.end()) {
+            use_thp =
+                blockCovered(region, cfg.guest_thp_coverage, 0x6E57);
+            guest_block_thp.emplace(region, use_thp);
+        } else {
+            use_thp = it->second;
+        }
+    }
+
+    if (use_thp) {
+        const Addr page = pageBase(gva, PageSize::Page2M);
+        const Addr frame = frames.allocFrame(PageSize::Page2M);
+        guestMap(page, frame, PageSize::Page2M);
+    } else {
+        const Addr page = pageBase(gva, PageSize::Page4K);
+        const Addr frame = frames.allocFrame(PageSize::Page4K);
+        guestMap(page, frame, PageSize::Page4K);
+    }
+}
+
+void
+NestedSystem::hostFaultIn(Addr gpa)
+{
+    NECPT_ASSERT(cfg.virtualized);
+    ++host_faults;
+
+    // Page-table regions are always backed by 4KB pages (Section 4.3).
+    if (isPtRegion(gpa)) {
+        const Addr page = pageBase(gpa, PageSize::Page4K);
+        hostMap(page, host_pool->allocFrame(PageSize::Page4K),
+                PageSize::Page4K);
+        host_blocks_with_4k.insert(gpa >> pageShift(PageSize::Page2M));
+        return;
+    }
+
+    // Per-64MB-chunk decision, as on the guest side: coarse enough to
+    // keep regions size-uniform for the CWT summaries, fine enough
+    // that the configured coverage leaves a real 4KB residue (the
+    // Figure-12 structure).
+    const auto region = gpa >> 26;
+    bool use_thp = false;
+    if (cfg.host_thp) {
+        auto it = host_block_thp.find(region);
+        if (it == host_block_thp.end()) {
+            use_thp =
+                blockCovered(region, cfg.host_thp_coverage, 0x5A17);
+            host_block_thp.emplace(region, use_thp);
+        } else {
+            use_thp = it->second;
+        }
+    }
+
+    // A 2MB mapping may not overlap an existing 4KB one (a scattered
+    // page-table node faulted in earlier).
+    if (use_thp
+        && host_blocks_with_4k.count(gpa >> pageShift(PageSize::Page2M)))
+        use_thp = false;
+
+    if (use_thp) {
+        const Addr page = pageBase(gpa, PageSize::Page2M);
+        hostMap(page, host_pool->allocFrame(PageSize::Page2M),
+                PageSize::Page2M);
+    } else {
+        const Addr page = pageBase(gpa, PageSize::Page4K);
+        hostMap(page, host_pool->allocFrame(PageSize::Page4K),
+                PageSize::Page4K);
+        host_blocks_with_4k.insert(gpa >> pageShift(PageSize::Page2M));
+    }
+}
+
+bool
+NestedSystem::ensureResident(Addr gva)
+{
+    bool faulted = false;
+    Translation g = guestTranslate(gva);
+    if (!g.valid) {
+        const Vma *vma = vmaOf(gva);
+        if (!vma)
+            fatal("access to unmapped guest VA 0x%llx",
+                  static_cast<unsigned long long>(gva));
+        guestFaultIn(gva, *vma);
+        g = guestTranslate(gva);
+        NECPT_ASSERT(g.valid);
+        faulted = true;
+    }
+    if (cfg.virtualized) {
+        const Addr gpa = g.apply(gva);
+        Translation h;
+        if (host_radix)
+            h = host_radix->lookup(gpa);
+        else if (host_ecpt)
+            h = host_ecpt->lookup(gpa);
+        else if (host_flat)
+            h = host_flat->lookup(gpa);
+        else
+            h = host_hpt->lookup(gpa);
+        if (!h.valid) {
+            hostFaultIn(gpa);
+            faulted = true;
+        }
+    }
+    return faulted;
+}
+
+void
+NestedSystem::prefaultAll()
+{
+    // Walk VMAs by mapped-page stride so a 2MB THP mapping advances
+    // the cursor by 2MB.
+    for (std::size_t i = 0; i < vmas.size(); ++i) {
+        const Vma vma = vmas[i];
+        Addr va = vma.base;
+        while (va < vma.base + vma.bytes) {
+            ensureResident(va);
+            const Translation g = guestTranslate(va);
+            va += g.valid ? pageBytes(g.size)
+                          : pageBytes(PageSize::Page4K);
+        }
+    }
+    // Let background migration finish: measurement starts from a
+    // quiesced steady state (in-flight resizes would otherwise double
+    // every probe forever, since migration progresses on inserts).
+    quiesce();
+}
+
+void
+NestedSystem::quiesce()
+{
+    if (guest_ecpt)
+        guest_ecpt->quiesce();
+    if (host_ecpt)
+        host_ecpt->quiesce();
+}
+
+Translation
+NestedSystem::guestTranslate(Addr gva) const
+{
+    if (guest_radix)
+        return guest_radix->lookup(gva);
+    if (guest_hpt)
+        return guest_hpt->lookup(gva);
+    return guest_ecpt->lookup(gva);
+}
+
+Translation
+NestedSystem::hostTranslate(Addr gpa)
+{
+    if (!cfg.virtualized) {
+        // Identity: gPA is final.
+        return {pageBase(gpa, PageSize::Page4K), PageSize::Page4K, true};
+    }
+    auto host_lookup = [this](Addr addr) -> Translation {
+        if (host_radix)
+            return host_radix->lookup(addr);
+        if (host_ecpt)
+            return host_ecpt->lookup(addr);
+        if (host_flat)
+            return host_flat->lookup(addr);
+        return host_hpt->lookup(addr);
+    };
+    Translation h = host_lookup(gpa);
+    if (!h.valid) {
+        hostFaultIn(gpa);
+        h = host_lookup(gpa);
+        NECPT_ASSERT(h.valid);
+    }
+    return h;
+}
+
+Translation
+NestedSystem::fullTranslate(Addr gva)
+{
+    const Translation g = guestTranslate(gva);
+    if (!g.valid)
+        return {};
+    if (!cfg.virtualized)
+        return g;
+    const Addr gpa = g.apply(gva);
+    const Translation h = hostTranslate(gpa);
+    if (!h.valid)
+        return {};
+    const PageSize eff = static_cast<int>(g.size) < static_cast<int>(h.size)
+                             ? g.size : h.size;
+    const Addr hpa = h.apply(gpa);
+    return {hpa - pageOffset(gva, eff), eff, true};
+}
+
+std::uint64_t
+NestedSystem::guestStructureBytes() const
+{
+    if (guest_radix)
+        return guest_radix->structureBytes();
+    if (guest_hpt)
+        return guest_hpt->structureBytes();
+    return guest_ecpt->structureBytes();
+}
+
+std::uint64_t
+NestedSystem::hostStructureBytes() const
+{
+    if (host_radix)
+        return host_radix->structureBytes();
+    if (host_ecpt)
+        return host_ecpt->structureBytes();
+    if (host_flat)
+        return host_flat->structureBytes();
+    if (host_hpt)
+        return host_hpt->structureBytes();
+    return 0;
+}
+
+std::uint64_t
+NestedSystem::guestPteBytes() const
+{
+    if (guest_radix)
+        return guest_radix->mappingCount() * pte_bytes;
+    if (guest_hpt)
+        return guest_hpt->occupancy() * pte_bytes;
+    std::uint64_t count = 0;
+    for (auto size : all_page_sizes)
+        count += guest_ecpt->mappingCount(size);
+    return count * pte_bytes;
+}
+
+std::uint64_t
+NestedSystem::hostPteBytes() const
+{
+    if (host_radix)
+        return host_radix->mappingCount() * pte_bytes;
+    if (host_flat)
+        return host_flat->mappingCount() * pte_bytes;
+    if (host_hpt)
+        return host_hpt->occupancy() * pte_bytes;
+    if (!host_ecpt)
+        return 0;
+    std::uint64_t count = 0;
+    for (auto size : all_page_sizes)
+        count += host_ecpt->mappingCount(size);
+    return count * pte_bytes;
+}
+
+} // namespace necpt

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The software side of the machine: guest OS + hypervisor, demand
+ * paging, THP policy, and page-table construction for every evaluated
+ * organization (Table 1).
+ *
+ * A NestedSystem owns:
+ *  - a guest-physical pool and a host-physical pool,
+ *  - the guest page table (radix or ECPT) built in guest-physical space,
+ *  - the host page table (radix, ECPT, or flat) in host-physical space,
+ *  - the registry of guest-physical ranges holding page tables (which
+ *    the hypervisor always backs with 4KB pages — the Section 4.3
+ *    contract that lets Step 1 probe only the PTE-hECPT).
+ *
+ * In native (non-virtualized) configurations the guest page table is
+ * built directly in host-physical space and guest translations are
+ * final.
+ */
+
+#ifndef NECPT_OS_SYSTEM_HH
+#define NECPT_OS_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/phys_pool.hh"
+#include "pt/ecpt.hh"
+#include "pt/flat.hh"
+#include "pt/hashed.hh"
+#include "pt/radix.hh"
+
+namespace necpt
+{
+
+/** Page-table organization selector. */
+enum class PtKind : std::uint8_t
+{
+    Radix,
+    Ecpt,
+    Flat, //!< host-side only (flat nested baseline, Section 9.6)
+    Hpt,  //!< classic single hashed page table (Section 2.2; 4KB only)
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    bool virtualized = true;
+    PtKind guest_kind = PtKind::Ecpt;
+    PtKind host_kind = PtKind::Ecpt;
+
+    /** Transparent Huge Pages (2MB), guest and host sides. */
+    bool guest_thp = false;
+    bool host_thp = true;
+    /**
+     * Fraction of 2MB blocks that can actually be backed by a huge
+     * page when THP is on — emulating allocator fragmentation
+     * (Section 10 notes even 2MB pages are often hard to find).
+     */
+    double guest_thp_coverage = 0.90;
+    double host_thp_coverage = 0.95;
+
+    std::uint64_t guest_phys_bytes = 6ULL << 30;
+    std::uint64_t host_phys_bytes = 8ULL << 30;
+
+    /**
+     * Radix tree depth: 4 (x86-64) or 5 (LA57/Sunny Cove). With 5
+     * levels a nested radix walk grows to up to 35 sequential
+     * references (Section 1) while ECPT walks are unaffected.
+     */
+    int radix_levels = 4;
+
+    EcptConfig guest_ecpt{};
+    EcptConfig host_ecpt{};
+
+    Addr mmap_base = 0x10'0000'0000ULL;
+    std::uint64_t seed = 0xA11CE;
+};
+
+/**
+ * Guest OS + hypervisor + page tables for one VM (or native machine).
+ */
+class NestedSystem
+{
+  public:
+    explicit NestedSystem(const SystemConfig &config);
+    ~NestedSystem();
+
+    NestedSystem(const NestedSystem &) = delete;
+    NestedSystem &operator=(const NestedSystem &) = delete;
+
+    /// @name Guest virtual address space
+    /// @{
+    /** Reserve a VMA of @p bytes; 2MB-aligned when THP-eligible. */
+    Addr mmapRegion(std::uint64_t bytes, bool thp_eligible = true);
+
+    /**
+     * Reserve a hugetlbfs-style VMA explicitly backed by 1GB pages
+     * (1GB-aligned and -granular). Exercises the PUD-level ECPT and
+     * the 1GB TLB class end to end.
+     */
+    Addr mmapRegion1G(std::uint64_t bytes);
+    /// @}
+
+    /// @name Demand paging (functional page faults)
+    /// @{
+    /**
+     * Make @p gva resident: installs the guest mapping (THP policy
+     * decides 4KB vs 2MB) and the host backing of the touched gPA.
+     * @return true when a page fault occurred.
+     */
+    bool ensureResident(Addr gva);
+
+    /**
+     * Fault in every page of every VMA — the steady state the paper
+     * measures in (applications materialize their datasets during
+     * initialization; Section 8 measures after warm-up).
+     */
+    void prefaultAll();
+
+    /**
+     * Complete any in-flight elastic resizes (OS background migration
+     * finishing during idle time). Called at measurement boundaries.
+     */
+    void quiesce();
+    /// @}
+
+    /// @name Functional translations (used by walkers as ground truth)
+    /// @{
+    /** gVA -> gPA (final in native mode). */
+    Translation guestTranslate(Addr gva) const;
+
+    /**
+     * gPA -> hPA. Faults the backing in on first use (page-table pages
+     * are touched by walks before any demand access reaches them).
+     */
+    Translation hostTranslate(Addr gpa);
+
+    /**
+     * gVA all the way to hPA with the *effective* page size
+     * min(guest, host) — the granularity a nested TLB entry covers.
+     */
+    Translation fullTranslate(Addr gva);
+    /// @}
+
+    /// @name Structure access for walkers
+    /// @{
+    bool virtualized() const { return cfg.virtualized; }
+    RadixPageTable *guestRadix() { return guest_radix.get(); }
+    EcptPageTable *guestEcpt() { return guest_ecpt.get(); }
+    RadixPageTable *hostRadix() { return host_radix.get(); }
+    EcptPageTable *hostEcpt() { return host_ecpt.get(); }
+    FlatPageTable *hostFlat() { return host_flat.get(); }
+    HashedPageTable *guestHpt() { return guest_hpt.get(); }
+    HashedPageTable *hostHpt() { return host_hpt.get(); }
+    const EcptPageTable *guestEcpt() const { return guest_ecpt.get(); }
+    const EcptPageTable *hostEcpt() const { return host_ecpt.get(); }
+
+    /** Is @p gpa inside a guest page-table structure? (Section 4.3) */
+    bool isPtRegion(Addr gpa) const { return pt_registry.contains(gpa); }
+    /// @}
+
+    /// @name Accounting (Section 9.5)
+    /// @{
+    std::uint64_t guestStructureBytes() const;
+    std::uint64_t hostStructureBytes() const;
+    std::uint64_t guestPteBytes() const;  //!< 8B x mappings
+    std::uint64_t hostPteBytes() const;
+    std::uint64_t guestFaults() const { return guest_faults; }
+    std::uint64_t hostFaults() const { return host_faults; }
+    PhysMemPool &hostPool() { return *host_pool; }
+    PhysMemPool &guestPool() { return *guest_pool; }
+    /// @}
+
+    const SystemConfig &config() const { return cfg; }
+
+    /**
+     * Adjust the guest THP coverage before any page is faulted in —
+     * coverage is application-dependent (Section 9.1 / Figure 14).
+     */
+    void setGuestThpCoverage(double coverage)
+    {
+        cfg.guest_thp_coverage = coverage;
+    }
+
+  private:
+    struct Vma
+    {
+        Addr base;
+        std::uint64_t bytes;
+        bool thp_eligible;
+        bool use_1g = false;
+    };
+
+    const Vma *vmaOf(Addr gva) const;
+
+    /** Deterministic per-2MB-block THP feasibility draw. */
+    bool blockCovered(std::uint64_t block, double coverage,
+                      std::uint64_t salt) const;
+
+    /** Install a guest mapping for the page containing @p gva. */
+    void guestFaultIn(Addr gva, const Vma &vma);
+
+    /** Install host backing for the page containing @p gpa. */
+    void hostFaultIn(Addr gpa);
+
+    void guestMap(Addr gva, Addr gpa, PageSize size);
+    void hostMap(Addr gpa, Addr hpa, PageSize size);
+
+    SystemConfig cfg;
+
+    std::unique_ptr<PhysMemPool> host_pool;
+    std::unique_ptr<PhysMemPool> guest_pool;
+    PtRegionRegistry pt_registry;
+    PtRegionRegistry host_pt_registry;
+    std::unique_ptr<PtRegionAllocator> guest_pt_alloc;
+    std::unique_ptr<ScatteredPtAllocator> guest_node_alloc;
+    std::unique_ptr<ScatteredPtAllocator> host_node_alloc;
+
+    std::unique_ptr<RadixPageTable> guest_radix;
+    std::unique_ptr<EcptPageTable> guest_ecpt;
+    std::unique_ptr<HashedPageTable> guest_hpt;
+    std::unique_ptr<RadixPageTable> host_radix;
+    std::unique_ptr<EcptPageTable> host_ecpt;
+    std::unique_ptr<FlatPageTable> host_flat;
+    std::unique_ptr<HashedPageTable> host_hpt;
+
+    std::vector<Vma> vmas;
+    Addr mmap_cursor;
+
+    /** First-touch THP decision per guest-virtual 1GB region. */
+    std::unordered_map<std::uint64_t, bool> guest_block_thp;
+    /** First-touch THP decision per guest-physical 1GB region. */
+    std::unordered_map<std::uint64_t, bool> host_block_thp;
+    /** gPA 2MB blocks already holding a 4KB mapping (e.g. a scattered
+     *  page-table node): a huge host mapping would overlap them. */
+    std::unordered_set<std::uint64_t> host_blocks_with_4k;
+
+    std::uint64_t guest_faults = 0;
+    std::uint64_t host_faults = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_OS_SYSTEM_HH

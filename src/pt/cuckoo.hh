@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Elastic cuckoo hash table (Section 2.3, following Skarlatos et al.,
+ * ASPLOS'20).
+ *
+ * A d-ary cuckoo hash table where each way is a contiguous array of
+ * cache-line-sized slots in (simulated) physical memory. The table is
+ * *elastic*: when the load factor crosses a threshold, a new generation
+ * of 2x capacity is allocated and entries migrate gradually (a few per
+ * subsequent insert), so the table never stops the world. While a resize
+ * is in flight, a key can live in either generation and hardware probes
+ * must cover both — probeAddrs() reflects that.
+ *
+ * Cuckoo displacements and resize migrations *move* entries between ways
+ * and addresses. The table reports each move through a callback so the
+ * OS can update Cuckoo Walk Tables, and counts moves — the reason the
+ * paper's designs never cache hPTE->gPTE pointers (Section 4.4).
+ */
+
+#ifndef NECPT_PT_CUCKOO_HH
+#define NECPT_PT_CUCKOO_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "pt/pte.hh"
+
+namespace necpt
+{
+
+/** Configuration of one elastic cuckoo table. */
+struct CuckooConfig
+{
+    int ways = 3;                        //!< the paper's d
+    std::uint64_t initial_slots = 16384; //!< slots per way (Table 2)
+    std::uint64_t slot_bytes = 64;       //!< one cache line per slot
+    double resize_threshold = 0.6;       //!< load factor triggering upsize
+    int migrate_per_insert = 8;          //!< gradual-migration rate
+    int max_kicks = 32;                  //!< cuckoo path bound
+    std::uint64_t seed = 0xEC97;         //!< hash family seed
+};
+
+/**
+ * @tparam ValueT payload stored per key (e.g. a block of 8 PTEs).
+ */
+template <typename ValueT>
+class ElasticCuckooTable
+{
+  public:
+    /** A successful find: the payload plus its hardware location. */
+    struct FindResult
+    {
+        ValueT *value = nullptr;
+        int way = -1;
+        Addr slot_addr = invalid_addr;
+        bool in_old_generation = false;
+
+        explicit operator bool() const { return value != nullptr; }
+    };
+
+    /** Invoked whenever a key settles at a (possibly new) location. */
+    using MoveCallback = std::function<void(std::uint64_t key, int way)>;
+
+    ElasticCuckooTable(RegionAllocator &allocator,
+                       const CuckooConfig &config)
+        : alloc(allocator), cfg(config), rng(config.seed ^ 0xC0C0)
+    {
+        NECPT_ASSERT(cfg.ways >= 2 && cfg.ways <= HashFamily::max_ways);
+        std::uint64_t sm = cfg.seed;
+        for (int w = 0; w < cfg.ways; ++w)
+            hashes.push_back(HashFunction(splitmix64(sm)));
+        live = makeGeneration(cfg.initial_slots);
+    }
+
+    ~ElasticCuckooTable()
+    {
+        releaseGeneration(live);
+        if (old)
+            releaseGeneration(*old);
+    }
+
+    ElasticCuckooTable(const ElasticCuckooTable &) = delete;
+    ElasticCuckooTable &operator=(const ElasticCuckooTable &) = delete;
+
+    /** Register the OS callback for way updates (CWT maintenance). */
+    void setMoveCallback(MoveCallback cb) { on_move = std::move(cb); }
+
+    /**
+     * Insert or update @p key with @p value. Displaced entries are
+     * cuckoo-rehashed; the table resizes itself when needed.
+     */
+    void
+    insert(std::uint64_t key, const ValueT &value)
+    {
+        if (FindResult hit = find(key)) {
+            *hit.value = value;
+        } else {
+            homeless.emplace_back(key, value);
+            settle();
+        }
+        migrateSome();
+        if (!old && loadFactor() > cfg.resize_threshold)
+            startResize();
+    }
+
+    /** Look up @p key. */
+    FindResult
+    find(std::uint64_t key)
+    {
+        if (FindResult r = findIn(live, key, false))
+            return r;
+        if (old) {
+            if (FindResult r = findIn(*old, key, true))
+                return r;
+        }
+        return {};
+    }
+
+    /** Remove @p key. @return true when it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        if (eraseIn(live, key))
+            return true;
+        return old && eraseIn(*old, key);
+    }
+
+    /**
+     * Hardware probe plan: the slot addresses a walker must fetch to
+     * find @p key, restricted to ways in @p way_mask (bit w = way w).
+     * During a resize both generations are probed.
+     */
+    void
+    probeAddrs(std::uint64_t key, unsigned way_mask,
+               std::vector<Addr> &out) const
+    {
+        for (int w = 0; w < cfg.ways; ++w) {
+            if (!(way_mask & (1u << w)))
+                continue;
+            out.push_back(slotAddr(live, w, slotIndex(live, w, key)));
+            if (old)
+                out.push_back(slotAddr(*old, w, slotIndex(*old, w, key)));
+        }
+    }
+
+    /** Which way currently holds @p key (-1 when absent). */
+    int
+    wayOf(std::uint64_t key) const
+    {
+        auto *self = const_cast<ElasticCuckooTable *>(this);
+        FindResult r = self->find(key);
+        return r ? r.way : -1;
+    }
+
+    /// @name Capacity and accounting
+    /// @{
+    std::uint64_t size() const { return live.used + (old ? old->used : 0); }
+
+    double
+    loadFactor() const
+    {
+        const auto capacity = static_cast<double>(live.slots * cfg.ways);
+        return static_cast<double>(live.used) / capacity;
+    }
+
+    bool resizing() const { return old.has_value(); }
+
+    std::uint64_t
+    structureBytes() const
+    {
+        std::uint64_t bytes = live.slots * cfg.ways * cfg.slot_bytes;
+        if (old)
+            bytes += old->slots * cfg.ways * cfg.slot_bytes;
+        return bytes;
+    }
+
+    /** Cuckoo displacements observed (Section 4.4 staleness driver). */
+    std::uint64_t rehashMoves() const { return rehash_moves; }
+
+    /** Entries migrated by elastic resizes. */
+    std::uint64_t resizeMoves() const { return resize_moves; }
+
+    /** Completed resize starts. */
+    std::uint64_t resizeCount() const { return resizes; }
+
+    std::uint64_t slotsPerWay() const { return live.slots; }
+    int numWays() const { return cfg.ways; }
+    std::uint64_t slotBytes() const { return cfg.slot_bytes; }
+
+    /** Base address of live way @p w (tests / debugging). */
+    Addr wayBase(int w) const { return live.base[w]; }
+    /// @}
+
+    /** Force any in-flight resize to complete (used by tests). */
+    void
+    finishResize()
+    {
+        while (old)
+            migrateSome();
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        ValueT value{};
+        bool valid = false;
+    };
+
+    struct Generation
+    {
+        std::uint64_t slots = 0;
+        std::uint64_t used = 0;
+        std::vector<std::vector<Slot>> way_slots; //!< [way][slot]
+        std::vector<Addr> base;                   //!< per-way region base
+        std::uint64_t migrate_scan = 0;           //!< way-major scan index
+    };
+
+    Generation
+    makeGeneration(std::uint64_t slots)
+    {
+        Generation gen;
+        gen.slots = slots;
+        gen.way_slots.assign(cfg.ways, std::vector<Slot>(slots));
+        for (int w = 0; w < cfg.ways; ++w)
+            gen.base.push_back(alloc.allocRegion(slots * cfg.slot_bytes));
+        return gen;
+    }
+
+    void
+    releaseGeneration(Generation &gen)
+    {
+        for (std::size_t w = 0; w < gen.base.size(); ++w)
+            alloc.freeRegion(gen.base[w], gen.slots * cfg.slot_bytes);
+        gen.way_slots.clear();
+        gen.base.clear();
+    }
+
+    std::uint64_t
+    slotIndex(const Generation &gen, int way, std::uint64_t key) const
+    {
+        return hashes[way](key) % gen.slots;
+    }
+
+    Addr
+    slotAddr(const Generation &gen, int way, std::uint64_t idx) const
+    {
+        return gen.base[way] + idx * cfg.slot_bytes;
+    }
+
+    FindResult
+    findIn(Generation &gen, std::uint64_t key, bool is_old)
+    {
+        for (int w = 0; w < cfg.ways; ++w) {
+            const auto idx = slotIndex(gen, w, key);
+            Slot &slot = gen.way_slots[w][idx];
+            if (slot.valid && slot.key == key)
+                return {&slot.value, w, slotAddr(gen, w, idx), is_old};
+        }
+        return {};
+    }
+
+    bool
+    eraseIn(Generation &gen, std::uint64_t key)
+    {
+        for (int w = 0; w < cfg.ways; ++w) {
+            const auto idx = slotIndex(gen, w, key);
+            Slot &slot = gen.way_slots[w][idx];
+            if (slot.valid && slot.key == key) {
+                slot.valid = false;
+                --gen.used;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Cuckoo placement into the live generation, displacing entries
+     * along a bounded random-walk path. On failure the carried entry is
+     * parked on the homeless list and false is returned.
+     */
+    bool
+    tryPlace(std::uint64_t key, const ValueT &value)
+    {
+        std::uint64_t cur_key = key;
+        ValueT cur_value = value;
+        int last_way = -1;
+        for (int kick = 0; kick <= cfg.max_kicks; ++kick) {
+            for (int w = 0; w < cfg.ways; ++w) {
+                const auto idx = slotIndex(live, w, cur_key);
+                Slot &slot = live.way_slots[w][idx];
+                if (!slot.valid) {
+                    slot = {cur_key, cur_value, true};
+                    ++live.used;
+                    notifyMove(cur_key, w, kick > 0);
+                    return true;
+                }
+            }
+            int w;
+            do {
+                w = static_cast<int>(rng.below(cfg.ways));
+            } while (w == last_way && cfg.ways > 1);
+            const auto idx = slotIndex(live, w, cur_key);
+            Slot &slot = live.way_slots[w][idx];
+            std::swap(cur_key, slot.key);
+            std::swap(cur_value, slot.value);
+            notifyMove(slot.key, w, true);
+            last_way = w;
+        }
+        homeless.emplace_back(cur_key, cur_value);
+        return false;
+    }
+
+    /** Place every parked entry, growing the table as needed. */
+    void
+    settle()
+    {
+        while (!homeless.empty()) {
+            auto [key, value] = homeless.back();
+            homeless.pop_back();
+            if (!tryPlace(key, value)) {
+                // tryPlace parked the carried entry again; grow so the
+                // next round has double the space. Termination: capacity
+                // doubles every failure while |homeless| is bounded.
+                startResize();
+            }
+        }
+    }
+
+    void
+    notifyMove(std::uint64_t key, int way, bool was_displacement)
+    {
+        if (was_displacement)
+            ++rehash_moves;
+        if (on_move)
+            on_move(key, way);
+    }
+
+    /**
+     * Begin an elastic upsize: the live generation retires and a 2x
+     * generation becomes live. If a previous resize is still in flight,
+     * its remaining entries are drained to the homeless list first (a
+     * rare stop-the-world corner; the common path is gradual).
+     */
+    void
+    startResize()
+    {
+        if (old) {
+            for (auto &way : old->way_slots) {
+                for (Slot &slot : way) {
+                    if (slot.valid) {
+                        homeless.emplace_back(slot.key, slot.value);
+                        slot.valid = false;
+                        --old->used;
+                    }
+                }
+            }
+            releaseGeneration(*old);
+            old.reset();
+        }
+        Generation bigger = makeGeneration(live.slots * 2);
+        old.emplace(std::move(live));
+        live = std::move(bigger);
+        ++resizes;
+    }
+
+    /** Move a few entries from the retiring generation (gradual). */
+    void
+    migrateSome()
+    {
+        if (!old)
+            return;
+        int moved = 0;
+        const std::uint64_t total = old->slots * cfg.ways;
+        while (old->migrate_scan < total
+               && moved < cfg.migrate_per_insert) {
+            const auto way = old->migrate_scan / old->slots;
+            const auto idx = old->migrate_scan % old->slots;
+            ++old->migrate_scan;
+            Slot &slot = old->way_slots[way][idx];
+            if (slot.valid) {
+                const auto key = slot.key;
+                const auto value = slot.value;
+                slot.valid = false;
+                --old->used;
+                ++resize_moves;
+                ++moved;
+                if (!tryPlace(key, value)) {
+                    // Parked; grow and settle synchronously. startResize
+                    // drains what is left of the current old generation,
+                    // so the loop below terminates via the reset old.
+                    startResize();
+                    settle();
+                    return;
+                }
+            }
+        }
+        if (old->migrate_scan >= total) {
+            NECPT_ASSERT(old->used == 0);
+            releaseGeneration(*old);
+            old.reset();
+        }
+    }
+
+    RegionAllocator &alloc;
+    CuckooConfig cfg;
+    Rng rng;
+    std::vector<HashFunction> hashes;
+    Generation live;
+    std::optional<Generation> old;
+    MoveCallback on_move;
+    std::vector<std::pair<std::uint64_t, ValueT>> homeless;
+
+    std::uint64_t rehash_moves = 0;
+    std::uint64_t resize_moves = 0;
+    std::uint64_t resizes = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_PT_CUCKOO_HH

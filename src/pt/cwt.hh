@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Cuckoo Walk Tables (CWTs) — the software metadata that prunes ECPT
+ * walks (Sections 2.3, 3.2).
+ *
+ * There is one CWT per page size. We model the CWT as a dense,
+ * VA-indexed array of 4-bit section descriptors, materialized in 4KB
+ * chunks on first touch:
+ *   - PTE-CWT: a section is one 32KB block (the 8 consecutive 4KB
+ *     pages that share one PTE-ECPT entry); present => the block
+ *     exists in the PTE-ECPT and `way` says which way holds it.
+ *   - PMD-CWT: a section is a 2MB region; present => mapped by a 2MB
+ *     huge page (way = PMD-ECPT way of its block).
+ *   - PUD-CWT: a section is a 1GB region; same fields one level up.
+ *
+ * A Cuckoo Walk Cache entry tags one 4KB CWT chunk (8192 sections), so
+ * a single PMD-level entry reaches 16GB of VA and a PTE-level entry
+ * 256MB — the only caching granularity we found consistent with the
+ * hit rates the paper reports at 64GB footprints (Section 9.4: STC
+ * 99%, gCWC PUD/PMD 99%/86%, hCWC PTE 99% in Step 1 / 67% in Step 3).
+ *
+ * Guest CWT chunks live at guest-physical addresses and must be
+ * host-translated before they can be fetched — the Shortcut
+ * Translation Cache's reason to exist (Section 4.1).
+ */
+
+#ifndef NECPT_PT_CWT_HH
+#define NECPT_PT_CWT_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pt/cuckoo.hh"
+#include "pt/pte.hh"
+
+namespace necpt
+{
+
+/**
+ * Decoded 4-bit CWT section descriptor.
+ *
+ * Two exclusive variants share the nibble: a section mapped by a page
+ * of this CWT's size carries the ECPT way; an unmapped-at-this-size
+ * section instead records *which smaller sizes* exist inside it, so a
+ * single (high-reach) upper-level descriptor can pin the page size of
+ * a uniformly-mapped region without consulting lower CWT levels.
+ */
+struct CwtDescriptor
+{
+    bool present = false;     //!< region mapped by a page of this size
+    std::uint8_t way = 0;     //!< ECPT way holding it (present only)
+    bool smaller_4k = false;  //!< region contains 4KB mappings
+    bool smaller_2m = false;  //!< region contains 2MB mappings
+
+    bool hasSmaller() const { return smaller_4k || smaller_2m; }
+};
+
+/**
+ * One per-page-size Cuckoo Walk Table.
+ */
+class CuckooWalkTable
+{
+  public:
+    /** Sections per CWC-cacheable entry: a 1KB sub-block of a chunk
+     *  (the granularity that reproduces the Section-9.4 CWC hit rates
+     *  at paper-scale footprints). */
+    static constexpr int sections_per_entry = 2048;
+    /** CWT storage granularity: 4KB chunks materialized on demand. */
+    static constexpr int sections_per_chunk = 8192;
+    static constexpr std::uint64_t chunk_bytes = 4096;
+
+    /**
+     * @param allocator space source in this table's address space
+     * @param level which page size this CWT describes
+     * @param config nominal geometry (kept for Table-2 reporting)
+     */
+    CuckooWalkTable(RegionAllocator &allocator, PageSize level,
+                    const CuckooConfig &config);
+    ~CuckooWalkTable();
+
+    CuckooWalkTable(const CuckooWalkTable &) = delete;
+    CuckooWalkTable &operator=(const CuckooWalkTable &) = delete;
+
+    /** Mark the section containing @p va mapped at this size by @p way. */
+    void setPresent(Addr va, int way);
+
+    /** Clear the present bit of the section containing @p va. */
+    void clearPresent(Addr va);
+
+    /** Record that the section containing @p va holds pages of the
+     *  (smaller) size @p smaller. */
+    void setHasSmaller(Addr va, PageSize smaller);
+
+    /**
+     * Ground-truth descriptor for @p va. nullopt when no CWT chunk
+     * covers the region at all (nothing ever mapped there).
+     */
+    std::optional<CwtDescriptor> query(Addr va) const;
+
+    /**
+     * The key identifying the CWT chunk covering @p va — what the
+     * Cuckoo Walk Cache tags by.
+     */
+    std::uint64_t
+    entryKey(Addr va) const
+    {
+        return va >> entry_shift;
+    }
+
+    /**
+     * Physical addresses a hardware refill of the entry covering
+     * @p va must fetch (the descriptor line within the chunk).
+     */
+    void entryProbeAddrs(Addr va, std::vector<Addr> &out) const;
+
+    /** Section index of @p va within its storage chunk. */
+    int
+    sectionIndex(Addr va) const
+    {
+        return sectionOf(va);
+    }
+
+    /** No-op (dense CWTs never resize); kept for API compatibility. */
+    void finishResize() {}
+
+    PageSize level() const { return level_; }
+    int sectionShift() const { return section_shift; }
+    std::uint64_t structureBytes() const
+    {
+        return chunks.size() * chunk_bytes;
+    }
+    std::uint64_t entryCount() const { return chunks.size(); }
+
+  private:
+    struct Chunk
+    {
+        Addr base = invalid_addr;              //!< physical address
+        std::array<std::uint8_t, chunk_bytes> nibbles{};
+    };
+
+    int sectionOf(Addr va) const
+    {
+        return static_cast<int>((va >> section_shift)
+                                & (sections_per_chunk - 1));
+    }
+
+    Chunk &chunkOf(Addr va);
+    const Chunk *peekChunk(Addr va) const;
+
+    /** Read-modify-write of one section descriptor. */
+    void update(Addr va, const CwtDescriptor &d);
+
+    static std::uint8_t packNibble(const CwtDescriptor &d);
+    static CwtDescriptor unpackNibble(std::uint8_t nibble);
+
+    std::uint64_t chunkKey(Addr va) const
+    {
+        return va >> chunk_shift;
+    }
+
+    RegionAllocator &alloc;
+    PageSize level_;
+    int section_shift;
+    int entry_shift;
+    int chunk_shift;
+    std::unordered_map<std::uint64_t, Chunk> chunks;
+};
+
+} // namespace necpt
+
+#endif // NECPT_PT_CWT_HH

@@ -1,0 +1,170 @@
+#include "pt/ecpt.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+EcptPageTable::EcptPageTable(RegionAllocator &allocator,
+                             const EcptConfig &config)
+    : cfg(config)
+{
+    std::uint64_t seed = cfg.seed;
+    for (int s = 0; s < num_page_sizes; ++s) {
+        const auto size = all_page_sizes[s];
+        CuckooConfig table_cfg;
+        table_cfg.ways = cfg.ways;
+        table_cfg.initial_slots = cfg.initial_slots[s];
+        table_cfg.slot_bytes = line_bytes;
+        table_cfg.resize_threshold = cfg.resize_threshold;
+        table_cfg.seed = splitmix64(seed);
+        tables[s] = std::make_unique<ElasticCuckooTable<PteBlock>>(
+            allocator, table_cfg);
+
+        // The guest has no PTE-level CWT; the host has one only when
+        // the design asks for it (Section 4.2).
+        if (size != PageSize::Page4K || cfg.has_pte_cwt) {
+            CuckooConfig cwt_cfg;
+            cwt_cfg.ways = cfg.cwt_ways;
+            cwt_cfg.initial_slots = cfg.cwt_initial_slots[s];
+            cwt_cfg.slot_bytes = cfg.cwt_slot_bytes;
+            cwt_cfg.seed = splitmix64(seed);
+            cwts[s] = std::make_unique<CuckooWalkTable>(allocator, size,
+                                                        cwt_cfg);
+        }
+
+        // Keep CWT way bits coherent with cuckoo displacements and
+        // elastic-resize migrations.
+        tables[s]->setMoveCallback(
+            [this, size](std::uint64_t key, int way) {
+                noteBlockPlacement(size, key, way);
+            });
+    }
+}
+
+void
+EcptPageTable::noteBlockPlacement(PageSize size, std::uint64_t key,
+                                  int way)
+{
+    CuckooWalkTable *cwt = cwtOf(size);
+    if (!cwt)
+        return;
+    // The block covers 8 consecutive pages; each of its *mapped* pages'
+    // sections must have their way bits refreshed.
+    const Addr block_base = (key << 3) << pageShift(size);
+    auto hit = tableOf(size).find(key);
+    if (!hit)
+        return;
+    for (int j = 0; j < PteBlock::entries; ++j) {
+        if (hit.value->pte[j].present()) {
+            const Addr va = block_base
+                + (static_cast<Addr>(j) << pageShift(size));
+            cwt->setPresent(va, way);
+        }
+    }
+}
+
+void
+EcptPageTable::map(Addr va, Addr pa, PageSize size)
+{
+    NECPT_ASSERT(pageOffset(va, size) == 0);
+    NECPT_ASSERT(pageOffset(pa, size) == 0);
+    auto &table = tableOf(size);
+    const auto key = blockKey(va, size);
+    const int sub = static_cast<int>(pageNumber(va, size) & 0x7);
+
+    PteBlock block;
+    if (auto hit = table.find(key))
+        block = *hit.value;
+    const bool fresh = !block.pte[sub].present();
+    block.pte[sub] = Pte::make(pa);
+    table.insert(key, block);
+    if (fresh)
+        ++mapped[static_cast<int>(size)];
+
+    // CWT maintenance: present bit at this size...
+    if (CuckooWalkTable *cwt = cwtOf(size)) {
+        const int way = table.wayOf(key);
+        NECPT_ASSERT(way >= 0);
+        cwt->setPresent(va, way);
+    }
+    // ...and which-smaller-size bits at every larger level (Figure
+    // 14's pruning depends on these).
+    for (int larger = static_cast<int>(size) + 1;
+         larger < num_page_sizes; ++larger) {
+        if (CuckooWalkTable *cwt = cwts[larger].get())
+            cwt->setHasSmaller(va, size);
+    }
+}
+
+void
+EcptPageTable::unmap(Addr va, PageSize size)
+{
+    auto &table = tableOf(size);
+    const auto key = blockKey(va, size);
+    const int sub = static_cast<int>(pageNumber(va, size) & 0x7);
+    auto hit = table.find(key);
+    if (!hit || !hit.value->pte[sub].present())
+        return;
+    hit.value->pte[sub].clear();
+    --mapped[static_cast<int>(size)];
+    if (hit.value->empty()) {
+        table.erase(key);
+        if (CuckooWalkTable *cwt = cwtOf(size))
+            cwt->clearPresent(va);
+    }
+}
+
+EcptPageTable::SizedResult
+EcptPageTable::lookupSized(Addr va, PageSize size) const
+{
+    auto &table = const_cast<ElasticCuckooTable<PteBlock> &>(tableOf(size));
+    const auto key = blockKey(va, size);
+    auto hit = table.find(key);
+    if (!hit)
+        return {};
+    const int sub = static_cast<int>(pageNumber(va, size) & 0x7);
+    const Pte &pte = hit.value->pte[sub];
+    if (!pte.present())
+        return {};
+    SizedResult result;
+    result.translation = {pte.frameBase(), size, true};
+    result.way = hit.way;
+    result.slot_addr = hit.slot_addr;
+    return result;
+}
+
+Translation
+EcptPageTable::lookup(Addr va) const
+{
+    for (const auto size : all_page_sizes) {
+        const SizedResult r = lookupSized(va, size);
+        if (r.translation.valid)
+            return r.translation;
+    }
+    return {};
+}
+
+std::uint64_t
+EcptPageTable::structureBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (int s = 0; s < num_page_sizes; ++s) {
+        bytes += tables[s]->structureBytes();
+        if (cwts[s])
+            bytes += cwts[s]->structureBytes();
+    }
+    return bytes;
+}
+
+std::uint64_t
+EcptPageTable::cwtBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (int s = 0; s < num_page_sizes; ++s)
+        if (cwts[s])
+            bytes += cwts[s]->structureBytes();
+    return bytes;
+}
+
+} // namespace necpt

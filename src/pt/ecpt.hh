@@ -1,0 +1,184 @@
+/**
+ * @file
+ * A complete Elastic Cuckoo Page Table for one address space: one d-ary
+ * elastic cuckoo table per page size (PTE-, PMD-, PUD-ECPT) plus the
+ * matching Cuckoo Walk Tables (Sections 2.3 and 3).
+ *
+ * Both the guest and the host instantiate this class (gECPT/gCWT and
+ * hECPT/hCWT); the difference is the address space their regions are
+ * carved from and whether a PTE-level CWT exists (the guest never has
+ * one — Section 4.2; the host has one only in the Advanced design).
+ */
+
+#ifndef NECPT_PT_ECPT_HH
+#define NECPT_PT_ECPT_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pt/cuckoo.hh"
+#include "pt/cwt.hh"
+#include "pt/pte.hh"
+
+namespace necpt
+{
+
+/** A cache-line ECPT slot payload: 8 consecutive translations. */
+struct PteBlock
+{
+    static constexpr int entries = 8;
+    std::array<Pte, entries> pte{};
+
+    bool
+    empty() const
+    {
+        for (const Pte &p : pte)
+            if (p.present())
+                return false;
+        return true;
+    }
+};
+
+/** Geometry of a full ECPT (tables + CWTs) for one address space. */
+struct EcptConfig
+{
+    int ways = 3;
+    /** Initial slots per way, per page size (Table 2). */
+    std::array<std::uint64_t, num_page_sizes> initial_slots{
+        16384, 16384, 8192};
+    /** Load factor that triggers an elastic upsize. */
+    double resize_threshold = 0.6;
+    /**
+     * Nominal CWT geometry as Table 2 states it (2 ways;
+     * 4096/4096/2048 entries). The modeled CWTs are dense chunked
+     * arrays (see pt/cwt.hh) and size themselves on demand; these
+     * numbers are kept for Table-2 reporting.
+     */
+    int cwt_ways = 2;
+    std::array<std::uint64_t, num_page_sizes> cwt_initial_slots{
+        4096, 4096, 2048};
+    std::uint64_t cwt_slot_bytes = 64;
+    /**
+     * Whether a PTE-level CWT is maintained. False for guests and for
+     * the Plain design's host; true for the Advanced design's host
+     * (Section 4.2).
+     */
+    bool has_pte_cwt = false;
+    std::uint64_t seed = 0xEC9700;
+};
+
+/**
+ * Elastic cuckoo page table + cuckoo walk tables for one address space.
+ */
+class EcptPageTable
+{
+  public:
+    EcptPageTable(RegionAllocator &allocator, const EcptConfig &config);
+
+    /** Install va -> pa for a page of @p size, maintaining the CWTs. */
+    void map(Addr va, Addr pa, PageSize size);
+
+    /** Remove the mapping of the page containing @p va. */
+    void unmap(Addr va, PageSize size);
+
+    /** Functional lookup across all page sizes. */
+    Translation lookup(Addr va) const;
+
+    /** Lookup restricted to one page size; also reports the way. */
+    struct SizedResult
+    {
+        Translation translation;
+        int way = -1;
+        Addr slot_addr = invalid_addr;
+    };
+    SizedResult lookupSized(Addr va, PageSize size) const;
+
+    /** The block key for @p va in the size-@p size table. */
+    std::uint64_t
+    blockKey(Addr va, PageSize size) const
+    {
+        return pageNumber(va, size) >> 3;
+    }
+
+    /**
+     * Hardware probe plan for the size-@p size table: slot addresses to
+     * fetch for @p va, restricted to @p way_mask.
+     */
+    void
+    probeAddrs(Addr va, PageSize size, unsigned way_mask,
+               std::vector<Addr> &out) const
+    {
+        tableOf(size).probeAddrs(blockKey(va, size), way_mask, out);
+    }
+
+    /** All-ways mask for this table's geometry. */
+    unsigned allWays() const { return (1u << cfg.ways) - 1; }
+
+    /// @name Component access (walkers, OS, statistics)
+    /// @{
+    ElasticCuckooTable<PteBlock> &tableOf(PageSize size)
+    {
+        return *tables[static_cast<int>(size)];
+    }
+    const ElasticCuckooTable<PteBlock> &tableOf(PageSize size) const
+    {
+        return *tables[static_cast<int>(size)];
+    }
+    CuckooWalkTable *cwtOf(PageSize size)
+    {
+        return cwts[static_cast<int>(size)].get();
+    }
+    const CuckooWalkTable *cwtOf(PageSize size) const
+    {
+        return cwts[static_cast<int>(size)].get();
+    }
+    /// @}
+
+    /** Does this table maintain a PTE-level CWT? */
+    bool hasPteCwt() const { return cfg.has_pte_cwt; }
+
+    /**
+     * Complete all in-flight elastic resizes (tables and CWTs) — what
+     * the OS's background migration finishes during idle periods.
+     */
+    void
+    quiesce()
+    {
+        for (int s = 0; s < num_page_sizes; ++s) {
+            tables[s]->finishResize();
+            if (cwts[s])
+                cwts[s]->finishResize();
+        }
+    }
+
+    /** Bytes of all tables + CWTs (Section 9.5 accounting). */
+    std::uint64_t structureBytes() const;
+
+    /** Bytes of CWTs alone. */
+    std::uint64_t cwtBytes() const;
+
+    /** Total mapped pages of @p size. */
+    std::uint64_t mappingCount(PageSize size) const
+    {
+        return mapped[static_cast<int>(size)];
+    }
+
+    const EcptConfig &config() const { return cfg; }
+
+  private:
+    /** Refresh the CWT way bits after a block moved to @p way. */
+    void noteBlockPlacement(PageSize size, std::uint64_t key, int way);
+
+    EcptConfig cfg;
+    std::array<std::unique_ptr<ElasticCuckooTable<PteBlock>>,
+               num_page_sizes> tables;
+    std::array<std::unique_ptr<CuckooWalkTable>, num_page_sizes> cwts;
+    std::array<std::uint64_t, num_page_sizes> mapped{};
+};
+
+} // namespace necpt
+
+#endif // NECPT_PT_ECPT_HH

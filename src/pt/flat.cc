@@ -1,0 +1,43 @@
+#include "pt/flat.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+FlatPageTable::FlatPageTable(RegionAllocator &allocator,
+                             std::uint64_t covered_bytes)
+{
+    bytes = (covered_bytes >> pageShift(PageSize::Page4K)) * pte_bytes;
+    base = allocator.allocRegion(bytes);
+}
+
+void
+FlatPageTable::map(Addr gpa, Addr hpa, PageSize size)
+{
+    NECPT_ASSERT(pageOffset(gpa, size) == 0);
+    entries[gpa >> pageShift(PageSize::Page4K)] = {hpa, size, true};
+}
+
+void
+FlatPageTable::unmap(Addr gpa, PageSize size)
+{
+    entries.erase(pageBase(gpa, size) >> pageShift(PageSize::Page4K));
+}
+
+Translation
+FlatPageTable::lookup(Addr gpa) const
+{
+    // Probe from the largest page's base down to the 4KB base: a huge
+    // mapping is recorded once at its base frame number.
+    for (int s = num_page_sizes - 1; s >= 0; --s) {
+        const auto size = all_page_sizes[s];
+        const Addr page = pageBase(gpa, size);
+        auto it = entries.find(page >> pageShift(PageSize::Page4K));
+        if (it != entries.end() && it->second.size == size)
+            return it->second;
+    }
+    return {};
+}
+
+} // namespace necpt

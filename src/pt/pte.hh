@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Page-table entry and translation result types shared by every
+ * page-table organization.
+ */
+
+#ifndef NECPT_PT_PTE_HH
+#define NECPT_PT_PTE_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/**
+ * A packed 8-byte page-table entry: physical frame base plus flag bits.
+ *
+ * Bit 0 is the present bit; bits 12..51 hold the frame number — the
+ * x86-64-like layout all our organizations share (Section 7 notes
+ * per-entry usage stays identical across organizations).
+ */
+class Pte
+{
+  public:
+    Pte() : raw(0) {}
+
+    static Pte
+    make(Addr frame_base, bool present = true)
+    {
+        Pte pte;
+        pte.raw = (frame_base & frame_mask) | (present ? present_bit : 0);
+        return pte;
+    }
+
+    bool present() const { return raw & present_bit; }
+    Addr frameBase() const { return raw & frame_mask; }
+    std::uint64_t rawValue() const { return raw; }
+
+    void clear() { raw = 0; }
+
+  private:
+    static constexpr std::uint64_t present_bit = 1ULL;
+    static constexpr std::uint64_t frame_mask = mask(52) & ~mask(12);
+
+    std::uint64_t raw;
+};
+
+/** The outcome of any software page-table lookup. */
+struct Translation
+{
+    Addr pa = invalid_addr;   //!< physical base of the mapped page
+    PageSize size = PageSize::Page4K;
+    bool valid = false;
+
+    /** Translate the full address @p va using this page mapping. */
+    Addr
+    apply(Addr va) const
+    {
+        return pa + pageOffset(va, size);
+    }
+};
+
+/**
+ * Interface for carving physical-address-space regions for page-table
+ * structures. Implemented by the OS/hypervisor allocators in src/os.
+ */
+class RegionAllocator
+{
+  public:
+    virtual ~RegionAllocator() = default;
+
+    /** Allocate @p bytes of contiguous space; returns the base address. */
+    virtual Addr allocRegion(std::uint64_t bytes) = 0;
+
+    /** Release a region previously handed out by allocRegion(). */
+    virtual void freeRegion(Addr base, std::uint64_t bytes) = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_PT_PTE_HH

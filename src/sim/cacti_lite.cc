@@ -1,0 +1,112 @@
+#include "sim/cacti_lite.hh"
+
+namespace necpt
+{
+
+namespace
+{
+// 22nm-calibrated constants (fit against Cacti 6.5 numbers of the kind
+// Table 3 reports for these very small SRAM structures).
+constexpr double area_fixed_mm2 = 0.002;   //!< decoders/comparators
+constexpr double area_per_byte = 2.4e-6;
+constexpr double area_per_extra_port = 0.002;
+constexpr double power_fixed_mw = 0.2;     //!< leakage + clocking
+constexpr double power_per_byte = 0.0013;
+constexpr double power_per_port_byte = 0.0015;
+} // namespace
+
+AreaPower
+CactiLite::estimate(const SramStructure &s)
+{
+    AreaPower ap;
+    const double bytes = static_cast<double>(s.bytes);
+    const int extra_ports = s.ports > 1 ? s.ports - 1 : 0;
+    ap.area_mm2 = area_fixed_mm2 + area_per_byte * bytes
+        + area_per_extra_port * extra_ports;
+    ap.power_mw = power_fixed_mw + power_per_byte * bytes
+        + power_per_port_byte * bytes * extra_ports;
+    return ap;
+}
+
+AreaPower
+CactiLite::estimate(const std::vector<SramStructure> &structures)
+{
+    AreaPower total;
+    for (const SramStructure &s : structures) {
+        const AreaPower ap = estimate(s);
+        total.area_mm2 += ap.area_mm2;
+        total.power_mw += ap.power_mw;
+    }
+    return total;
+}
+
+std::uint64_t
+totalBytes(const std::vector<SramStructure> &structures)
+{
+    std::uint64_t bytes = 0;
+    for (const SramStructure &s : structures)
+        bytes += s.bytes;
+    return bytes;
+}
+
+std::vector<SramStructure>
+nestedRadixMmuStructures()
+{
+    // 1680 bytes total (Section 8).
+    return {
+        {"PWC (3 levels x 32)", 768, 1},
+        {"NPWC (5 levels x 16)", 640, 1},
+        {"NTLB (24 entries)", 272, 1},
+    };
+}
+
+std::vector<SramStructure>
+nestedEcptMmuStructures()
+{
+    // 1488 bytes total; the CWCs are probed in parallel per walk
+    // phase, hence multi-ported.
+    return {
+        {"gCWC (16 PMD + 2 PUD)", 288, 3},
+        {"hCWC Step-1 (4 PTE)", 64, 3},
+        {"hCWC Step-3 (16PTE+4PMD+2PUD)", 352, 3},
+        {"STC (10 entries)", 160, 1},
+        {"gCR3/hCR3 register files", 144, 1},
+        {"walk state registers", 480, 1},
+    };
+}
+
+std::vector<SramStructure>
+nestedHybridMmuStructures()
+{
+    // 1408 bytes; the hybrid hCWC serves one (row-sequential) host
+    // translation at a time, so a single port suffices.
+    return {
+        {"hCWC (16PTE+16PMD+2PUD)", 544, 1},
+        {"PWC (16 entries)", 128, 1},
+        {"NTLB (24 entries)", 272, 1},
+        {"hCR3 register file", 72, 1},
+        {"walk state registers", 392, 1},
+    };
+}
+
+std::vector<SramStructure>
+nativeRadixMmuStructures()
+{
+    // 768 bytes.
+    return {
+        {"PWC (3 levels x 32)", 768, 1},
+    };
+}
+
+std::vector<SramStructure>
+nativeEcptMmuStructures()
+{
+    // 672 bytes.
+    return {
+        {"CWC (16 PMD + 2 PUD)", 288, 3},
+        {"CR3 register file", 72, 1},
+        {"walk state registers", 312, 1},
+    };
+}
+
+} // namespace necpt

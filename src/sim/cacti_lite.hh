@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CactiLite: a small analytical SRAM area/power model standing in for
+ * Cacti 6.5 at 22nm (Table 3). It captures the first-order effects:
+ * per-structure fixed overhead (decoders, comparators, sense amps),
+ * per-byte cell area, and a superlinear cost in read ports — the
+ * reason the Nested-ECPT MMU caches, though smaller in bytes, spend
+ * more area/power than the radix ones (they are probed in parallel).
+ */
+
+#ifndef NECPT_SIM_CACTI_LITE_HH
+#define NECPT_SIM_CACTI_LITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace necpt
+{
+
+/** One MMU SRAM structure. */
+struct SramStructure
+{
+    std::string name;
+    std::uint64_t bytes;
+    int ports = 1; //!< simultaneous read ports (parallel probes)
+};
+
+/** Area/power estimate for a set of structures. */
+struct AreaPower
+{
+    double area_mm2 = 0;
+    double power_mw = 0;
+};
+
+/**
+ * 22nm-calibrated analytical model.
+ */
+class CactiLite
+{
+  public:
+    /** Estimate one structure. */
+    static AreaPower estimate(const SramStructure &structure);
+
+    /** Estimate a full MMU configuration. */
+    static AreaPower estimate(const std::vector<SramStructure> &structures);
+};
+
+/** The Table-3 MMU structure inventories. */
+std::vector<SramStructure> nestedRadixMmuStructures();
+std::vector<SramStructure> nestedEcptMmuStructures();
+std::vector<SramStructure> nestedHybridMmuStructures();
+std::vector<SramStructure> nativeRadixMmuStructures();
+std::vector<SramStructure> nativeEcptMmuStructures();
+
+/** Total bytes of a structure list. */
+std::uint64_t totalBytes(const std::vector<SramStructure> &structures);
+
+} // namespace necpt
+
+#endif // NECPT_SIM_CACTI_LITE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Result export: CSV and JSON serialization of SimResult, so external
+ * tooling (plots, regression dashboards) can consume simulation
+ * output without parsing bench text.
+ */
+
+#ifndef NECPT_SIM_REPORT_HH
+#define NECPT_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace necpt
+{
+
+/** Write the CSV header row matching writeCsvRow(). */
+void writeCsvHeader(std::FILE *out);
+
+/** Write one result as a CSV row. */
+void writeCsvRow(std::FILE *out, const SimResult &result);
+
+/** Serialize one result as a JSON object. */
+std::string toJson(const SimResult &result);
+
+/** Write a whole result set as CSV to @p path. @return success. */
+bool writeCsvFile(const std::string &path,
+                  const std::vector<SimResult> &results);
+
+} // namespace necpt
+
+#endif // NECPT_SIM_REPORT_HH

@@ -1,0 +1,356 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "walk/baselines.hh"
+#include "walk/hybrid.hh"
+#include "walk/native_ecpt.hh"
+#include "walk/native_radix.hh"
+#include "walk/nested_ecpt.hh"
+#include "walk/nested_hpt.hh"
+#include "walk/nested_radix.hh"
+#include "walk/shadow.hh"
+
+namespace necpt
+{
+
+Simulator::Simulator(const ExperimentConfig &config,
+                     const SimParams &params_in)
+    : cfg(config), params(params_in)
+{
+    NECPT_ASSERT(params.cores >= 1 && params.cores <= 8);
+}
+
+std::unique_ptr<Walker>
+Simulator::makeWalker(int core)
+{
+    switch (cfg.walker) {
+      case WalkerKind::NativeRadix:
+        return std::make_unique<NativeRadixWalker>(*sys, *mem, core);
+      case WalkerKind::NestedRadix:
+        return std::make_unique<NestedRadixWalker>(*sys, *mem, core);
+      case WalkerKind::NativeEcpt:
+        return std::make_unique<NativeEcptWalker>(*sys, *mem, core);
+      case WalkerKind::NestedEcpt:
+        return std::make_unique<NestedEcptWalker>(*sys, *mem, core,
+                                                  cfg.features);
+      case WalkerKind::NestedHybrid:
+        return std::make_unique<HybridWalker>(*sys, *mem, core);
+      case WalkerKind::AgilePagingIdeal:
+        return std::make_unique<AgilePagingWalker>(*sys, *mem, core);
+      case WalkerKind::PomTlb:
+        if (!pom)
+            pom = std::make_unique<PomTlb>(sys->hostPool());
+        return std::make_unique<PomTlbWalker>(*sys, *mem, core, *pom);
+      case WalkerKind::FlatNested:
+        return std::make_unique<FlatNestedWalker>(*sys, *mem, core);
+      case WalkerKind::ShadowPaging:
+        return std::make_unique<ShadowPagingWalker>(*sys, *mem, core);
+      case WalkerKind::NestedHpt:
+        return std::make_unique<NestedHptWalker>(*sys, *mem, core);
+    }
+    panic("unknown WalkerKind");
+}
+
+void
+Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
+{
+    SystemConfig scfg = cfg.system;
+    scfg.seed = params.seed;
+    // Size the physical pools to the workload (the Table-2 machine has
+    // 80GB; we only model what the scaled footprint needs). Multi-core
+    // mode runs one instance per core.
+    const std::uint64_t guest_need = alignUp(
+        footprint * 2 * static_cast<std::uint64_t>(params.cores)
+            + (1ULL << 30),
+        1ULL << 30);
+    if (scfg.guest_phys_bytes < guest_need)
+        scfg.guest_phys_bytes = guest_need;
+    if (scfg.host_phys_bytes < guest_need + (2ULL << 30))
+        scfg.host_phys_bytes = guest_need + (2ULL << 30);
+    // Coverage is app-dependent (Section 9.1 / Figures 12, 14).
+    scfg.guest_thp_coverage = appGuestThpCoverage(app);
+    scfg.host_thp_coverage = appHostThpCoverage(app);
+
+    sys = std::make_unique<NestedSystem>(scfg);
+    mem = std::make_unique<MemoryHierarchy>(cfg.memory, params.cores);
+    tlb.clear();
+    walkers.clear();
+    for (int core = 0; core < params.cores; ++core) {
+        tlb.push_back(std::make_unique<TlbHierarchy>(cfg.tlb));
+        walkers.push_back(makeWalker(core));
+    }
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::resetStats()
+{
+    mem->resetStats();
+    for (auto &t : tlb)
+        t->resetStats();
+    for (auto &w : walkers)
+        w->stats().reset();
+    if (pom)
+        pom->resetStats();
+}
+
+SimResult
+Simulator::run(const std::string &app)
+{
+    const auto footprint =
+        makeWorkload(app, params.scale_denominator)->info()
+            .footprint_bytes;
+    return runWith(app,
+                   [&](std::uint64_t seed) {
+                       return makeWorkload(
+                           app, params.scale_denominator, seed);
+                   },
+                   footprint);
+}
+
+SimResult
+Simulator::runWith(const std::string &label,
+                   const WorkloadFactory &factory,
+                   std::uint64_t footprint_bytes)
+{
+    buildMachine(footprint_bytes, label);
+
+    /** Per-core execution state. */
+    struct CoreState
+    {
+        std::unique_ptr<Workload> workload;
+        double cycle = 0.0;
+        std::uint64_t instructions = 0;
+        std::uint64_t accesses = 0;
+        double measure_start_cycle = 0.0;
+        std::uint64_t measure_start_instr = 0;
+    };
+
+    std::vector<CoreState> core_state(params.cores);
+    for (int core = 0; core < params.cores; ++core) {
+        core_state[core].workload =
+            factory(0xB0B + static_cast<std::uint64_t>(core));
+        core_state[core].workload->setup(*sys);
+    }
+    if (params.prefault)
+        sys->prefaultAll();
+
+    const std::uint64_t total =
+        params.warmup_accesses + params.measure_accesses;
+    std::uint64_t remaining =
+        total * static_cast<std::uint64_t>(params.cores);
+    bool stats_reset = params.warmup_accesses == 0;
+    if (stats_reset)
+        sys->quiesce();
+
+    while (remaining > 0) {
+        // Advance the core with the smallest local clock (keeps the
+        // shared L3/DRAM access stream causally ordered).
+        int core = -1;
+        double min_cycle = 0;
+        for (int c = 0; c < params.cores; ++c) {
+            if (core_state[c].accesses >= total)
+                continue;
+            if (core < 0 || core_state[c].cycle < min_cycle) {
+                core = c;
+                min_cycle = core_state[c].cycle;
+            }
+        }
+        NECPT_ASSERT(core >= 0);
+        CoreState &cs = core_state[core];
+
+        if (cs.accesses == params.warmup_accesses && !stats_reset) {
+            // Warm-up fault-ins may have left elastic resizes in
+            // flight; background migration finishes them before the
+            // measured region (Section 8 steady state). Reset stats
+            // when the first core crosses the boundary.
+            sys->quiesce();
+            resetStats();
+            for (auto &other : core_state) {
+                other.measure_start_cycle = other.cycle;
+                other.measure_start_instr = other.instructions;
+            }
+            stats_reset = true;
+        }
+
+        const MemAccess access = cs.workload->next();
+        sys->ensureResident(access.vaddr);
+
+        cs.cycle += params.base_cpi * access.inst_gap;
+        cs.instructions += access.inst_gap + 1;
+
+        // Address translation (serializes the access).
+        auto tlb_result = tlb[core]->lookup(access.vaddr);
+        Translation translation = tlb_result.translation;
+        cs.cycle += static_cast<double>(tlb_result.latency);
+        if (!tlb_result.hit) {
+            const WalkResult walk = walkers[core]->translate(
+                access.vaddr, static_cast<Cycles>(cs.cycle));
+            cs.cycle += static_cast<double>(walk.latency);
+            translation = walk.translation;
+            tlb[core]->install(access.vaddr, translation);
+        }
+
+        // The data access itself; OoO hides most of its latency.
+        const Addr hpa = translation.apply(access.vaddr);
+        const AccessResult data = mem->access(
+            hpa, static_cast<Cycles>(cs.cycle), Requester::Core, core);
+        cs.cycle += static_cast<double>(data.latency)
+            * params.data_exposure;
+
+        ++cs.accesses;
+        --remaining;
+    }
+
+    SimResult result;
+    result.config = cfg.name;
+    result.app = label;
+    // Execution time: the mean measured-core interval (cores run the
+    // same length of trace; the mean is robust to tail skew).
+    double cycles_sum = 0;
+    std::uint64_t instr_sum = 0;
+    for (const CoreState &cs : core_state) {
+        cycles_sum += cs.cycle - cs.measure_start_cycle;
+        instr_sum += cs.instructions - cs.measure_start_instr;
+    }
+    result.cycles =
+        static_cast<Cycles>(cycles_sum / params.cores);
+    result.instructions = instr_sum;
+    fillResult(result);
+    return result;
+}
+
+void
+Simulator::fillResult(SimResult &result)
+{
+    // Aggregate walker statistics across cores.
+    WalkerStats ws;
+    for (const auto &w : walkers) {
+        const WalkerStats &s = w->stats();
+        ws.walks.inc(s.walks.value());
+        ws.mmu_requests.inc(s.mmu_requests.value());
+        ws.busy_cycles += s.busy_cycles;
+        for (int k = 0; k < 4; ++k) {
+            ws.guest_kind[k].inc(s.guest_kind[k].value());
+            ws.host_kind[k].inc(s.host_kind[k].value());
+        }
+        for (int i = 0; i < 3; ++i) {
+            ws.step_sum[i] += s.step_sum[i];
+            ws.step_cnt[i] += s.step_cnt[i];
+        }
+    }
+    result.mmu_busy_cycles = ws.busy_cycles;
+    result.walks = ws.walks.value();
+    result.mmu_requests = ws.mmu_requests.value();
+    result.walk_latency = walkers[0]->stats().walk_latency;
+
+    std::uint64_t l1m = 0, l2m = 0;
+    for (const auto &t : tlb) {
+        l1m += t->l1Stats().misses();
+        l2m += t->l2Stats().misses();
+    }
+    result.l1_tlb_misses = l1m;
+    result.l2_tlb_misses = l2m;
+
+    const double ki = static_cast<double>(result.instructions) / 1000.0;
+    if (ki > 0) {
+        result.mmu_rpki = static_cast<double>(result.mmu_requests) / ki;
+        std::uint64_t l2_misses = 0, l2_mmu_misses = 0;
+        for (int c = 0; c < static_cast<int>(tlb.size()); ++c) {
+            l2_misses += mem->l2(c).stats(Requester::Core).misses()
+                + mem->l2(c).stats(Requester::Mmu).misses();
+            l2_mmu_misses += mem->l2(c).stats(Requester::Mmu).misses();
+        }
+        const auto &l3_core = mem->l3().stats(Requester::Core);
+        const auto &l3_mmu = mem->l3().stats(Requester::Mmu);
+        result.l2_mpki = static_cast<double>(l2_misses) / ki;
+        result.l3_mpki = static_cast<double>(l3_core.misses()
+                                             + l3_mmu.misses()) / ki;
+        result.mmu_l2_misses_pki =
+            static_cast<double>(l2_mmu_misses) / ki;
+    }
+    result.avg_mshrs = mem->avgMshrsInUse();
+    result.max_mshrs = mem->maxMshrsInUse();
+    result.dram_row_hit_rate = mem->dram().rowHitRate();
+
+    // Walk-kind fractions (Figure 14).
+    std::uint64_t gtotal = 0, htotal = 0;
+    for (int k = 0; k < 4; ++k) {
+        gtotal += ws.guest_kind[k].value();
+        htotal += ws.host_kind[k].value();
+    }
+    for (int k = 0; k < 4; ++k) {
+        result.guest_kind_frac[k] =
+            gtotal ? static_cast<double>(ws.guest_kind[k].value())
+                    / static_cast<double>(gtotal) : 0.0;
+        result.host_kind_frac[k] =
+            htotal ? static_cast<double>(ws.host_kind[k].value())
+                    / static_cast<double>(htotal) : 0.0;
+    }
+    for (int s = 0; s < 3; ++s)
+        result.step_avg[s] = ws.avgStepAccesses(s);
+
+    // Nested-ECPT cache introspection (Section 9.4, Figure 12); core 0
+    // is representative (cores run the same workload).
+    if (auto *necpt_walker =
+            dynamic_cast<NestedEcptWalker *>(walkers[0].get())) {
+        result.stc_hit_rate =
+            necpt_walker->shortcutCache().stats().rate();
+        result.gcwc_pud_hit =
+            necpt_walker->guestCwc().stats(PageSize::Page1G).rate();
+        result.gcwc_pmd_hit =
+            necpt_walker->guestCwc().stats(PageSize::Page2M).rate();
+        result.hcwc_pud_hit =
+            necpt_walker->hostCwcStep3().stats(PageSize::Page1G).rate();
+        result.hcwc_pmd_hit =
+            necpt_walker->hostCwcStep3().stats(PageSize::Page2M).rate();
+        result.hcwc_pte_step1_hit =
+            necpt_walker->hostCwcStep1().stats(PageSize::Page4K).rate();
+        result.hcwc_pte_step3_hit =
+            necpt_walker->hostCwcStep3().stats(PageSize::Page4K).rate();
+        result.hcwc_pte_step3_accesses =
+            necpt_walker->hostCwcStep3()
+                .stats(PageSize::Page4K)
+                .accesses();
+        const auto &ctl = necpt_walker->adaptiveController();
+        const auto &pte_hist = ctl.pteMonitor().history();
+        const auto &pmd_hist = ctl.pmdMonitor().history();
+        if (!pte_hist.empty()) {
+            double sum = 0;
+            for (double r : pte_hist)
+                sum += r;
+            result.adaptive_pte_rate =
+                sum / static_cast<double>(pte_hist.size());
+        } else {
+            result.adaptive_pte_rate = result.hcwc_pte_step3_hit;
+        }
+        if (!pmd_hist.empty()) {
+            double sum = 0;
+            for (double r : pmd_hist)
+                sum += r;
+            result.adaptive_pmd_rate =
+                sum / static_cast<double>(pmd_hist.size());
+        } else {
+            result.adaptive_pmd_rate = result.hcwc_pmd_hit;
+        }
+    }
+
+    result.guest_structure_bytes = sys->guestStructureBytes();
+    result.host_structure_bytes = sys->hostStructureBytes();
+    result.pte_bytes_total = sys->guestPteBytes() + sys->hostPteBytes();
+    result.guest_faults = sys->guestFaults();
+    result.host_faults = sys->hostFaults();
+}
+
+SimResult
+runSim(const ExperimentConfig &config, const SimParams &params,
+       const std::string &app)
+{
+    Simulator sim(config, params);
+    return sim.run(app);
+}
+
+} // namespace necpt

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The trace-driven timing model that glues everything together:
+ * workload stream -> TLB hierarchy -> page walker -> memory hierarchy,
+ * with warm-up and measured phases (Section 8 methodology).
+ *
+ * Timing model: a 4-issue out-of-order core retires non-memory
+ * instructions at a base CPI; TLB misses serialize the pipeline for
+ * the full walk latency (address translation is on the critical path),
+ * while data-access latency is partially hidden by the 128-entry ROB
+ * (an exposure factor models the overlap). This is deliberately
+ * simpler than the paper's cycle-level backend but preserves what the
+ * evaluation measures: relative execution time across page-table
+ * organizations, MMU busy cycles, and cache/DRAM interaction.
+ *
+ * Multi-core mode (SimParams::cores > 1) runs one workload instance
+ * per core, multi-programmed, with private L1/L2/TLBs/walkers and a
+ * shared L3 + DRAM — the contention regime of the paper's 8-core
+ * machine. Cores advance in cycle order.
+ */
+
+#ifndef NECPT_SIM_SIMULATOR_HH
+#define NECPT_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "mmu/pom_tlb.hh"
+#include "mmu/tlb.hh"
+#include "sim/config.hh"
+#include "walk/walker.hh"
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+/** Run-length and model knobs. */
+struct SimParams
+{
+    std::uint64_t warmup_accesses = 200'000;
+    std::uint64_t measure_accesses = 1'000'000;
+    std::uint64_t scale_denominator = 16; //!< Table-4 footprint divisor
+    std::uint64_t seed = 0xD15EA5E;
+    int cores = 1;               //!< simulated cores (multi-programmed)
+    double base_cpi = 0.3;       //!< non-memory retire cost (4-issue)
+    double data_exposure = 0.3;  //!< fraction of data latency exposed
+    /**
+     * Fault the whole dataset in before warm-up, like the real
+     * applications do at initialization (Section 8 measures steady
+     * state after the region of interest is reached).
+     */
+    bool prefault = true;
+};
+
+/** Everything a bench needs to regenerate the paper's numbers. */
+struct SimResult
+{
+    std::string config;
+    std::string app;
+
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;          //!< execution time (speedups = ratios)
+    Cycles mmu_busy_cycles = 0; //!< Figure 10
+
+    std::uint64_t l1_tlb_misses = 0;
+    std::uint64_t l2_tlb_misses = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t mmu_requests = 0;
+
+    double l2_mpki = 0;  //!< Figure 13(b): total L2 misses PKI
+    double l3_mpki = 0;  //!< Figure 13(c)
+    double mmu_rpki = 0; //!< Figure 13(a)
+    double mmu_l2_misses_pki = 0;
+    double avg_mshrs = 0;
+    std::uint64_t max_mshrs = 0;
+    double dram_row_hit_rate = 0;
+
+    Histogram walk_latency{20, 64}; //!< Figure 11
+
+    /** Figure 14 fractions + Section 9.4 step averages. */
+    double guest_kind_frac[4] = {0, 0, 0, 0};
+    double host_kind_frac[4] = {0, 0, 0, 0};
+    double step_avg[3] = {0, 0, 0};
+
+    /** Section 9.4 MMU-cache hit rates (nested ECPT only). */
+    double stc_hit_rate = -1;
+    double gcwc_pud_hit = -1, gcwc_pmd_hit = -1;
+    double hcwc_pud_hit = -1, hcwc_pmd_hit = -1;
+    double hcwc_pte_step1_hit = -1, hcwc_pte_step3_hit = -1;
+    std::uint64_t hcwc_pte_step3_accesses = 0;
+    /** Figure 12 windowed rates. */
+    double adaptive_pte_rate = -1, adaptive_pmd_rate = -1;
+
+    /** Section 9.5 memory accounting. */
+    std::uint64_t guest_structure_bytes = 0;
+    std::uint64_t host_structure_bytes = 0;
+    std::uint64_t pte_bytes_total = 0;
+
+    std::uint64_t guest_faults = 0;
+    std::uint64_t host_faults = 0;
+};
+
+/**
+ * One configured machine running one application.
+ */
+class Simulator
+{
+  public:
+    Simulator(const ExperimentConfig &config, const SimParams &params);
+    ~Simulator();
+
+    /** Run @p app through warm-up + measurement and report. */
+    SimResult run(const std::string &app);
+
+    /** Factory producing per-core workload instances (seeded). */
+    using WorkloadFactory =
+        std::function<std::unique_ptr<Workload>(std::uint64_t seed)>;
+
+    /**
+     * Run an arbitrary workload (e.g. a replayed trace) through the
+     * same warm-up + measurement pipeline.
+     *
+     * @param label result's app name
+     * @param factory builds one instance per core
+     * @param footprint_bytes sizing hint for the physical pools
+     */
+    SimResult runWith(const std::string &label,
+                      const WorkloadFactory &factory,
+                      std::uint64_t footprint_bytes);
+
+    /// @name Introspection (valid after run(); used by tests/benches)
+    /// @{
+    NestedSystem &system() { return *sys; }
+    Walker &walker(int core = 0) { return *walkers[core]; }
+    MemoryHierarchy &memory() { return *mem; }
+    TlbHierarchy &tlbs(int core = 0) { return *tlb[core]; }
+    int numCores() const { return static_cast<int>(walkers.size()); }
+    /// @}
+
+  private:
+    /** Build system/memory/TLBs/walkers for @p footprint_bytes. */
+    void buildMachine(std::uint64_t footprint_bytes,
+                      const std::string &app);
+    std::unique_ptr<Walker> makeWalker(int core);
+    void resetStats();
+    void fillResult(SimResult &result);
+
+    ExperimentConfig cfg;
+    SimParams params;
+
+    std::unique_ptr<NestedSystem> sys;
+    std::unique_ptr<MemoryHierarchy> mem;
+    std::vector<std::unique_ptr<TlbHierarchy>> tlb;
+    std::unique_ptr<PomTlb> pom;
+    std::vector<std::unique_ptr<Walker>> walkers;
+};
+
+/** Convenience: build, run, return. */
+SimResult runSim(const ExperimentConfig &config, const SimParams &params,
+                 const std::string &app);
+
+} // namespace necpt
+
+#endif // NECPT_SIM_SIMULATOR_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * necpt-run — the standalone command-line driver.
+ *
+ *   necpt-run --list
+ *   necpt-run --config "Nested ECPTs THP" --app GUPS
+ *   necpt-run --config "Nested Radix" --app BFS --measure 2000000 \
+ *             --scale 8 --cores 2 --csv out.csv --json
+ *   necpt-run --config "Nested ECPTs" --trace capture.bin
+ *
+ * Runs one (configuration, application) simulation with explicit
+ * parameters and prints a human summary, optionally appending a CSV
+ * row or emitting JSON for tooling.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workloads/trace.hh"
+
+using namespace necpt;
+
+namespace
+{
+
+const std::vector<ConfigId> &
+allConfigIds()
+{
+    static const std::vector<ConfigId> ids = {
+        ConfigId::Radix,           ConfigId::RadixThp,
+        ConfigId::Ecpt,            ConfigId::EcptThp,
+        ConfigId::NestedRadix,     ConfigId::NestedRadixThp,
+        ConfigId::NestedEcpt,      ConfigId::NestedEcptThp,
+        ConfigId::NestedHybrid,    ConfigId::NestedHybridThp,
+        ConfigId::PlainNestedEcpt, ConfigId::PlainNestedEcptThp,
+        ConfigId::AgilePagingIdeal, ConfigId::AgilePagingIdealThp,
+        ConfigId::PomTlb,          ConfigId::PomTlbThp,
+        ConfigId::FlatNested,      ConfigId::FlatNestedThp,
+        ConfigId::ShadowPaging,    ConfigId::ShadowPagingThp,
+        ConfigId::NestedHpt,
+    };
+    return ids;
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s --config NAME --app NAME [options]\n"
+        "       %s --list\n\n"
+        "options:\n"
+        "  --list              list configurations and applications\n"
+        "  --config NAME       configuration (see --list)\n"
+        "  --app NAME          application (see --list)\n"
+        "  --trace FILE        replay a recorded trace instead of an app\n"
+        "  --record FILE       record the app's stream to FILE and exit\n"
+        "  --measure N         measured accesses   (default 1000000)\n"
+        "  --warmup N          warm-up accesses    (default 200000)\n"
+        "  --scale N           footprint divisor   (default 16)\n"
+        "  --cores N           simulated cores     (default 1)\n"
+        "  --seed N            simulation seed\n"
+        "  --radix-levels N    4 or 5 (LA57)\n"
+        "  --csv FILE          append a CSV row (header if new file)\n"
+        "  --json              print the result as JSON\n",
+        prog, prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_name, app_name, trace_path, record_path,
+        csv_path;
+    bool list = false, json = false;
+    SimParams params = paramsFromEnv();
+    int radix_levels = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--list") list = true;
+        else if (arg == "--config") config_name = value();
+        else if (arg == "--app") app_name = value();
+        else if (arg == "--trace") trace_path = value();
+        else if (arg == "--record") record_path = value();
+        else if (arg == "--measure")
+            params.measure_accesses = std::stoull(value());
+        else if (arg == "--warmup")
+            params.warmup_accesses = std::stoull(value());
+        else if (arg == "--scale")
+            params.scale_denominator = std::stoull(value());
+        else if (arg == "--cores") params.cores = std::stoi(value());
+        else if (arg == "--seed") params.seed = std::stoull(value());
+        else if (arg == "--radix-levels")
+            radix_levels = std::stoi(value());
+        else if (arg == "--csv") csv_path = value();
+        else if (arg == "--json") json = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    if (list) {
+        std::printf("configurations:\n");
+        for (const ConfigId id : allConfigIds())
+            std::printf("  %s\n", configName(id).c_str());
+        std::printf("applications:\n");
+        for (const auto &app : paperApplications())
+            std::printf("  %s\n", app.c_str());
+        return 0;
+    }
+
+    if (!record_path.empty()) {
+        if (app_name.empty())
+            fatal("--record requires --app");
+        SystemConfig scfg;
+        scfg.guest_kind = PtKind::Radix;
+        scfg.host_kind = PtKind::Radix;
+        NestedSystem sys(scfg);
+        auto workload = makeWorkload(app_name,
+                                     params.scale_denominator);
+        if (!recordTrace(*workload, sys, params.measure_accesses,
+                         record_path))
+            fatal("failed to write trace '%s'", record_path.c_str());
+        std::printf("recorded %llu accesses of %s to %s\n",
+                    (unsigned long long)params.measure_accesses,
+                    app_name.c_str(), record_path.c_str());
+        return 0;
+    }
+
+    if (config_name.empty() || (app_name.empty() && trace_path.empty())) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    ExperimentConfig config;
+    bool found = false;
+    for (const ConfigId id : allConfigIds()) {
+        if (configName(id) == config_name) {
+            config = makeConfig(id);
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        fatal("unknown configuration '%s' (see --list)",
+              config_name.c_str());
+    if (radix_levels)
+        config.system.radix_levels = radix_levels;
+
+    SimResult result;
+    if (!trace_path.empty()) {
+        TraceWorkload probe(trace_path);
+        if (!probe.valid())
+            fatal("trace '%s' failed to load", trace_path.c_str());
+        const std::uint64_t footprint = probe.info().footprint_bytes;
+        Simulator sim(config, params);
+        result = sim.runWith(
+            "trace:" + trace_path,
+            [&](std::uint64_t) {
+                return std::make_unique<TraceWorkload>(trace_path);
+            },
+            footprint);
+    } else {
+        result = runSim(config, params, app_name);
+    }
+
+    std::printf("%-22s %-10s\n", result.config.c_str(),
+                result.app.c_str());
+    std::printf("  cycles            %llu\n",
+                (unsigned long long)result.cycles);
+    std::printf("  instructions      %llu  (IPC %.3f)\n",
+                (unsigned long long)result.instructions,
+                result.cycles ? static_cast<double>(result.instructions)
+                        / result.cycles : 0.0);
+    std::printf("  MMU busy cycles   %llu  (%.1f/walk)\n",
+                (unsigned long long)result.mmu_busy_cycles,
+                result.walks ? static_cast<double>(
+                    result.mmu_busy_cycles) / result.walks : 0.0);
+    std::printf("  walks             %llu  (L2 TLB misses %llu)\n",
+                (unsigned long long)result.walks,
+                (unsigned long long)result.l2_tlb_misses);
+    std::printf("  MMU requests      %llu  (RPKI %.1f)\n",
+                (unsigned long long)result.mmu_requests,
+                result.mmu_rpki);
+    if (result.step_avg[0] > 0)
+        std::printf("  step accesses     %.1f / %.1f / %.1f\n",
+                    result.step_avg[0], result.step_avg[1],
+                    result.step_avg[2]);
+
+    if (!csv_path.empty()) {
+        std::FILE *probe = std::fopen(csv_path.c_str(), "r");
+        const bool fresh = probe == nullptr;
+        if (probe)
+            std::fclose(probe);
+        std::FILE *out = std::fopen(csv_path.c_str(), "a");
+        if (!out)
+            fatal("cannot open '%s'", csv_path.c_str());
+        if (fresh)
+            writeCsvHeader(out);
+        writeCsvRow(out, result);
+        std::fclose(out);
+    }
+    if (json)
+        std::printf("%s\n", toJson(result).c_str());
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "walk/baselines.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+WalkResult
+AgilePagingWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    std::vector<RadixStep> gsteps;
+    RadixPageTable *gtable = sys.guestRadix();
+    NECPT_ASSERT(gtable != nullptr);
+    const Translation guest = gtable->walk(gva, gsteps);
+    NECPT_ASSERT(guest.valid);
+
+    Cycles t = now + pwc.latency();
+    int accesses = 0;
+
+    const int skip_through = pwcSkipLevel(pwc, gsteps, gva);
+
+    // Ideal: each guest entry is fetched directly at its host address
+    // with no host-dimension walk and no hypervisor cost.
+    for (const RadixStep &step : gsteps) {
+        if (step.level >= skip_through)
+            continue;
+        const Addr entry_gpa = step.entry_addr;
+        const Translation host = sys.hostTranslate(entry_gpa);
+        t += seqAccess(host.apply(entry_gpa), t);
+        ++accesses;
+        if (step.level >= 2 && !step.leaf)
+            pwc.fill(step.level, gva);
+    }
+
+    result.translation = sys.fullTranslate(gva);
+    finishWalk(result, now, t, accesses);
+    return result;
+}
+
+WalkResult
+PomTlbWalker::translate(Addr gva, Cycles now)
+{
+    // One in-DRAM probe (cacheable in L2/L3 like data).
+    Cycles t = now;
+    const PomTlb::Result probe = pom.lookup(gva);
+    t += seqAccess(probe.entry_addr, t);
+
+    if (probe.hit) {
+        WalkResult result;
+        result.translation = probe.translation;
+        finishWalk(result, now, t, 1);
+        return result;
+    }
+
+    // Fall back to a full nested radix walk, then install.
+    WalkResult walked = fallback.translate(gva, t);
+    pom.install(gva, walked.translation);
+
+    WalkResult result;
+    result.translation = walked.translation;
+    finishWalk(result, now, t + walked.latency,
+               1 + walked.mem_accesses);
+    // The fallback walker recorded its own stats; fold its traffic into
+    // ours and neutralize the double count of busy cycles.
+    stats_.mmu_requests.inc(
+        static_cast<std::uint64_t>(walked.mem_accesses));
+    return result;
+}
+
+WalkResult
+FlatNestedWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    std::vector<RadixStep> gsteps;
+    RadixPageTable *gtable = sys.guestRadix();
+    FlatPageTable *flat = sys.hostFlat();
+    NECPT_ASSERT(gtable && flat);
+    const Translation guest = gtable->walk(gva, gsteps);
+    NECPT_ASSERT(guest.valid);
+
+    Cycles t = now + gpwc.latency();
+    int accesses = 0;
+
+    const int skip_through = pwcSkipLevel(gpwc, gsteps, gva);
+
+    for (const RadixStep &step : gsteps) {
+        if (step.level >= skip_through)
+            continue;
+        const Addr entry_gpa = step.entry_addr;
+        Translation host;
+        if (Addr *hpa_frame = ntlb.lookup(entry_gpa)) {
+            host = {*hpa_frame, PageSize::Page4K, true};
+            t += ntlb.latency();
+        } else {
+            // One flat-table reference translates any gPA.
+            host = sys.hostTranslate(entry_gpa);
+            t += seqAccess(flat->entryAddr(entry_gpa), t);
+            ++accesses;
+            ntlb.fill(entry_gpa, host.apply(entry_gpa) & ~mask(12));
+        }
+        t += seqAccess(host.apply(entry_gpa), t);
+        ++accesses;
+        if (step.level >= 2 && !step.leaf)
+            gpwc.fill(step.level, gva);
+    }
+
+    // Final flat reference for the data page.
+    const Addr gpa_data = guest.apply(gva);
+    sys.hostTranslate(gpa_data);
+    t += seqAccess(flat->entryAddr(gpa_data), t);
+    ++accesses;
+
+    result.translation = sys.fullTranslate(gva);
+    finishWalk(result, now, t, accesses);
+    return result;
+}
+
+} // namespace necpt

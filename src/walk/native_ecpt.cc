@@ -1,0 +1,48 @@
+#include "walk/native_ecpt.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+WalkResult
+NativeEcptWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    EcptPageTable *table = sys.guestEcpt();
+    NECPT_ASSERT(table != nullptr);
+
+    Cycles t = now + cwc.latency() + hash_latency;
+
+    PlanOptions options;
+    options.use_pte_info = false;
+    options.now = t;
+    const EcptProbePlan plan = planEcptWalk(*table, cwc, gva, options);
+    stats_.guest_kind[static_cast<int>(plan.kind)].inc();
+
+    // One parallel probe phase over the selected (size, way) slots —
+    // addresses are final physical in a native system.
+    probe_buf.clear();
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (plan.way_mask[s])
+            table->probeAddrs(gva, all_page_sizes[s], plan.way_mask[s],
+                              probe_buf);
+    }
+    const BatchResult br = batchAccess(probe_buf, t);
+    t += br.latency;
+    stats_.step_sum[0] += static_cast<std::uint64_t>(br.requests);
+    stats_.step_cnt[0] += 1;
+
+    // Background CWT refills for the CWC levels that missed.
+    refill_buf.clear();
+    collectCwcRefills(*table, cwc, gva, plan, options, refill_buf);
+    if (!refill_buf.empty())
+        backgroundAccess(refill_buf, t);
+
+    result.translation = sys.fullTranslate(gva);
+    NECPT_ASSERT(result.translation.valid);
+    finishWalk(result, now, t, br.requests);
+    return result;
+}
+
+} // namespace necpt

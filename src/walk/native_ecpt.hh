@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Native ECPT walker (Section 2.3, the ASPLOS'20 design): one parallel
+ * probe phase over the per-size elastic cuckoo tables, pruned by a
+ * Cuckoo Walk Cache holding PMD/PUD CWT entries (no PTE CWT natively —
+ * Section 4.2 recalls why).
+ */
+
+#ifndef NECPT_WALK_NATIVE_ECPT_HH
+#define NECPT_WALK_NATIVE_ECPT_HH
+
+#include "mmu/cwc.hh"
+#include "walk/plan.hh"
+#include "walk/walker.hh"
+
+namespace necpt
+{
+
+/**
+ * Walker for the native "ECPTs" configurations of Table 1.
+ */
+class NativeEcptWalker : public Walker
+{
+  public:
+    NativeEcptWalker(NestedSystem &system, MemoryHierarchy &memory,
+                     int core_id)
+        : Walker(system, memory, core_id),
+          cwc({0, 16, 2}) // Table 2 gCWC geometry: 16 PMD + 2 PUD
+    {}
+
+    WalkResult translate(Addr gva, Cycles now) override;
+
+    std::string name() const override { return "ECPT"; }
+
+    CuckooWalkCache &walkCache() { return cwc; }
+
+  private:
+    CuckooWalkCache cwc;
+    std::vector<Addr> probe_buf;
+    std::vector<Addr> refill_buf;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_NATIVE_ECPT_HH

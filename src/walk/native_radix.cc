@@ -1,0 +1,38 @@
+#include "walk/native_radix.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+WalkResult
+NativeRadixWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    std::vector<RadixStep> steps;
+    RadixPageTable *table = sys.guestRadix();
+    NECPT_ASSERT(table != nullptr);
+    const Translation t9n = table->walk(gva, steps);
+    NECPT_ASSERT(t9n.valid);
+
+    const int skip_through = pwcSkipLevel(pwc, steps, gva);
+
+    Cycles t = now + pwc.latency();
+    int accesses = 0;
+    for (const RadixStep &step : steps) {
+        if (step.level >= skip_through)
+            continue;
+        t += seqAccess(step.entry_addr, t);
+        ++accesses;
+        // Only non-leaf entries belong in the PWC; completed leaf
+        // translations go to the TLB instead.
+        if (step.level >= 2 && !step.leaf)
+            pwc.fill(step.level, gva);
+    }
+
+    result.translation = t9n;
+    finishWalk(result, now, t, accesses);
+    return result;
+}
+
+} // namespace necpt

@@ -1,0 +1,222 @@
+#include "walk/nested_ecpt.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** Table-2 CWC geometries. */
+std::array<std::size_t, num_page_sizes>
+step1CwcGeometry(const NestedEcptFeatures &feat)
+{
+    if (feat.step1_pte_hcwt)
+        return {4, 0, 0}; // Advanced: 4 PTE entries
+    return {0, 16, 2};    // Plain: PUD/PMD info only
+}
+
+std::array<std::size_t, num_page_sizes>
+step3CwcGeometry(const NestedEcptFeatures &feat)
+{
+    if (feat.step3_adaptive_pte)
+        return {16, 4, 2}; // Advanced: 16 PTE + 4 PMD + 2 PUD
+    return {0, 16, 2};     // Plain
+}
+
+} // namespace
+
+NestedEcptWalker::NestedEcptWalker(NestedSystem &system,
+                                   MemoryHierarchy &memory, int core_id,
+                                   const NestedEcptFeatures &features)
+    : Walker(system, memory, core_id),
+      feat(features),
+      gcwc({0, 16, 2}), // Table 2: gCWC = 16 PMD + 2 PUD
+      hcwc_step1(step1CwcGeometry(features)),
+      hcwc_step3(step3CwcGeometry(features)),
+      stc(features.stc_entries)
+{
+    NECPT_ASSERT(sys.guestEcpt() && sys.hostEcpt());
+}
+
+EcptProbePlan
+NestedEcptWalker::planStep1Host(Addr gpa, Cycles t)
+{
+    EcptPageTable &host = *sys.hostEcpt();
+    PlanOptions options;
+    options.use_pte_info = feat.step1_pte_hcwt;
+    options.now = t;
+    EcptProbePlan plan = planEcptWalk(host, hcwc_step1, gpa, options);
+
+    if (feat.pt_4kb) {
+        // Page tables are 4KB allocations (Section 4.3): the PUD- and
+        // PMD-hECPTs cannot hold this translation.
+        plan.way_mask[static_cast<int>(PageSize::Page2M)] = 0;
+        plan.way_mask[static_cast<int>(PageSize::Page1G)] = 0;
+        if (plan.way_mask[static_cast<int>(PageSize::Page4K)] == 0)
+            plan.way_mask[static_cast<int>(PageSize::Page4K)] =
+                host.allWays();
+        plan.kind = classifyPlan(plan, host.config().ways);
+    }
+    return plan;
+}
+
+void
+NestedEcptWalker::appendHostProbes(Addr gpa, const EcptProbePlan &plan,
+                                   std::vector<Addr> &out) const
+{
+    const EcptPageTable &host = *sys.hostEcpt();
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (plan.way_mask[s])
+            host.probeAddrs(gpa, all_page_sizes[s], plan.way_mask[s],
+                            out);
+    }
+}
+
+void
+NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
+                                 Cycles t)
+{
+    (void)t;
+    EcptPageTable &guest = *sys.guestEcpt();
+    EcptPageTable &host = *sys.hostEcpt();
+
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (!gplan.cwc_missed[s])
+            continue;
+        const auto level = all_page_sizes[s];
+        const CuckooWalkTable *cwt = guest.cwtOf(level);
+        if (!cwt || !gcwc.caches(level))
+            continue;
+
+        // The gCWT entry lives at a guest-physical address: find the
+        // host address of each probe (Section 4.1 / Figure 7).
+        std::vector<Addr> gcwt_probes;
+        cwt->entryProbeAddrs(gva, gcwt_probes);
+        for (Addr gcwt_gpa : gcwt_probes) {
+            Addr hpa;
+            Addr *cached = feat.stc ? stc.lookup(gcwt_gpa) : nullptr;
+            if (cached) {
+                hpa = *cached + pageOffset(gcwt_gpa, PageSize::Page4K);
+            } else {
+                // Full background translation: probe the hECPTs for
+                // the gCWT page (it is a 4KB page-table allocation).
+                host.probeAddrs(gcwt_gpa, PageSize::Page4K,
+                                host.allWays(), background_buf);
+                const Translation h = sys.hostTranslate(gcwt_gpa);
+                hpa = h.apply(gcwt_gpa);
+                if (feat.stc)
+                    stc.fill(gcwt_gpa, hpa & ~mask(12));
+            }
+            background_buf.push_back(hpa);
+        }
+
+        gcwc.fill(level, cwt->entryKey(gva), 1);
+    }
+}
+
+WalkResult
+NestedEcptWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    EcptPageTable &guest = *sys.guestEcpt();
+    EcptPageTable &host = *sys.hostEcpt();
+    background_buf.clear();
+
+    // ---- Step 1: locate the gECPT entry (Figure 6, left) ----
+    Cycles t = now + gcwc.latency() + hash_latency;
+
+    PlanOptions goptions;
+    goptions.use_pte_info = false; // no PTE gCWT ever (Section 4.2)
+    goptions.now = t;
+    const EcptProbePlan gplan = planEcptWalk(guest, gcwc, gva, goptions);
+    stats_.guest_kind[static_cast<int>(gplan.kind)].inc();
+
+    guest_slots.clear();
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (gplan.way_mask[s])
+            guest.probeAddrs(gva, all_page_sizes[s], gplan.way_mask[s],
+                             guest_slots);
+    }
+
+    // For each candidate gECPT slot (a gPA), translate through the
+    // hECPTs — the parallel Step-1 probe group.
+    t += hcwc_step1.latency();
+    probe_buf.clear();
+    for (Addr slot_gpa : guest_slots) {
+        const EcptProbePlan hplan = planStep1Host(slot_gpa, t);
+        stats_.host_kind[static_cast<int>(hplan.kind)].inc();
+        appendHostProbes(slot_gpa, hplan, probe_buf);
+
+        // Background refill of missed Step-1 hCWC levels (deferred
+        // to walk completion: refills never block the walk).
+        PlanOptions hopts;
+        hopts.use_pte_info = feat.step1_pte_hcwt;
+        hopts.now = t;
+        collectCwcRefills(host, hcwc_step1, slot_gpa, hplan, hopts,
+                          background_buf);
+    }
+    const BatchResult br1 = batchAccess(probe_buf, t);
+    t += br1.latency;
+    stats_.step_sum[0] += static_cast<std::uint64_t>(br1.requests);
+    stats_.step_cnt[0] += 1;
+    stats_.step_lat[0] += br1.latency;
+
+    // Background: refill missed gCWC levels (the STC's reason to be).
+    refillGuestCwc(gva, gplan, t);
+
+    // ---- Step 2: fetch the gECPT candidates at host addresses ----
+    probe_buf.clear();
+    for (Addr slot_gpa : guest_slots) {
+        const Translation h = sys.hostTranslate(slot_gpa);
+        probe_buf.push_back(h.apply(slot_gpa));
+    }
+    const BatchResult br2 = batchAccess(probe_buf, t);
+    t += br2.latency;
+    stats_.step_sum[1] += static_cast<std::uint64_t>(br2.requests);
+    stats_.step_cnt[1] += 1;
+    stats_.step_lat[1] += br2.latency;
+
+    // ---- Step 3: translate the data page's gPA ----
+    const Translation g = sys.guestTranslate(gva);
+    NECPT_ASSERT(g.valid);
+    const Addr gpa_data = g.apply(gva);
+
+    t += hcwc_step3.latency() + hash_latency;
+    const bool use_pte3 =
+        feat.step3_adaptive_pte && adaptive.pteCachingEnabled()
+        && host.hasPteCwt();
+    PlanOptions h3opts;
+    h3opts.use_pte_info = use_pte3;
+    h3opts.adaptive = feat.step3_adaptive_pte ? &adaptive : nullptr;
+    h3opts.now = t;
+    const EcptProbePlan h3plan =
+        planEcptWalk(host, hcwc_step3, gpa_data, h3opts);
+    stats_.host_kind[static_cast<int>(h3plan.kind)].inc();
+
+    probe_buf.clear();
+    appendHostProbes(gpa_data, h3plan, probe_buf);
+    const BatchResult br3 = batchAccess(probe_buf, t);
+    t += br3.latency;
+    stats_.step_sum[2] += static_cast<std::uint64_t>(br3.requests);
+    stats_.step_cnt[2] += 1;
+    stats_.step_lat[2] += br3.latency;
+
+    collectCwcRefills(host, hcwc_step3, gpa_data, h3plan, h3opts,
+                      background_buf);
+
+    // All background traffic (CWT fetches, gCWT translations) is
+    // issued once the walk completes: it consumes bandwidth and cache
+    // space but never extends this walk (Sections 3.2 / 4.1).
+    if (!background_buf.empty())
+        backgroundAccess(background_buf, t);
+
+    result.translation = sys.fullTranslate(gva);
+    NECPT_ASSERT(result.translation.valid);
+    finishWalk(result, now, t,
+               br1.requests + br2.requests + br3.requests);
+    return result;
+}
+
+} // namespace necpt

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Nested ECPT walker — the paper's contribution (Sections 3-5).
+ *
+ * A nested ECPT walk has three sequential phases (Figure 6):
+ *   Step 1: probe hECPTs to locate the gECPT entry candidates,
+ *   Step 2: fetch the gECPT candidates at their host addresses,
+ *   Step 3: probe hECPTs to translate the data page's gPA.
+ *
+ * The walker implements both the *Plain* design (direct port of native
+ * ECPTs) and the *Advanced* design via feature flags so the Figure-9
+ * technique breakdown can be regenerated:
+ *   - stc: Shortcut Translation Cache for gCWT refills (Section 4.1)
+ *   - step1_pte_hcwt: PTE hCWT caching for Step 1 (Section 4.2)
+ *   - step3_adaptive_pte: adaptive PTE hCWT caching for Step 3
+ *     (Section 4.2, Figure 12)
+ *   - pt_4kb: leverage 4KB page-table allocation (Section 4.3)
+ *
+ * Neither design caches hPTE->gPTE pointers, since cuckoo rehashing and
+ * elastic resizing move gPTEs (Section 4.4).
+ */
+
+#ifndef NECPT_WALK_NESTED_ECPT_HH
+#define NECPT_WALK_NESTED_ECPT_HH
+
+#include "mmu/cwc.hh"
+#include "mmu/walk_caches.hh"
+#include "walk/plan.hh"
+#include "walk/walker.hh"
+
+namespace necpt
+{
+
+/** Advanced-design technique toggles (all false = Plain design). */
+struct NestedEcptFeatures
+{
+    bool stc = true;
+    bool step1_pte_hcwt = true;
+    bool step3_adaptive_pte = true;
+    bool pt_4kb = true;
+    /** STC capacity (Table 2: 10; Section 9.4 sweeps 4/8/10). */
+    std::size_t stc_entries = 10;
+
+    static NestedEcptFeatures
+    plain()
+    {
+        return {false, false, false, false, 10};
+    }
+
+    static NestedEcptFeatures
+    advanced()
+    {
+        return {true, true, true, true, 10};
+    }
+};
+
+/**
+ * Walker for the "Nested ECPTs" configurations of Table 1.
+ */
+class NestedEcptWalker : public Walker
+{
+  public:
+    NestedEcptWalker(NestedSystem &system, MemoryHierarchy &memory,
+                     int core_id,
+                     const NestedEcptFeatures &features =
+                         NestedEcptFeatures::advanced());
+
+    WalkResult translate(Addr gva, Cycles now) override;
+
+    std::string name() const override
+    {
+        return plainDesign() ? "PlainNestedECPT" : "NestedECPT";
+    }
+
+    bool
+    plainDesign() const
+    {
+        return !feat.stc && !feat.step1_pte_hcwt
+            && !feat.step3_adaptive_pte && !feat.pt_4kb;
+    }
+
+    /// @name Introspection for tests and Section 9.4 benches
+    /// @{
+    const ShortcutTranslationCache &shortcutCache() const { return stc; }
+    const CuckooWalkCache &guestCwc() const { return gcwc; }
+    const CuckooWalkCache &hostCwcStep1() const { return hcwc_step1; }
+    const CuckooWalkCache &hostCwcStep3() const { return hcwc_step3; }
+    const AdaptiveCwcController &adaptiveController() const
+    {
+        return adaptive;
+    }
+    const NestedEcptFeatures &features() const { return feat; }
+    /// @}
+
+  private:
+    /**
+     * Plan the host-side translation of @p gpa for Step 1 (locating a
+     * gECPT slot — always a 4KB-backed page-table page).
+     */
+    EcptProbePlan planStep1Host(Addr gpa, Cycles t);
+
+    /** Append the host probe addresses selected by @p plan for @p gpa. */
+    void appendHostProbes(Addr gpa, const EcptProbePlan &plan,
+                          std::vector<Addr> &out) const;
+
+    /**
+     * Handle gCWC refills: translate the gCWT entry addresses (via the
+     * STC in the Advanced design, via full host probe traffic in the
+     * Plain design) and fetch them — all in the background.
+     */
+    void refillGuestCwc(Addr gva, const EcptProbePlan &gplan, Cycles t);
+
+    NestedEcptFeatures feat;
+    CuckooWalkCache gcwc;
+    CuckooWalkCache hcwc_step1;
+    CuckooWalkCache hcwc_step3;
+    ShortcutTranslationCache stc;
+    AdaptiveCwcController adaptive;
+
+    std::vector<Addr> guest_slots;  //!< Step-1 candidate gECPT gPAs
+    std::vector<Addr> probe_buf;
+    std::vector<Addr> background_buf; //!< deferred refill traffic
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_NESTED_ECPT_HH

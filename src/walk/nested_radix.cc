@@ -1,0 +1,78 @@
+#include "walk/nested_radix.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+Translation
+NestedRadixWalker::hostWalk(Addr gpa, Cycles &t, int &accesses)
+{
+    // Make sure the backing exists (functional fault-in), then walk.
+    const Translation host = sys.hostTranslate(gpa);
+    std::vector<RadixStep> steps;
+    RadixPageTable *table = sys.hostRadix();
+    NECPT_ASSERT(table != nullptr);
+    table->walk(gpa, steps);
+
+    const int skip_through = pwcSkipLevel(npwc, steps, gpa, 1);
+
+    for (const RadixStep &step : steps) {
+        if (step.level >= skip_through)
+            continue;
+        t += seqAccess(step.entry_addr, t);
+        ++accesses;
+        if (!step.leaf)
+            npwc.fill(step.level, gpa);
+    }
+    return host;
+}
+
+WalkResult
+NestedRadixWalker::translate(Addr gva, Cycles now)
+{
+    WalkResult result;
+    std::vector<RadixStep> gsteps;
+    RadixPageTable *gtable = sys.guestRadix();
+    NECPT_ASSERT(gtable != nullptr);
+    const Translation guest = gtable->walk(gva, gsteps);
+    NECPT_ASSERT(guest.valid);
+
+    Cycles t = now + gpwc.latency(); // gPWC/NTLB probed up front
+    int accesses = 0;
+
+    // Deepest guest level whose entry the gPWC supplies.
+    const int skip_through = pwcSkipLevel(gpwc, gsteps, gva);
+
+    // Guest dimension: translate and fetch each remaining gL_i entry
+    // (Figure 2 steps 1-20).
+    for (const RadixStep &step : gsteps) {
+        if (step.level >= skip_through)
+            continue;
+        const Addr entry_gpa = step.entry_addr;
+        Translation host;
+        if (Addr *hpa_frame = ntlb.lookup(entry_gpa)) {
+            host = {*hpa_frame, PageSize::Page4K, true};
+            t += ntlb.latency();
+        } else {
+            host = hostWalk(entry_gpa, t, accesses);
+            ntlb.fill(entry_gpa,
+                      host.apply(entry_gpa) & ~mask(12));
+        }
+        const Addr entry_hpa = host.apply(entry_gpa);
+        t += seqAccess(entry_hpa, t);
+        ++accesses;
+        if (step.level >= 2 && !step.leaf)
+            gpwc.fill(step.level, gva);
+    }
+
+    // Final host dimension for the data page (Figure 2 steps 21-24).
+    const Addr gpa_data = guest.apply(gva);
+    hostWalk(gpa_data, t, accesses);
+
+    result.translation = sys.fullTranslate(gva);
+    finishWalk(result, now, t, accesses);
+    return result;
+}
+
+} // namespace necpt

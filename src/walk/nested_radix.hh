@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Nested radix walker: the full two-dimensional Figure-2 walk with up
+ * to 24 sequential memory references, accelerated by a guest PWC
+ * (gL4..gL2 entries), a nested PWC for the host levels (hL4..hL1), and
+ * a Nested TLB caching gPA->hPA translations of guest page-table pages.
+ */
+
+#ifndef NECPT_WALK_NESTED_RADIX_HH
+#define NECPT_WALK_NESTED_RADIX_HH
+
+#include "mmu/walk_caches.hh"
+#include "walk/walker.hh"
+
+namespace necpt
+{
+
+/**
+ * Walker for the "Nested Radix" configurations of Table 1.
+ */
+class NestedRadixWalker : public Walker
+{
+  public:
+    NestedRadixWalker(NestedSystem &system, MemoryHierarchy &memory,
+                      int core_id)
+        : Walker(system, memory, core_id),
+          gpwc(2, 5, 32),   // Table 2: PWC, 3 levels x 32 entries
+          npwc(1, 5, 16),   // Table 2: NPWC, levels x 16 entries
+          ntlb(24)
+    {}
+
+    WalkResult translate(Addr gva, Cycles now) override;
+
+    std::string name() const override { return "NestedRadix"; }
+
+    NestedTlb &nestedTlb() { return ntlb; }
+    PageWalkCache &guestPwc() { return gpwc; }
+    PageWalkCache &nestedPwc() { return npwc; }
+
+  private:
+    /**
+     * Host-dimension walk translating @p gpa, pruned by the NPWC.
+     * Advances @p t and @p accesses; returns the host translation.
+     */
+    Translation hostWalk(Addr gpa, Cycles &t, int &accesses);
+
+    PageWalkCache gpwc;
+    PageWalkCache npwc;
+    NestedTlb ntlb;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_NESTED_RADIX_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ECPT walk planning: turn Cuckoo-Walk-Cache contents into the minimal
+ * set of (page size, way) probes for a lookup, and classify the outcome
+ * as a Direct / Size / Partial / Complete walk (Section 9.4).
+ */
+
+#ifndef NECPT_WALK_PLAN_HH
+#define NECPT_WALK_PLAN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mmu/cwc.hh"
+#include "pt/ecpt.hh"
+#include "walk/walker.hh"
+
+namespace necpt
+{
+
+/** The probe set an ECPT walk must issue for one address. */
+struct EcptProbePlan
+{
+    /** Per page size: bitmask of ways to probe (0 = skip the table). */
+    std::array<unsigned, num_page_sizes> way_mask{0, 0, 0};
+    /** CWC levels that missed and want a background refill. */
+    std::array<bool, num_page_sizes> cwc_missed{false, false, false};
+    WalkKind kind = WalkKind::Complete;
+
+    int
+    tablesProbed() const
+    {
+        int n = 0;
+        for (unsigned m : way_mask)
+            n += (m != 0);
+        return n;
+    }
+};
+
+/** Planner knobs (differ between steps and designs). */
+struct PlanOptions
+{
+    /**
+     * Consult (and later refill) the PTE-level CWC. Requires the table
+     * to actually maintain a PTE CWT; gated adaptively in Step 3 of the
+     * Advanced design (Section 4.2).
+     */
+    bool use_pte_info = false;
+    /** When set, PTE/PMD CWC outcomes feed the adaptive controller. */
+    AdaptiveCwcController *adaptive = nullptr;
+    Cycles now = 0;
+};
+
+/**
+ * Build the probe plan for @p va against @p pt using @p cwc.
+ */
+EcptProbePlan planEcptWalk(const EcptPageTable &pt, CuckooWalkCache &cwc,
+                           Addr va, const PlanOptions &options);
+
+/**
+ * Classify a plan by how many probes/tables it needs.
+ */
+WalkKind classifyPlan(const EcptProbePlan &plan, int ways);
+
+/**
+ * Refill the CWC levels that missed during planning from the software
+ * CWTs, returning the (physical, in @p pt 's address space) addresses of
+ * the CWT probe traffic so the walker can issue it in the background.
+ * For the *guest* table those addresses are guest-physical and the
+ * caller must translate them (STC path, Section 4.1).
+ */
+void collectCwcRefills(const EcptPageTable &pt, CuckooWalkCache &cwc,
+                       Addr va, const EcptProbePlan &plan,
+                       const PlanOptions &options,
+                       std::vector<Addr> &fetch_addrs);
+
+} // namespace necpt
+
+#endif // NECPT_WALK_PLAN_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Page-walk state machines: common interface, statistics, and timing
+ * helpers shared by every page-table organization's walker.
+ *
+ * A walker is invoked on an L2-TLB miss and returns the translation
+ * plus the cycles the MMU stayed busy servicing it (Figure 10/11
+ * metrics). Memory traffic is issued through the shared MemoryHierarchy
+ * so walks and demand accesses compete for real cache space and DRAM
+ * banks.
+ */
+
+#ifndef NECPT_WALK_WALKER_HH
+#define NECPT_WALK_WALKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/hierarchy.hh"
+#include "mmu/walk_caches.hh"
+#include "os/system.hh"
+
+namespace necpt
+{
+
+/** ECPT walk-pruning outcome classes (Section 9.4, Figure 14). */
+enum class WalkKind : std::uint8_t
+{
+    Direct = 0,   //!< 1 access: size and way known
+    Size = 1,     //!< all d ways of one ECPT
+    Partial = 2,  //!< up to all ways of two ECPTs
+    Complete = 3, //!< all ways of all ECPTs
+};
+
+inline const char *
+walkKindName(WalkKind kind)
+{
+    switch (kind) {
+      case WalkKind::Direct: return "direct";
+      case WalkKind::Size: return "size";
+      case WalkKind::Partial: return "partial";
+      case WalkKind::Complete: return "complete";
+    }
+    return "?";
+}
+
+/** The outcome of one hardware walk. */
+struct WalkResult
+{
+    Translation translation; //!< effective gVA -> hPA mapping
+    Cycles latency = 0;      //!< L2-TLB-miss to completion
+    int mem_accesses = 0;    //!< foreground MMU requests issued
+};
+
+/** Aggregated per-walker statistics. */
+struct WalkerStats
+{
+    Counter walks;
+    Counter mmu_requests;     //!< all MMU hierarchy requests (+background)
+    Cycles busy_cycles = 0;   //!< sum of walk latencies (Figure 10)
+    Histogram walk_latency{20, 64}; //!< Figure 11 bins (20-cycle wide)
+
+    /** Figure 14: walk-kind tallies for the guest and host sides. */
+    Counter guest_kind[4];
+    Counter host_kind[4];
+
+    /** Section 9.4: parallel accesses per nested-ECPT step. */
+    std::uint64_t step_sum[3] = {0, 0, 0};
+    std::uint64_t step_cnt[3] = {0, 0, 0};
+    /** Latency spent in each step's probe phase (diagnostics). */
+    std::uint64_t step_lat[3] = {0, 0, 0};
+
+    double
+    avgStepAccesses(int step) const
+    {
+        return step_cnt[step]
+            ? static_cast<double>(step_sum[step])
+                  / static_cast<double>(step_cnt[step])
+            : 0.0;
+    }
+
+    void
+    reset()
+    {
+        walks.reset();
+        mmu_requests.reset();
+        busy_cycles = 0;
+        walk_latency.reset();
+        for (int i = 0; i < 4; ++i) {
+            guest_kind[i].reset();
+            host_kind[i].reset();
+        }
+        for (int i = 0; i < 3; ++i) {
+            step_sum[i] = 0;
+            step_cnt[i] = 0;
+            step_lat[i] = 0;
+        }
+    }
+};
+
+/**
+ * Abstract walker.
+ */
+class Walker
+{
+  public:
+    Walker(NestedSystem &system, MemoryHierarchy &memory, int core_id)
+        : sys(system), mem(memory), core(core_id)
+    {}
+
+    virtual ~Walker() = default;
+
+    /** Service an L2-TLB miss for @p gva starting at cycle @p now. */
+    virtual WalkResult translate(Addr gva, Cycles now) = 0;
+
+    /** Human-readable configuration name. */
+    virtual std::string name() const = 0;
+
+    WalkerStats &stats() { return stats_; }
+    const WalkerStats &stats() const { return stats_; }
+
+    /** MMU structure lookup latency (Table 2: 4 cycles RT). */
+    static constexpr Cycles mmu_cache_latency = 4;
+    /** Hash unit latency (Table 2: 2 cycles). */
+    static constexpr Cycles hash_latency = 2;
+
+  protected:
+    /** One sequential (dependent) MMU memory access. */
+    Cycles
+    seqAccess(Addr hpa, Cycles now)
+    {
+        ++stats_.mmu_requests;
+        return mem.access(hpa, now, Requester::Mmu, core).latency;
+    }
+
+    /** A parallel batch of MMU accesses (one walk phase). */
+    BatchResult
+    batchAccess(const std::vector<Addr> &addrs, Cycles now)
+    {
+        BatchResult r = mem.batchAccess(addrs, now, core);
+        stats_.mmu_requests.inc(static_cast<std::uint64_t>(r.requests));
+        return r;
+    }
+
+    /** Background traffic (CWC/CWT refills): consumes bandwidth and
+     *  cache space but does not extend the walk. */
+    void
+    backgroundAccess(const std::vector<Addr> &addrs, Cycles now)
+    {
+        BatchResult r = mem.batchAccess(addrs, now, core);
+        stats_.mmu_requests.inc(static_cast<std::uint64_t>(r.requests));
+    }
+
+    /**
+     * Deepest radix level whose entry a PWC supplies for @p va: the
+     * walk skips fetching every level >= the returned value (a PWC
+     * hit at level L hands over that entry's content, i.e. the base
+     * of the L-1 table). Returns top+2 when nothing is cached.
+     */
+    static int
+    pwcSkipLevel(PageWalkCache &pwc, const std::vector<RadixStep> &steps,
+                 Addr va, int min_cached_level = 2)
+    {
+        int skip_through = 7; // above any supported tree
+        for (const RadixStep &step : steps) {
+            if (step.level >= min_cached_level
+                && pwc.lookup(step.level, va)) {
+                skip_through = step.level;
+            }
+        }
+        return skip_through;
+    }
+
+    /** Record a finished walk in the common statistics. */
+    void
+    finishWalk(WalkResult &result, Cycles start, Cycles end,
+               int foreground_accesses)
+    {
+        result.latency = end - start;
+        result.mem_accesses = foreground_accesses;
+        ++stats_.walks;
+        stats_.busy_cycles += result.latency;
+        stats_.walk_latency.sample(result.latency);
+    }
+
+    NestedSystem &sys;
+    MemoryHierarchy &mem;
+    int core;
+    WalkerStats stats_;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_WALKER_HH

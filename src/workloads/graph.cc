@@ -1,0 +1,280 @@
+#include "workloads/graph.hh"
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+const char *
+kernelName(GraphKernel kernel)
+{
+    switch (kernel) {
+      case GraphKernel::BC: return "BC";
+      case GraphKernel::BFS: return "BFS";
+      case GraphKernel::CC: return "CC";
+      case GraphKernel::DC: return "DC";
+      case GraphKernel::DFS: return "DFS";
+      case GraphKernel::PR: return "PR";
+      case GraphKernel::SSSP: return "SSSP";
+      case GraphKernel::TC: return "TC";
+    }
+    return "?";
+}
+
+/** Per-kernel number of 8-byte property arrays (BC keeps several). */
+int
+kernelProps(GraphKernel kernel)
+{
+    switch (kernel) {
+      case GraphKernel::BC: return 4;   // sigma, delta, dist, bc
+      case GraphKernel::SSSP: return 2; // dist, pred
+      case GraphKernel::TC: return 2;   // count, marks
+      default: return 1;
+    }
+}
+
+} // namespace
+
+GraphWorkload::GraphWorkload(GraphKernel kernel_sel,
+                             std::uint64_t footprint_bytes,
+                             std::uint64_t paper_footprint_bytes,
+                             std::uint64_t seed)
+    : Workload(seed), kernel(kernel_sel), footprint(footprint_bytes),
+      paper_footprint(paper_footprint_bytes)
+{
+    num_props = kernelProps(kernel);
+    // footprint = offsets (8B) + edges (deg*8B) + props (num_props*8B)
+    const std::uint64_t bytes_per_vertex =
+        8 + deg * 8 + static_cast<std::uint64_t>(num_props) * 8;
+    vertices = footprint / bytes_per_vertex;
+    NECPT_ASSERT(vertices > 1024);
+}
+
+Workload::Info
+GraphWorkload::info() const
+{
+    return {kernelName(kernel), "Graph analytics", "GraphBIG", footprint,
+            paper_footprint};
+}
+
+void
+GraphWorkload::setup(NestedSystem &sys)
+{
+    offsets_base = sys.mmapRegion(vertices * 8);
+    edges_base = sys.mmapRegion(vertices * deg * 8);
+    for (int p = 0; p < num_props; ++p)
+        prop_base[p] = sys.mmapRegion(vertices * 8);
+    cur_vertex = 0;
+    cur_edge = 0;
+    chase_vertex = 0;
+    phase = 0;
+}
+
+std::uint64_t
+GraphWorkload::target(std::uint64_t u, std::uint64_t i) const
+{
+    // Deterministic per-edge hash; a slice of edges points at globally
+    // popular vertices (power-law in-degree), the rest are uniform.
+    std::uint64_t sm = (u * 0x9E3779B97F4A7C15ULL) ^ (i + 1);
+    const std::uint64_t h = splitmix64(sm);
+    if ((h & 0xFF) < static_cast<std::uint64_t>(skew * 256)) {
+        // Popular target: quadratic concentration near vertex 0.
+        const double f = static_cast<double>(splitmix64(sm) >> 11)
+            * 0x1.0p-53;
+        return static_cast<std::uint64_t>(f * f
+                                          * static_cast<double>(vertices));
+    }
+    return splitmix64(sm) % vertices;
+}
+
+MemAccess
+GraphWorkload::next()
+{
+    switch (kernel) {
+      case GraphKernel::PR:
+        // Pull-style PageRank: stream offsets/edges, gather ranks.
+        switch (phase) {
+          case 0:
+            phase = 1;
+            return read(offsetAddr(cur_vertex), 2);
+          case 1: {
+            const auto i = cur_edge;
+            phase = 2;
+            return read(edgeAddr(cur_vertex, i), 1);
+          }
+          default: {
+            const auto v = target(cur_vertex, cur_edge);
+            if (++cur_edge >= deg) {
+                cur_edge = 0;
+                cur_vertex = (cur_vertex + 1) % vertices;
+                phase = 0;
+            } else {
+                phase = 1;
+            }
+            return read(propAddr(0, v), 4);
+          }
+        }
+
+      case GraphKernel::DC:
+        // Degree centrality: stream every edge, bump the target's
+        // counter — random writes across the whole property array.
+        switch (phase) {
+          case 0: {
+            const auto i = cur_edge;
+            phase = 1;
+            return read(edgeAddr(cur_vertex, i), 2);
+          }
+          default: {
+            const auto v = target(cur_vertex, cur_edge);
+            if (++cur_edge >= deg) {
+                cur_edge = 0;
+                cur_vertex = (cur_vertex + 1) % vertices;
+            }
+            phase = 0;
+            return write(propAddr(0, v), 2);
+          }
+        }
+
+      case GraphKernel::CC:
+        // Hook step: read both endpoint components per edge.
+        switch (phase) {
+          case 0:
+            phase = 1;
+            return read(edgeAddr(cur_vertex, cur_edge), 2);
+          case 1:
+            phase = 2;
+            return read(propAddr(0, cur_vertex), 2);
+          default: {
+            const auto v = target(cur_vertex, cur_edge);
+            if (++cur_edge >= deg) {
+                cur_edge = 0;
+                cur_vertex = (cur_vertex + 1) % vertices;
+            }
+            phase = 0;
+            return read(propAddr(0, v), 3);
+          }
+        }
+
+      case GraphKernel::BFS:
+      case GraphKernel::SSSP: {
+        // Frontier expansion: per processed vertex, scan its edges and
+        // touch the per-target state (visited / dist) randomly.
+        const bool sssp = kernel == GraphKernel::SSSP;
+        switch (phase) {
+          case 0:
+            // Pop the next frontier vertex (queue locality).
+            chase_vertex = rng.below(vertices);
+            phase = 1;
+            return read(offsetAddr(chase_vertex), 2);
+          case 1:
+            phase = 2;
+            return read(edgeAddr(chase_vertex, cur_edge), 1);
+          case 2: {
+            const auto v = target(chase_vertex, cur_edge);
+            phase = sssp ? 3 : 4;
+            chase_vertex ^= 0; // keep cursor
+            cur_vertex = v;
+            return read(propAddr(0, v), 3);
+          }
+          case 3:
+            // SSSP relaxation write to dist.
+            phase = 4;
+            return write(propAddr(1, cur_vertex), 2);
+          default:
+            if (++cur_edge >= deg) {
+                cur_edge = 0;
+                phase = 0;
+            } else {
+                phase = 1;
+            }
+            // Mark / enqueue (frontier writes are fairly local).
+            return write(propAddr(0, cur_vertex), 3);
+        }
+      }
+
+      case GraphKernel::DFS:
+        // Deep dependent pointer chase: one neighbor per step.
+        switch (phase) {
+          case 0:
+            phase = 1;
+            return read(offsetAddr(chase_vertex), 2);
+          case 1:
+            phase = 2;
+            return read(edgeAddr(chase_vertex, cur_edge), 1);
+          default: {
+            chase_vertex = target(chase_vertex, cur_edge);
+            cur_edge = rng.below(deg);
+            phase = 0;
+            // Occasional restart keeps the walk covering the graph.
+            if (rng.chance(1.0 / 64))
+                chase_vertex = rng.below(vertices);
+            return read(propAddr(0, chase_vertex), 3);
+          }
+        }
+
+      case GraphKernel::TC:
+        // Triangle counting: for each edge (u,v), probe u's and v's
+        // adjacency lists pairwise — heavy random reads in the edge
+        // region.
+        switch (phase) {
+          case 0:
+            phase = 1;
+            return read(edgeAddr(cur_vertex, cur_edge), 2);
+          case 1: {
+            chase_vertex = target(cur_vertex, cur_edge);
+            phase = 2;
+            return read(offsetAddr(chase_vertex), 1);
+          }
+          default: {
+            // Binary-search probe into the neighbor's adjacency list.
+            const auto probe = rng.below(deg);
+            if (rng.chance(0.25)) {
+                if (++cur_edge >= deg) {
+                    cur_edge = 0;
+                    cur_vertex = (cur_vertex + 1) % vertices;
+                }
+                phase = 0;
+            }
+            return read(edgeAddr(chase_vertex, probe), 2);
+          }
+        }
+
+      case GraphKernel::BC:
+      default:
+        // Brandes BC: BFS-like traversal touching several property
+        // arrays per visited edge (sigma/dist forward, delta backward).
+        switch (phase) {
+          case 0:
+            chase_vertex = rng.below(vertices);
+            phase = 1;
+            return read(offsetAddr(chase_vertex), 2);
+          case 1:
+            phase = 2;
+            return read(edgeAddr(chase_vertex, cur_edge), 1);
+          case 2:
+            cur_vertex = target(chase_vertex, cur_edge);
+            phase = 3;
+            return read(propAddr(2, cur_vertex), 2); // dist
+          case 3:
+            phase = 4;
+            return read(propAddr(0, cur_vertex), 2); // sigma
+          case 4:
+            phase = 5;
+            return write(propAddr(1, cur_vertex), 2); // delta
+          default:
+            if (++cur_edge >= deg) {
+                cur_edge = 0;
+                phase = 0;
+            } else {
+                phase = 1;
+            }
+            return write(propAddr(3, chase_vertex), 3); // bc accum
+        }
+    }
+}
+
+} // namespace necpt

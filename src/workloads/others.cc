@@ -1,0 +1,137 @@
+#include "workloads/others.hh"
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+// ---------------------------------------------------------------- GUPS
+
+void
+GupsWorkload::setup(NestedSystem &sys)
+{
+    table_words = (footprint * 63 / 64) / 8;
+    table_base = sys.mmapRegion(table_words * 8, true);
+    random_base = sys.mmapRegion(footprint / 64, true);
+    seq_cursor = 0;
+    pending_write = 0;
+}
+
+MemAccess
+GupsWorkload::next()
+{
+    if (pending_write) {
+        // Second half of the read-modify-write update.
+        const Addr addr = pending_write;
+        pending_write = 0;
+        return {addr, true, 1};
+    }
+    // Every 16th access streams the "random numbers" input array.
+    if ((seq_cursor++ & 0xF) == 0) {
+        const Addr addr =
+            random_base + (seq_cursor * 8) % (footprint / 64);
+        return {addr, false, 2};
+    }
+    const Addr addr = table_base + rng.below(table_words) * 8;
+    pending_write = addr;
+    return {addr, false, 2};
+}
+
+// -------------------------------------------------------------- MUMmer
+
+void
+MummerWorkload::setup(NestedSystem &sys)
+{
+    text_bytes = footprint / 8;
+    tree_nodes = (footprint - text_bytes) / 64;
+    text_base = sys.mmapRegion(text_bytes, true);
+    tree_base = sys.mmapRegion(tree_nodes * 64, true);
+    text_cursor = 0;
+    cur_node = 0;
+    depth = 0;
+}
+
+MemAccess
+MummerWorkload::next()
+{
+    if (depth == 0) {
+        // Consume the next query character (sequential stream) and
+        // restart the match from the (hot) tree root region.
+        cur_node = rng.below(64);
+        depth = 1 + static_cast<int>(rng.below(12));
+        const Addr addr = text_base + (text_cursor++ % text_bytes);
+        return {addr, false, 2};
+    }
+    // Descend one level: children of shallow nodes are clustered near
+    // the top of the tree region (hot), deep nodes spread out.
+    --depth;
+    std::uint64_t sm = cur_node * 0x9E3779B97F4A7C15ULL + depth;
+    const std::uint64_t jump = splitmix64(sm);
+    const std::uint64_t spread =
+        tree_nodes >> (depth > 8 ? 0 : (8 - depth));
+    cur_node = (cur_node * 8 + jump % (spread ? spread : 1)) % tree_nodes;
+    return {tree_base + cur_node * 64, false, 3};
+}
+
+// ------------------------------------------------------------ SysBench
+
+void
+SysbenchWorkload::setup(NestedSystem &sys)
+{
+    log_bytes = footprint / 64;
+    const std::uint64_t index_bytes = footprint / 32;
+    index_nodes = index_bytes / 64;
+    num_rows = (footprint - log_bytes - index_bytes) / row_bytes;
+    index_base = sys.mmapRegion(index_bytes, true);
+    rows_base = sys.mmapRegion(num_rows * row_bytes, true);
+    log_base = sys.mmapRegion(log_bytes, true);
+    log_cursor = 0;
+    phase = 0;
+}
+
+MemAccess
+SysbenchWorkload::next()
+{
+    switch (phase) {
+      case 0: {
+        // Pick a row (zipf-skewed OLTP popularity) and walk the index
+        // root level (very hot).
+        cur_row = rng.zipf(num_rows, 0.4);
+        index_node = cur_row % 64;
+        phase = 1;
+        return {index_base + index_node * 64, false, 4};
+      }
+      case 1: {
+        // Inner index level.
+        index_node = (cur_row / 64) % (index_nodes / 8 + 1);
+        phase = 2;
+        return {index_base + (index_nodes / 8 + index_node) * 64, false,
+                2};
+      }
+      case 2: {
+        // Leaf index level.
+        index_node = cur_row % (index_nodes / 2 + 1);
+        phase = 3;
+        return {index_base + (index_nodes / 2 + index_node) * 64, false,
+                2};
+      }
+      case 3: {
+        // The row itself.
+        phase = rng.chance(0.3) ? 4 : 0;
+        return {rows_base + cur_row * row_bytes, false, 4};
+      }
+      case 4:
+        // Update: write the row...
+        phase = 5;
+        return {rows_base + cur_row * row_bytes + 64, true, 2};
+      default: {
+        // ...and append to the log.
+        phase = 0;
+        const Addr addr = log_base + (log_cursor % log_bytes);
+        log_cursor += 64;
+        return {addr, true, 3};
+      }
+    }
+}
+
+} // namespace necpt

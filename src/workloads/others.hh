@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The non-graph Table-4 workloads: HPCC GUPS, BioBench MUMmer, and
+ * SysBench OLTP.
+ */
+
+#ifndef NECPT_WORKLOADS_OTHERS_HH
+#define NECPT_WORKLOADS_OTHERS_HH
+
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+/**
+ * GUPS (Giga-Updates-Per-Second): uniformly random read-modify-write
+ * updates over one enormous table — the canonical TLB torture test.
+ * Nearly its whole footprint is huge-page friendly (Section 9.1 notes
+ * GUPS "can exploit huge pages for the whole dataset").
+ */
+class GupsWorkload : public Workload
+{
+  public:
+    GupsWorkload(std::uint64_t footprint_bytes,
+                 std::uint64_t paper_footprint_bytes, std::uint64_t seed)
+        : Workload(seed), footprint(footprint_bytes),
+          paper_footprint(paper_footprint_bytes)
+    {}
+
+    Info info() const override
+    {
+        return {"GUPS", "HPC", "HPCC", footprint, paper_footprint};
+    }
+
+    void setup(NestedSystem &sys) override;
+    MemAccess next() override;
+
+  private:
+    std::uint64_t footprint;
+    std::uint64_t paper_footprint;
+    Addr table_base = 0;
+    Addr random_base = 0;
+    std::uint64_t table_words = 0;
+    std::uint64_t seq_cursor = 0;
+    Addr pending_write = 0; //!< RMW second half
+};
+
+/**
+ * MUMmer: suffix-tree matching. Streams the reference sequence while
+ * chasing pointers down a large suffix tree whose upper levels are
+ * hot — giving it strong huge-page affinity (Figure 14).
+ */
+class MummerWorkload : public Workload
+{
+  public:
+    MummerWorkload(std::uint64_t footprint_bytes,
+                   std::uint64_t paper_footprint_bytes, std::uint64_t seed)
+        : Workload(seed), footprint(footprint_bytes),
+          paper_footprint(paper_footprint_bytes)
+    {}
+
+    Info info() const override
+    {
+        return {"MUMmer", "Bioinformatics", "BioBench", footprint,
+                paper_footprint};
+    }
+
+    void setup(NestedSystem &sys) override;
+    MemAccess next() override;
+
+  private:
+    std::uint64_t footprint;
+    std::uint64_t paper_footprint;
+    Addr text_base = 0;
+    Addr tree_base = 0;
+    std::uint64_t text_bytes = 0;
+    std::uint64_t tree_nodes = 0;
+    std::uint64_t text_cursor = 0;
+    std::uint64_t cur_node = 0;
+    int depth = 0;
+};
+
+/**
+ * SysBench OLTP: zipf-skewed row lookups through a small hot B-tree
+ * index into a very large row heap, plus sequential log appends.
+ */
+class SysbenchWorkload : public Workload
+{
+  public:
+    SysbenchWorkload(std::uint64_t footprint_bytes,
+                     std::uint64_t paper_footprint_bytes,
+                     std::uint64_t seed)
+        : Workload(seed), footprint(footprint_bytes),
+          paper_footprint(paper_footprint_bytes)
+    {}
+
+    Info info() const override
+    {
+        return {"SysBench", "Systems", "SysBench", footprint,
+                paper_footprint};
+    }
+
+    void setup(NestedSystem &sys) override;
+    MemAccess next() override;
+
+  private:
+    static constexpr std::uint64_t row_bytes = 256;
+
+    std::uint64_t footprint;
+    std::uint64_t paper_footprint;
+    Addr index_base = 0;
+    Addr rows_base = 0;
+    Addr log_base = 0;
+    std::uint64_t num_rows = 0;
+    std::uint64_t index_nodes = 0;
+    std::uint64_t log_bytes = 0;
+    std::uint64_t log_cursor = 0;
+    std::uint64_t cur_row = 0;
+    std::uint64_t index_node = 0;
+    int phase = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WORKLOADS_OTHERS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * A recorded trace lets users drive the simulator with access streams
+ * from outside this repo (e.g. Pin/DynamoRIO captures of real
+ * applications) and makes any synthetic stream inspectable. The file
+ * format is a small header followed by fixed-size little-endian
+ * records:
+ *
+ *   magic  u64  "NECPTTRC"
+ *   count  u64  number of records
+ *   vmas   u64  number of VMA descriptors
+ *   {base u64, bytes u64, flags u64} x vmas
+ *   {vaddr u64, write u8, inst_gap u8, pad[6]} x count
+ */
+
+#ifndef NECPT_WORKLOADS_TRACE_HH
+#define NECPT_WORKLOADS_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+/** One VMA a trace needs mapped before replay. */
+struct TraceVma
+{
+    Addr base;
+    std::uint64_t bytes;
+    bool thp_eligible;
+};
+
+/**
+ * Capture a workload's stream to a trace file.
+ *
+ * @param source workload to record (will be set up against @p sys)
+ * @param sys system used for region allocation during capture
+ * @param accesses number of records to capture
+ * @param path output file
+ * @return true on success
+ */
+bool recordTrace(Workload &source, NestedSystem &sys,
+                 std::uint64_t accesses, const std::string &path);
+
+/**
+ * A workload that replays a trace file (looping when the simulation
+ * needs more accesses than the trace holds).
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(const std::string &path);
+
+    /** Did the file parse? (next()/setup() fatal when not.) */
+    bool valid() const { return loaded; }
+
+    Info info() const override;
+    void setup(NestedSystem &sys) override;
+    MemAccess next() override;
+
+    std::uint64_t recordCount() const { return records.size(); }
+
+  private:
+    std::string path_;
+    bool loaded = false;
+    std::vector<TraceVma> vmas;
+    std::vector<MemAccess> records;
+    std::size_t cursor = 0;
+    /** Replay offset: trace VAs are rebased onto the fresh VMAs. */
+    std::vector<Addr> vma_bias;
+    std::uint64_t footprint = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WORKLOADS_TRACE_HH

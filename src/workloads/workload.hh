@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload interface and factory for the Table-4 applications.
+ *
+ * The paper drives full-system simulation with GraphBIG, HPCC GUPS,
+ * BioBench MUMmer and SysBench binaries. We cannot boot those inside
+ * this repo, so each workload is a deterministic *access-stream
+ * generator* that reproduces the application's virtual-memory
+ * behavior: region layout, footprint (scaled), sequential/random mix,
+ * pointer-chasing depth, and skew. The generators allocate real VMAs
+ * from the NestedSystem and emit guest-virtual addresses; the same
+ * seed always yields the same stream, so every page-table
+ * configuration sees identical traffic (the paper's deterministic
+ * methodology, Section 8).
+ */
+
+#ifndef NECPT_WORKLOADS_WORKLOAD_HH
+#define NECPT_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/system.hh"
+
+namespace necpt
+{
+
+/** One memory reference in a workload trace. */
+struct MemAccess
+{
+    Addr vaddr;            //!< guest-virtual byte address
+    bool write = false;
+    std::uint8_t inst_gap = 3; //!< non-memory instructions before it
+};
+
+/**
+ * Abstract deterministic access-stream generator.
+ */
+class Workload
+{
+  public:
+    struct Info
+    {
+        std::string name;
+        std::string domain;
+        std::string suite;
+        std::uint64_t footprint_bytes; //!< scaled footprint
+        std::uint64_t paper_footprint_bytes; //!< Table-4 value
+    };
+
+    virtual ~Workload() = default;
+
+    virtual Info info() const = 0;
+
+    /** Reserve VMAs and initialize generator state. */
+    virtual void setup(NestedSystem &sys) = 0;
+
+    /** Produce the next access of the deterministic stream. */
+    virtual MemAccess next() = 0;
+
+  protected:
+    explicit Workload(std::uint64_t seed) : rng(seed) {}
+
+    Rng rng;
+};
+
+/** The Table-4 application names, in paper order. */
+const std::vector<std::string> &paperApplications();
+
+/**
+ * Build a workload by name ("BC", "BFS", ..., "GUPS", "MUMmer",
+ * "SysBench").
+ *
+ * @param scale_denominator footprints are Table-4 sizes divided by
+ *        this (default 32 keeps the full suite simulable in minutes
+ *        while preserving footprint >> TLB-reach).
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       std::uint64_t scale_denominator = 32,
+                                       std::uint64_t seed = 0xB0B);
+
+} // namespace necpt
+
+#endif // NECPT_WORKLOADS_WORKLOAD_HH

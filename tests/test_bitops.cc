@@ -1,0 +1,95 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace necpt
+{
+
+TEST(Bitops, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xFFFu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 12), 0xAu);
+    EXPECT_EQ(bits(0xABCD, 11, 8), 0xBu);
+    EXPECT_EQ(bits(0xFFFFFFFFFFFFFFFFULL, 63, 0), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0x8000000000000000ULL, 63, 63), 1u);
+}
+
+TEST(Bitops, AlignUpDown)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0, 0x1000), 0u);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(4096), 12);
+    EXPECT_EQ(floorLog2(4097), 12);
+    EXPECT_EQ(ceilLog2(4096), 12);
+    EXPECT_EQ(ceilLog2(4097), 13);
+}
+
+TEST(Bitops, PageArithmetic)
+{
+    const Addr va = 0x1234'5678'9ABCULL;
+    EXPECT_EQ(pageNumber(va, PageSize::Page4K), va >> 12);
+    EXPECT_EQ(pageNumber(va, PageSize::Page2M), va >> 21);
+    EXPECT_EQ(pageNumber(va, PageSize::Page1G), va >> 30);
+    EXPECT_EQ(pageBase(va, PageSize::Page4K) + pageOffset(va, PageSize::Page4K), va);
+    EXPECT_EQ(pageBase(va, PageSize::Page2M) + pageOffset(va, PageSize::Page2M), va);
+    EXPECT_EQ(lineAddr(0x12345), 0x12340u);
+}
+
+TEST(Bitops, PageSizeHelpers)
+{
+    EXPECT_EQ(pageBytes(PageSize::Page4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Page2M), 2u << 20);
+    EXPECT_EQ(pageBytes(PageSize::Page1G), 1u << 30);
+    EXPECT_EQ(pageShift(PageSize::Page4K), 12);
+    EXPECT_EQ(pageShift(PageSize::Page2M), 21);
+    EXPECT_EQ(pageShift(PageSize::Page1G), 30);
+    EXPECT_STREQ(pageSizeName(PageSize::Page4K), "4K");
+}
+
+/** Figure-1 index split: bits 47-39 / 38-30 / 29-21 / 20-12. */
+TEST(Bitops, RadixIndexSplit)
+{
+    const Addr va = (0x1FFULL << 39) | (0x0ABULL << 30)
+        | (0x0CDULL << 21) | (0x0EFULL << 12) | 0x123;
+    EXPECT_EQ(radixIndex(va, 4), 0x1FFu);
+    EXPECT_EQ(radixIndex(va, 3), 0x0ABu);
+    EXPECT_EQ(radixIndex(va, 2), 0x0CDu);
+    EXPECT_EQ(radixIndex(va, 1), 0x0EFu);
+}
+
+/** Property sweep: page base/offset reconstruct the address. */
+class BitopsPageParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitopsPageParam, BaseOffsetRoundTrip)
+{
+    const auto size = all_page_sizes[GetParam()];
+    for (Addr va = 0; va < (1ULL << 40); va += 0x37FF'FFF1ULL) {
+        EXPECT_EQ(pageBase(va, size) + pageOffset(va, size), va);
+        EXPECT_EQ(pageBase(va, size) % pageBytes(size), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, BitopsPageParam,
+                         ::testing::Values(0, 1, 2));
+
+} // namespace necpt

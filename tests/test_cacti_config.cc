@@ -1,0 +1,108 @@
+/** @file Tests for CactiLite (Table 3) and the configuration factory
+ *  (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti_lite.hh"
+#include "sim/config.hh"
+
+namespace necpt
+{
+
+TEST(CactiLite, Table3ByteBudgets)
+{
+    // Section 8: 768 / 672 / 1680 / 1488 / 1408 bytes.
+    EXPECT_EQ(totalBytes(nativeRadixMmuStructures()), 768u);
+    EXPECT_EQ(totalBytes(nativeEcptMmuStructures()), 672u);
+    EXPECT_EQ(totalBytes(nestedRadixMmuStructures()), 1680u);
+    EXPECT_EQ(totalBytes(nestedEcptMmuStructures()), 1488u);
+    EXPECT_EQ(totalBytes(nestedHybridMmuStructures()), 1408u);
+}
+
+TEST(CactiLite, Table3Magnitudes)
+{
+    const auto radix = CactiLite::estimate(nestedRadixMmuStructures());
+    const auto ecpt = CactiLite::estimate(nestedEcptMmuStructures());
+    const auto hybrid = CactiLite::estimate(nestedHybridMmuStructures());
+    // Table 3: 0.01 / 0.03 / 0.02 mm^2 and 2.9 / 5.2 / 2.8 mW.
+    EXPECT_NEAR(radix.area_mm2, 0.01, 0.005);
+    EXPECT_NEAR(ecpt.area_mm2, 0.03, 0.01);
+    EXPECT_NEAR(hybrid.area_mm2, 0.02, 0.01);
+    EXPECT_NEAR(radix.power_mw, 2.9, 0.6);
+    EXPECT_NEAR(ecpt.power_mw, 5.2, 1.0);
+    EXPECT_NEAR(hybrid.power_mw, 2.8, 0.6);
+    // The qualitative Table-3 relations hold exactly.
+    EXPECT_GT(ecpt.area_mm2, radix.area_mm2);
+    EXPECT_GT(ecpt.power_mw, radix.power_mw);
+    EXPECT_LT(hybrid.power_mw, ecpt.power_mw);
+}
+
+TEST(CactiLite, MonotoneInBytesAndPorts)
+{
+    const auto small = CactiLite::estimate(SramStructure{"s", 100, 1});
+    const auto big = CactiLite::estimate(SramStructure{"b", 1000, 1});
+    const auto ported = CactiLite::estimate(SramStructure{"p", 100, 3});
+    EXPECT_LT(small.area_mm2, big.area_mm2);
+    EXPECT_LT(small.power_mw, big.power_mw);
+    EXPECT_LT(small.area_mm2, ported.area_mm2);
+    EXPECT_LT(small.power_mw, ported.power_mw);
+}
+
+TEST(Config, Table1HasTenRows)
+{
+    const auto configs = table1Configs();
+    EXPECT_EQ(configs.size(), 10u);
+    // Names match the paper's Table 1.
+    EXPECT_EQ(configName(ConfigId::Radix), "Radix");
+    EXPECT_EQ(configName(ConfigId::RadixThp), "Radix THP");
+    EXPECT_EQ(configName(ConfigId::NestedEcptThp), "Nested ECPTs THP");
+    EXPECT_EQ(configName(ConfigId::NestedHybrid), "Nested Hybrid");
+}
+
+TEST(Config, KindsWired)
+{
+    EXPECT_FALSE(makeConfig(ConfigId::Radix).system.virtualized);
+    EXPECT_TRUE(makeConfig(ConfigId::NestedRadix).system.virtualized);
+    EXPECT_EQ(makeConfig(ConfigId::NestedHybrid).system.guest_kind,
+              PtKind::Radix);
+    EXPECT_EQ(makeConfig(ConfigId::NestedHybrid).system.host_kind,
+              PtKind::Ecpt);
+    EXPECT_EQ(makeConfig(ConfigId::FlatNested).system.host_kind,
+              PtKind::Flat);
+    EXPECT_TRUE(makeConfig(ConfigId::NestedEcpt)
+                    .system.host_ecpt.has_pte_cwt);
+    EXPECT_FALSE(makeConfig(ConfigId::PlainNestedEcpt)
+                     .system.host_ecpt.has_pte_cwt);
+}
+
+TEST(Config, ThpFlagPropagates)
+{
+    const auto thp = makeConfig(ConfigId::NestedEcptThp);
+    EXPECT_TRUE(thp.system.guest_thp);
+    EXPECT_TRUE(thp.system.host_thp);
+    const auto flat = makeConfig(ConfigId::NestedEcpt);
+    EXPECT_FALSE(flat.system.guest_thp);
+}
+
+TEST(Config, FeatureLadder)
+{
+    auto plain = NestedEcptFeatures::plain();
+    EXPECT_FALSE(plain.stc);
+    auto adv = NestedEcptFeatures::advanced();
+    EXPECT_TRUE(adv.stc && adv.step1_pte_hcwt && adv.step3_adaptive_pte
+                && adv.pt_4kb);
+    const auto cfg =
+        makeNestedEcptConfig({true, false, false, false}, false, "X");
+    EXPECT_TRUE(cfg.features.stc);
+    EXPECT_FALSE(cfg.features.step1_pte_hcwt);
+    EXPECT_FALSE(cfg.system.host_ecpt.has_pte_cwt);
+}
+
+TEST(Config, AppThpCoverage)
+{
+    EXPECT_GT(appGuestThpCoverage("GUPS"), 0.99);
+    EXPECT_GT(appGuestThpCoverage("SysBench"), 0.9);
+    EXPECT_LT(appGuestThpCoverage("BFS"), 0.6);
+}
+
+} // namespace necpt

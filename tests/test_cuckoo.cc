@@ -1,0 +1,262 @@
+/** @file Unit + property tests for the elastic cuckoo hash table. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "pt/cuckoo.hh"
+#include "tests/test_util.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+using Table = ElasticCuckooTable<std::uint64_t>;
+
+CuckooConfig
+tinyConfig(std::uint64_t slots = 64, int ways = 3)
+{
+    CuckooConfig cfg;
+    cfg.ways = ways;
+    cfg.initial_slots = slots;
+    cfg.slot_bytes = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cuckoo, InsertFindErase)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig());
+    table.insert(42, 4200);
+    auto hit = table.find(42);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit.value, 4200u);
+    EXPECT_GE(hit.way, 0);
+    EXPECT_LT(hit.way, 3);
+    EXPECT_TRUE(table.erase(42));
+    EXPECT_FALSE(table.find(42));
+    EXPECT_FALSE(table.erase(42));
+}
+
+TEST(Cuckoo, UpdateInPlace)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig());
+    table.insert(7, 1);
+    table.insert(7, 2);
+    EXPECT_EQ(*table.find(7).value, 2u);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Cuckoo, SlotAddrWithinWayRegion)
+{
+    BumpAllocator alloc(0x100000);
+    Table table(alloc, tinyConfig(64, 3));
+    table.insert(99, 1);
+    const auto hit = table.find(99);
+    const Addr base = table.wayBase(hit.way);
+    EXPECT_GE(hit.slot_addr, base);
+    EXPECT_LT(hit.slot_addr, base + 64 * table.slotBytes());
+}
+
+TEST(Cuckoo, ProbeAddrsCoverResidentSlot)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig());
+    for (std::uint64_t k = 0; k < 50; ++k)
+        table.insert(k, k * 10);
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        std::vector<Addr> probes;
+        table.probeAddrs(k, (1u << table.numWays()) - 1, probes);
+        const auto hit = table.find(k);
+        ASSERT_TRUE(hit);
+        EXPECT_NE(std::find(probes.begin(), probes.end(), hit.slot_addr),
+                  probes.end());
+    }
+}
+
+TEST(Cuckoo, ProbeMaskRestrictsWays)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(64, 3));
+    std::vector<Addr> probes;
+    table.probeAddrs(5, 0b010, probes);
+    EXPECT_EQ(probes.size(), 1u); // one way, no resize in flight
+    probes.clear();
+    table.probeAddrs(5, 0b111, probes);
+    EXPECT_EQ(probes.size(), 3u);
+}
+
+TEST(Cuckoo, DisplacementsReported)
+{
+    BumpAllocator alloc;
+    CuckooConfig cfg = tinyConfig(32, 2);
+    cfg.resize_threshold = 0.95; // force collisions before resizing
+    Table table(alloc, cfg);
+    std::map<std::uint64_t, int> way_of;
+    table.setMoveCallback([&](std::uint64_t key, int way) {
+        way_of[key] = way;
+    });
+    for (std::uint64_t k = 0; k < 40; ++k)
+        table.insert(k, k);
+    // Every present key's callback-reported way matches reality.
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        const auto hit = table.find(k);
+        ASSERT_TRUE(hit);
+        if (!hit.in_old_generation) {
+            EXPECT_EQ(way_of[k], hit.way) << "key " << k;
+        }
+    }
+    EXPECT_GT(table.rehashMoves(), 0u);
+}
+
+TEST(Cuckoo, ElasticResizeTriggersAtThreshold)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(32, 3));
+    std::uint64_t k = 0;
+    while (!table.resizing() && k < 1000)
+        table.insert(k++, k);
+    EXPECT_TRUE(table.resizing());
+    // Load factor at trigger is near the 0.6 threshold.
+    EXPECT_GT(static_cast<double>(k) / (32.0 * 3), 0.5);
+    // During resize, probes cover both generations.
+    std::vector<Addr> probes;
+    table.probeAddrs(0, 0b111, probes);
+    EXPECT_EQ(probes.size(), 6u);
+}
+
+TEST(Cuckoo, NoEntryLostAcrossResizes)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(16, 3));
+    constexpr std::uint64_t n = 5000;
+    for (std::uint64_t k = 0; k < n; ++k)
+        table.insert(k * 7 + 1, k);
+    EXPECT_GT(table.resizeCount(), 0u);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        auto hit = table.find(k * 7 + 1);
+        ASSERT_TRUE(hit) << "key " << k * 7 + 1;
+        EXPECT_EQ(*hit.value, k);
+    }
+    EXPECT_EQ(table.size(), n);
+}
+
+TEST(Cuckoo, GradualMigrationDrains)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(16, 3));
+    std::uint64_t k = 0;
+    while (!table.resizing())
+        table.insert(k++, 0);
+    // Keep inserting: migration progresses a few entries per insert
+    // and eventually the retiring generation is freed.
+    std::uint64_t inserts = 0;
+    while (table.resizing() && inserts < 10000) {
+        table.insert(100000 + inserts, 0);
+        ++inserts;
+        if (table.loadFactor() > 0.55)
+            break; // next resize imminent; stop the experiment
+    }
+    EXPECT_GT(alloc.frees, 0);
+}
+
+TEST(Cuckoo, FinishResizeForcesCompletion)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(16, 3));
+    std::uint64_t k = 0;
+    while (!table.resizing())
+        table.insert(k++, 0);
+    table.finishResize();
+    EXPECT_FALSE(table.resizing());
+    for (std::uint64_t i = 0; i < k; ++i)
+        EXPECT_TRUE(table.find(i));
+}
+
+TEST(Cuckoo, ResizeMovesCounted)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(16, 3));
+    for (std::uint64_t k = 0; k < 200; ++k)
+        table.insert(k, k);
+    table.finishResize();
+    EXPECT_GT(table.resizeMoves(), 0u);
+}
+
+TEST(Cuckoo, StructureBytesMatchGeometry)
+{
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(64, 3));
+    EXPECT_EQ(table.structureBytes(), 64u * 3 * 64);
+}
+
+/** The Section-4.4 staleness argument: inserts can relocate *other*
+ *  keys, so a cached pointer to a slot would go stale. */
+TEST(Cuckoo, InsertsRelocateOtherKeys)
+{
+    BumpAllocator alloc;
+    CuckooConfig cfg = tinyConfig(64, 2);
+    cfg.resize_threshold = 0.95;
+    Table table(alloc, cfg);
+    // Fill densely, recording each key's slot address.
+    std::map<std::uint64_t, Addr> addr_of;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        table.insert(k, k);
+        for (std::uint64_t j = 0; j <= k; ++j) {
+            auto hit = table.find(j);
+            if (hit)
+                addr_of[j] = hit.slot_addr;
+        }
+    }
+    // At least one previously-placed key moved at some point: its
+    // final address differs from some historical one. Detect via the
+    // rehash counter, which only counts displacements of *resident*
+    // entries.
+    EXPECT_GT(table.rehashMoves(), 0u);
+}
+
+/** Parameterized sweep over ways/slots: membership is exact. */
+class CuckooGeometry
+    : public ::testing::TestWithParam<std::pair<int, std::uint64_t>>
+{};
+
+TEST_P(CuckooGeometry, MembershipExact)
+{
+    const auto [ways, slots] = GetParam();
+    BumpAllocator alloc;
+    Table table(alloc, tinyConfig(slots, ways));
+    std::set<std::uint64_t> present;
+    Rng rng(static_cast<std::uint64_t>(ways) * 1000 + slots);
+    for (int op = 0; op < 3000; ++op) {
+        const std::uint64_t key = rng.below(500);
+        if (rng.chance(0.7)) {
+            table.insert(key, key);
+            present.insert(key);
+        } else {
+            table.erase(key);
+            present.erase(key);
+        }
+    }
+    for (std::uint64_t key = 0; key < 500; ++key)
+        EXPECT_EQ(static_cast<bool>(table.find(key)),
+                  present.count(key) > 0)
+            << "key " << key;
+    EXPECT_EQ(table.size(), present.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CuckooGeometry,
+    ::testing::Values(std::make_pair(2, 32ULL),
+                      std::make_pair(2, 128ULL),
+                      std::make_pair(3, 16ULL),
+                      std::make_pair(3, 64ULL),
+                      std::make_pair(4, 64ULL)));
+
+} // namespace necpt

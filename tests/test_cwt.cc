@@ -1,0 +1,184 @@
+/** @file Unit tests for Cuckoo Walk Tables. */
+
+#include <gtest/gtest.h>
+
+#include "pt/cwt.hh"
+#include "tests/test_util.hh"
+
+namespace necpt
+{
+
+namespace
+{
+CuckooConfig
+cwtConfig()
+{
+    CuckooConfig cfg;
+    cfg.ways = 2;
+    cfg.initial_slots = 128;
+    cfg.slot_bytes = 16;
+    return cfg;
+}
+} // namespace
+
+TEST(Cwt, SectionGranularities)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable pte(alloc, PageSize::Page4K, cwtConfig());
+    CuckooWalkTable pmd(alloc, PageSize::Page2M, cwtConfig());
+    CuckooWalkTable pud(alloc, PageSize::Page1G, cwtConfig());
+    EXPECT_EQ(pte.sectionShift(), 15); // 32KB: one PTE-ECPT block
+    EXPECT_EQ(pmd.sectionShift(), 21); // 2MB
+    EXPECT_EQ(pud.sectionShift(), 30); // 1GB
+}
+
+TEST(Cwt, PresentRoundTrip)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    EXPECT_FALSE(cwt.query(0x4000'0000).has_value());
+    cwt.setPresent(0x4000'0000, 2);
+    const auto d = cwt.query(0x4000'0000);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->present);
+    EXPECT_EQ(d->way, 2);
+    EXPECT_FALSE(d->hasSmaller());
+}
+
+TEST(Cwt, SectionsIndependent)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    const Addr base = 0x8000'0000;
+    cwt.setPresent(base, 1);
+    // The adjacent 2MB section is untouched but covered by the same
+    // entry -> present=false descriptor, not nullopt.
+    const auto other = cwt.query(base + (2ULL << 20));
+    ASSERT_TRUE(other.has_value());
+    EXPECT_FALSE(other->present);
+    // A section in a different (untouched) chunk: no entry at all.
+    EXPECT_FALSE(cwt.query(base + (1ULL << 36)).has_value());
+}
+
+TEST(Cwt, SmallerSizeBitsTracked)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page1G, cwtConfig());
+    cwt.setHasSmaller(0x0, PageSize::Page2M);
+    auto d = cwt.query(0x0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_FALSE(d->present);
+    EXPECT_TRUE(d->smaller_2m);
+    EXPECT_FALSE(d->smaller_4k);
+    // Uniformly-2MB regions stay distinguishable until a 4KB mapping
+    // lands in the section.
+    cwt.setHasSmaller(0x0, PageSize::Page4K);
+    d = cwt.query(0x0);
+    EXPECT_TRUE(d->smaller_2m);
+    EXPECT_TRUE(d->smaller_4k);
+    EXPECT_TRUE(d->hasSmaller());
+}
+
+TEST(Cwt, PresentExcludesSmaller)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    cwt.setPresent(0x0, 1);
+    const auto d = cwt.query(0x0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->present);
+    EXPECT_FALSE(d->hasSmaller());
+}
+
+TEST(Cwt, WayUpdateOverwrites)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    cwt.setPresent(0x0, 0);
+    cwt.setPresent(0x0, 2);
+    EXPECT_EQ(cwt.query(0x0)->way, 2);
+}
+
+TEST(Cwt, EntryKeyCoversAllSections)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    const Addr base = 0x4'0000'0000; // entry-aligned (256MB for PMD)
+    const int n = CuckooWalkTable::sections_per_entry;
+    for (int s = 0; s < n; ++s)
+        EXPECT_EQ(cwt.entryKey(base + (static_cast<Addr>(s) << 21)),
+                  cwt.entryKey(base));
+    EXPECT_NE(cwt.entryKey(base + (static_cast<Addr>(n) << 21)),
+              cwt.entryKey(base));
+}
+
+TEST(Cwt, AllSectionsIndependentlyStored)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    const Addr base = 0x8'0000'0000;
+    const int n = CuckooWalkTable::sections_per_entry;
+    for (int s = 0; s < n; ++s)
+        cwt.setPresent(base + (static_cast<Addr>(s) << 21), s % 4);
+    for (int s = 0; s < n; ++s) {
+        const auto d = cwt.query(base + (static_cast<Addr>(s) << 21));
+        ASSERT_TRUE(d.has_value());
+        EXPECT_TRUE(d->present);
+        EXPECT_EQ(d->way, s % 4);
+    }
+}
+
+TEST(Cwt, EntryProbeAddrsFetchDescriptorLine)
+{
+    BumpAllocator alloc(0x100000);
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    cwt.setPresent(0x0, 0);
+    std::vector<Addr> probes;
+    cwt.entryProbeAddrs(0x0, probes);
+    ASSERT_EQ(probes.size(), 1u); // one descriptor line per refill
+    EXPECT_GE(probes[0], 0x100000u);
+    // Sections 128 nibbles apart land on different lines.
+    std::vector<Addr> far;
+    cwt.setPresent(300ULL << 21, 1);
+    cwt.entryProbeAddrs(300ULL << 21, far);
+    ASSERT_EQ(far.size(), 1u);
+    EXPECT_NE(far[0], probes[0]);
+}
+
+TEST(Cwt, NeighboringSectionsPackIntoNibbles)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page2M, cwtConfig());
+    cwt.setPresent(0x0, 3);
+    cwt.setHasSmaller(0x20'0000, PageSize::Page4K);
+    const auto d0 = cwt.query(0x0);
+    ASSERT_TRUE(d0.has_value());
+    EXPECT_TRUE(d0->present);
+    EXPECT_EQ(d0->way, 3);
+    const auto d1 = cwt.query(0x20'0000);
+    ASSERT_TRUE(d1.has_value());
+    EXPECT_TRUE(d1->smaller_4k);
+    EXPECT_FALSE(d1->present);
+    // A far section in the same chunk decodes independently.
+    cwt.setPresent(40ULL << 21, 2);
+    const auto d40 = cwt.query(40ULL << 21);
+    EXPECT_TRUE(d40->present);
+    EXPECT_EQ(d40->way, 2);
+}
+
+TEST(Cwt, StructureBytesGrowPerChunk)
+{
+    BumpAllocator alloc;
+    CuckooWalkTable cwt(alloc, PageSize::Page4K, cwtConfig());
+    EXPECT_EQ(cwt.structureBytes(), 0u);
+    cwt.setPresent(0x0, 0);
+    EXPECT_EQ(cwt.structureBytes(), CuckooWalkTable::chunk_bytes);
+    // Same chunk: no growth.
+    cwt.setPresent(0x8000, 1);
+    EXPECT_EQ(cwt.structureBytes(), CuckooWalkTable::chunk_bytes);
+    // A section in another chunk materializes a new one.
+    cwt.setPresent(1ULL << 40, 2);
+    EXPECT_EQ(cwt.structureBytes(), 2 * CuckooWalkTable::chunk_bytes);
+}
+
+} // namespace necpt

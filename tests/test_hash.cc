@@ -1,0 +1,72 @@
+/** @file Unit tests for the CRC hash family (common/hash.hh). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/hash.hh"
+
+namespace necpt
+{
+
+TEST(Crc64, DeterministicAndSpread)
+{
+    EXPECT_EQ(crc64(0x1234), crc64(0x1234));
+    EXPECT_NE(crc64(0x1234), crc64(0x1235));
+    // Single-bit input changes flip many output bits (avalanche-ish).
+    int differing = std::popcount(crc64(0x1000) ^ crc64(0x1001));
+    EXPECT_GT(differing, 16);
+}
+
+TEST(HashFunction, SeedIndependence)
+{
+    HashFunction f1(1), f2(2);
+    int collisions = 0;
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        if ((f1(k) & 0xFFF) == (f2(k) & 0xFFF))
+            ++collisions;
+    // Two independent functions should collide on a 12-bit reduction
+    // at roughly 1/4096 per key; allow generous slack.
+    EXPECT_LT(collisions, 32);
+}
+
+TEST(HashFunction, Uniformity)
+{
+    HashFunction f(42);
+    constexpr int buckets = 64;
+    std::vector<int> histogram(buckets, 0);
+    constexpr int keys = 64 * 1000;
+    for (std::uint64_t k = 0; k < keys; ++k)
+        ++histogram[f(k) % buckets];
+    for (int count : histogram) {
+        EXPECT_GT(count, 700);
+        EXPECT_LT(count, 1300);
+    }
+}
+
+TEST(HashFamily, DistinctMembers)
+{
+    HashFamily family(0xFEED, 3);
+    std::set<std::uint64_t> outputs;
+    for (int s = 0; s < num_page_sizes; ++s)
+        for (int w = 0; w < 3; ++w)
+            outputs.insert(family.way(all_page_sizes[s], w)(0xCAFE));
+    // All nine members should hash the same key differently.
+    EXPECT_EQ(outputs.size(), 9u);
+}
+
+TEST(HashFamily, ReproducibleAcrossInstances)
+{
+    HashFamily a(7, 3), b(7, 3);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(a.way(PageSize::Page4K, 1)(k),
+                  b.way(PageSize::Page4K, 1)(k));
+}
+
+TEST(HashFunction, LatencyConstant)
+{
+    EXPECT_EQ(HashFunction::latency, 2u);
+}
+
+} // namespace necpt

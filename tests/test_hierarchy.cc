@@ -1,0 +1,130 @@
+/** @file Unit tests for the memory hierarchy facade. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace necpt
+{
+
+namespace
+{
+MemHierarchyConfig
+tinyConfig()
+{
+    MemHierarchyConfig cfg;
+    cfg.l1 = {"L1", 4096, 2, 2, 4};
+    cfg.l2 = {"L2", 16384, 4, 16, 4};
+    cfg.l3 = {"L3", 65536, 8, 56, 8};
+    return cfg;
+}
+} // namespace
+
+TEST(Hierarchy, ColdMissGoesToDram)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    const auto r = mem.access(0x1000, 0, Requester::Core, 0);
+    EXPECT_EQ(r.level, MemLevel::Dram);
+    EXPECT_GT(r.latency, 56u);
+}
+
+TEST(Hierarchy, FillsAllLevelsForCore)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    mem.access(0x1000, 0, Requester::Core, 0);
+    const auto r = mem.access(0x1000, 100, Requester::Core, 0);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, MmuEntersAtL2AndSkipsL1)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    mem.access(0x2000, 0, Requester::Mmu, 0);
+    // MMU fill landed in L2/L3 but not L1.
+    EXPECT_FALSE(mem.l1(0).contains(0x2000));
+    EXPECT_TRUE(mem.l2(0).contains(0x2000));
+    EXPECT_TRUE(mem.l3().contains(0x2000));
+    const auto r = mem.access(0x2000, 100, Requester::Mmu, 0);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.latency, 16u);
+}
+
+TEST(Hierarchy, MmuFillsPolluteCoreCapacity)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    // Core warms a line, then the MMU streams through L2.
+    mem.access(0x0, 0, Requester::Core, 0);
+    for (Addr a = 0x100000; a < 0x100000 + 64 * 1024; a += 64)
+        mem.access(a, 0, Requester::Mmu, 0);
+    // L2/L3 capacity was consumed by walker traffic.
+    EXPECT_FALSE(mem.l2(0).contains(0x0));
+}
+
+TEST(Hierarchy, BatchDeduplicatesLines)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    const std::vector<Addr> addrs = {0x1000, 0x1008, 0x1010, 0x2000};
+    const BatchResult r = mem.batchAccess(addrs, 0, 0);
+    EXPECT_EQ(r.requests, 2); // 0x1000-line + 0x2000-line
+}
+
+TEST(Hierarchy, BatchLatencyIsMaxNotSum)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    // Warm two lines into L2.
+    mem.access(0x1000, 0, Requester::Mmu, 0);
+    mem.access(0x5000, 0, Requester::Mmu, 0);
+    const BatchResult warm = mem.batchAccess({0x1000, 0x5000}, 100, 0);
+    // Both are L2 hits issued in one wave: ~16 cycles, not ~32.
+    EXPECT_LE(warm.latency, 20u);
+    EXPECT_EQ(warm.l2_misses, 0);
+}
+
+TEST(Hierarchy, WideColdBatchSlowerThanNarrow)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    std::vector<Addr> narrow, wide;
+    for (int i = 0; i < 2; ++i)
+        narrow.push_back(0x800000 + static_cast<Addr>(i) * 8192);
+    for (int i = 0; i < 27; ++i)
+        wide.push_back(0xA00000 + static_cast<Addr>(i) * 8192);
+    const auto nr = mem.batchAccess(narrow, 0, 0);
+    const auto wr = mem.batchAccess(wide, 100000, 0);
+    // A 27-line cold batch exceeds MSHRs/banks and pays for it.
+    EXPECT_GT(wr.latency, nr.latency);
+    EXPECT_EQ(wr.requests, 27);
+}
+
+TEST(Hierarchy, MshrOccupancyTracked)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 8; ++i)
+        addrs.push_back(0x300000 + static_cast<Addr>(i) * 8192);
+    mem.batchAccess(addrs, 0, 0);
+    EXPECT_GT(mem.avgMshrsInUse(), 0.0);
+    EXPECT_LE(mem.maxMshrsInUse(), 4u); // tiny config: 4 L2 MSHRs
+    mem.resetStats();
+    EXPECT_DOUBLE_EQ(mem.avgMshrsInUse(), 0.0);
+}
+
+TEST(Hierarchy, PerCoreL1L2SharedL3)
+{
+    MemoryHierarchy mem(tinyConfig(), 2);
+    mem.access(0x4000, 0, Requester::Core, 0);
+    // Core 1 misses its private L1/L2 but hits the shared L3.
+    const auto r = mem.access(0x4000, 100, Requester::Core, 1);
+    EXPECT_EQ(r.level, MemLevel::L3);
+}
+
+TEST(Hierarchy, StatsPerRequester)
+{
+    MemoryHierarchy mem(tinyConfig(), 1);
+    mem.access(0x0, 0, Requester::Core, 0);
+    mem.access(0x40, 0, Requester::Mmu, 0);
+    EXPECT_EQ(mem.l2(0).stats(Requester::Core).accesses(), 1u);
+    EXPECT_EQ(mem.l2(0).stats(Requester::Mmu).accesses(), 1u);
+}
+
+} // namespace necpt

@@ -1,0 +1,97 @@
+/** @file Unit tests for the CSV/JSON result export. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.hh"
+
+namespace necpt
+{
+
+namespace
+{
+SimResult
+sampleResult()
+{
+    SimResult r;
+    r.config = "Nested ECPTs";
+    r.app = "GUPS";
+    r.instructions = 1000;
+    r.cycles = 5000;
+    r.mmu_busy_cycles = 1234;
+    r.walks = 42;
+    r.mmu_requests = 126;
+    r.l2_mpki = 10.5;
+    r.l3_mpki = 7.25;
+    r.mmu_rpki = 126.0;
+    r.step_avg[0] = 2.8;
+    r.step_avg[1] = 2.8;
+    r.step_avg[2] = 1.6;
+    r.stc_hit_rate = 0.99;
+    r.guest_structure_bytes = 1 << 20;
+    r.host_structure_bytes = 2 << 20;
+    r.pte_bytes_total = 4096;
+    return r;
+}
+} // namespace
+
+TEST(Report, CsvRoundTripParses)
+{
+    const std::string path = "/tmp/necpt_report_test.csv";
+    ASSERT_TRUE(writeCsvFile(path, {sampleResult(), sampleResult()}));
+
+    std::ifstream in(path);
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row1));
+    ASSERT_TRUE(std::getline(in, row2));
+    EXPECT_FALSE(std::getline(in, extra));
+
+    // Header and rows have the same number of columns.
+    auto columns = [](const std::string &line) {
+        int n = 1;
+        bool quoted = false;
+        for (char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(columns(header), columns(row1));
+    EXPECT_EQ(row1, row2);
+    EXPECT_NE(row1.find("\"Nested ECPTs\""), std::string::npos);
+    EXPECT_NE(row1.find("2.800"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, JsonContainsKeyFields)
+{
+    const std::string json = toJson(sampleResult());
+    EXPECT_NE(json.find("\"config\":\"Nested ECPTs\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"walks\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"step_avg\":[2.8,2.8,1.6]"),
+              std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Report, EscapesQuotes)
+{
+    SimResult r = sampleResult();
+    r.app = "we\"ird";
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(Report, CsvFileFailureReturnsFalse)
+{
+    EXPECT_FALSE(writeCsvFile("/no/such/dir/x.csv", {sampleResult()}));
+}
+
+} // namespace necpt

@@ -1,0 +1,101 @@
+/** @file Unit tests for the deterministic RNG (common/rng.hh). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace necpt
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= (v == 10);
+        saw_hi |= (v == 13);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng rng(77);
+    constexpr std::uint64_t n = 100000;
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const auto rank = rng.zipf(n, 0.9);
+        EXPECT_LT(rank, n);
+        if (rank < n / 100)
+            ++low;
+    }
+    // With skew 0.9, far more than 1% of draws land in the lowest 1%.
+    EXPECT_GT(low, total / 10);
+}
+
+TEST(Splitmix, KnownSequenceStable)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+    const auto a = splitmix64(s1);
+    const auto b = splitmix64(s2);
+    EXPECT_EQ(a, b);
+    // State advances: successive outputs differ.
+    EXPECT_NE(a, splitmix64(s1));
+}
+
+} // namespace necpt

@@ -1,0 +1,171 @@
+/** @file End-to-end simulator tests: determinism, sanity, and the
+ *  paper's headline ordering on a scaled-down run. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace necpt
+{
+
+namespace
+{
+SimParams
+quickParams()
+{
+    SimParams params;
+    params.warmup_accesses = 20'000;
+    params.measure_accesses = 60'000;
+    params.scale_denominator = 256;
+    return params;
+}
+} // namespace
+
+TEST(Simulator, RunsAndPopulatesResult)
+{
+    const auto cfg = makeConfig(ConfigId::NestedEcptThp);
+    const SimResult r = runSim(cfg, quickParams(), "GUPS");
+    EXPECT_GT(r.instructions, 100'000u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.walks, 0u);
+    EXPECT_GT(r.mmu_busy_cycles, 0u);
+    EXPECT_GT(r.mmu_rpki, 0.0);
+    EXPECT_GT(r.l2_tlb_misses, 0u);
+    EXPECT_GE(r.stc_hit_rate, 0.0);
+    EXPECT_GT(r.pte_bytes_total, 0u);
+    EXPECT_EQ(r.app, "GUPS");
+}
+
+TEST(Simulator, Deterministic)
+{
+    const auto cfg = makeConfig(ConfigId::NestedRadix);
+    const SimResult a = runSim(cfg, quickParams(), "BFS");
+    const SimResult b = runSim(cfg, quickParams(), "BFS");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.mmu_busy_cycles, b.mmu_busy_cycles);
+}
+
+TEST(Simulator, AllTable1ConfigsRun)
+{
+    for (const ConfigId id : table1Configs()) {
+        const SimResult r =
+            runSim(makeConfig(id), quickParams(), "BFS");
+        EXPECT_GT(r.cycles, 0u) << configName(id);
+        EXPECT_GT(r.walks, 0u) << configName(id);
+    }
+}
+
+TEST(Simulator, BaselineConfigsRun)
+{
+    for (const ConfigId id :
+         {ConfigId::PlainNestedEcptThp, ConfigId::AgilePagingIdealThp,
+          ConfigId::PomTlbThp, ConfigId::FlatNestedThp}) {
+        const SimResult r =
+            runSim(makeConfig(id), quickParams(), "MUMmer");
+        EXPECT_GT(r.cycles, 0u) << configName(id);
+    }
+}
+
+/** The paper's central claim, on a tiny run: Nested ECPTs beat Nested
+ *  Radix on the TLB-hostile GUPS. */
+TEST(Simulator, NestedEcptBeatsNestedRadixOnGups)
+{
+    SimParams params = quickParams();
+    params.measure_accesses = 120'000;
+    const SimResult radix =
+        runSim(makeConfig(ConfigId::NestedRadix), params, "GUPS");
+    const SimResult ecpt =
+        runSim(makeConfig(ConfigId::NestedEcpt), params, "GUPS");
+    EXPECT_LT(ecpt.cycles, radix.cycles);
+    // And it spends fewer MMU busy cycles (Figure 10).
+    EXPECT_LT(ecpt.mmu_busy_cycles, radix.mmu_busy_cycles);
+}
+
+TEST(Simulator, NativeFasterThanNested)
+{
+    const SimResult native =
+        runSim(makeConfig(ConfigId::Radix), quickParams(), "BFS");
+    const SimResult nested =
+        runSim(makeConfig(ConfigId::NestedRadix), quickParams(), "BFS");
+    EXPECT_LT(native.cycles, nested.cycles);
+}
+
+TEST(Simulator, ThpReducesWalks)
+{
+    const SimResult flat =
+        runSim(makeConfig(ConfigId::NestedRadix), quickParams(), "GUPS");
+    const SimResult thp = runSim(makeConfig(ConfigId::NestedRadixThp),
+                                 quickParams(), "GUPS");
+    // GUPS is fully huge-page friendly: far fewer L2 TLB misses.
+    EXPECT_LT(thp.l2_tlb_misses, flat.l2_tlb_misses / 2);
+    EXPECT_LT(thp.cycles, flat.cycles);
+}
+
+TEST(Simulator, WalkKindsPopulatedForNestedEcpt)
+{
+    const SimResult r = runSim(makeConfig(ConfigId::NestedEcptThp),
+                               quickParams(), "GUPS");
+    double gsum = 0, hsum = 0;
+    for (int k = 0; k < 4; ++k) {
+        gsum += r.guest_kind_frac[k];
+        hsum += r.host_kind_frac[k];
+    }
+    EXPECT_NEAR(gsum, 1.0, 1e-9);
+    EXPECT_NEAR(hsum, 1.0, 1e-9);
+    // Steps report sensible parallel-access counts.
+    for (int s = 0; s < 3; ++s)
+        EXPECT_GE(r.step_avg[s], 1.0);
+}
+
+TEST(ExperimentHelpers, GridAndSpeedup)
+{
+    SimParams params = quickParams();
+    params.measure_accesses = 30'000;
+    const auto grid = runGrid({makeConfig(ConfigId::NestedRadix),
+                               makeConfig(ConfigId::NestedEcpt)},
+                              {"BFS"}, params);
+    EXPECT_TRUE(grid.has("Nested Radix", "BFS"));
+    const double s =
+        speedupOver(grid, "Nested Radix", "Nested ECPTs", "BFS");
+    EXPECT_GT(s, 0.5);
+    EXPECT_LT(s, 3.0);
+}
+
+TEST(ExperimentHelpers, EnvDefaults)
+{
+    const SimParams params = paramsFromEnv();
+    EXPECT_GT(params.measure_accesses, 0u);
+    EXPECT_GE(appsFromEnv().size(), 1u);
+    EXPECT_GE(jobsFromEnv(), 1);
+}
+
+TEST(ExperimentHelpers, ParallelGridMatchesSerial)
+{
+    SimParams params = quickParams();
+    params.measure_accesses = 20'000;
+    const std::vector<ExperimentConfig> configs = {
+        makeConfig(ConfigId::NestedRadix),
+        makeConfig(ConfigId::NestedEcpt),
+    };
+    const std::vector<std::string> apps = {"BFS", "GUPS"};
+
+    setenv("NECPT_JOBS", "1", 1);
+    const ResultGrid serial = runGrid(configs, apps, params);
+    setenv("NECPT_JOBS", "4", 1);
+    const ResultGrid parallel = runGrid(configs, apps, params);
+    unsetenv("NECPT_JOBS");
+
+    for (const auto &cfg : configs) {
+        for (const auto &app : apps) {
+            EXPECT_EQ(serial.at(cfg.name, app).cycles,
+                      parallel.at(cfg.name, app).cycles)
+                << cfg.name << "/" << app;
+            EXPECT_EQ(serial.at(cfg.name, app).walks,
+                      parallel.at(cfg.name, app).walks);
+        }
+    }
+}
+
+} // namespace necpt

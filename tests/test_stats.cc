@@ -1,0 +1,108 @@
+/** @file Unit tests for counters, histograms and rate monitors. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace necpt
+{
+
+TEST(Counter, IncAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    ++c;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HitMiss, Rate)
+{
+    HitMiss hm;
+    EXPECT_DOUBLE_EQ(hm.rate(), 0.0);
+    hm.hit(3);
+    hm.miss();
+    EXPECT_EQ(hm.accesses(), 4u);
+    EXPECT_DOUBLE_EQ(hm.rate(), 0.75);
+    hm.reset();
+    EXPECT_EQ(hm.accesses(), 0u);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(10, 5); // bins [0,10) ... [40,50) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(49);
+    h.sample(1000);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.count(5), 1u); // overflow bin
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, MeanAndPercentile)
+{
+    Histogram h(10, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<std::uint64_t>(i * 10));
+    EXPECT_NEAR(h.mean(), 495.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(50)), 495.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(95)), 945.0, 10.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, Probability)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(5);
+    h.sample(25);
+    h.sample(35);
+    EXPECT_DOUBLE_EQ(h.probability(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.probability(2), 0.25);
+}
+
+TEST(RateMonitor, WindowRollover)
+{
+    RateMonitor monitor(100);
+    EXPECT_FALSE(monitor.hasSample());
+    // First window: 3 hits of 4.
+    monitor.record(0, true);
+    monitor.record(10, true);
+    monitor.record(20, true);
+    monitor.record(30, false);
+    EXPECT_FALSE(monitor.hasSample());
+    // Crossing into the next window completes the first.
+    monitor.record(150, true);
+    EXPECT_TRUE(monitor.hasSample());
+    EXPECT_DOUBLE_EQ(monitor.lastRate(), 0.75);
+}
+
+TEST(RateMonitor, HistoryAccumulates)
+{
+    RateMonitor monitor(100);
+    for (Cycles t = 0; t < 1000; t += 10)
+        monitor.record(t, (t / 100) % 2 == 0);
+    EXPECT_GE(monitor.history().size(), 8u);
+    // Windows alternate all-hit / all-miss.
+    EXPECT_DOUBLE_EQ(monitor.history()[0], 1.0);
+    EXPECT_DOUBLE_EQ(monitor.history()[1], 0.0);
+}
+
+TEST(GeoMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({2.0}), 2.0);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace necpt

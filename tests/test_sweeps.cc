@@ -1,0 +1,164 @@
+/** @file Parameterized property sweeps across component geometries:
+ *  TLB capacities, batch widths, cuckoo resize thresholds, and HPT
+ *  load factors. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+#include "mmu/tlb.hh"
+#include "pt/cuckoo.hh"
+#include "pt/hashed.hh"
+#include "tests/test_util.hh"
+
+namespace necpt
+{
+
+// ------------------------------------------------------- TLB geometries
+
+class TlbGeometry
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TlbGeometry, CapacityAndRecencyRespected)
+{
+    const auto [entries, ways] = GetParam();
+    TlbConfig cfg;
+    cfg.l1[0] = {entries, ways};
+    cfg.l2[0] = {entries * 4, ways};
+    TlbHierarchy tlb(cfg);
+
+    // Install 2x capacity of 4KB translations.
+    const std::size_t n = entries * 2;
+    for (std::size_t i = 0; i < n; ++i)
+        tlb.install(static_cast<Addr>(i) << 12,
+                    {static_cast<Addr>(i + 100) << 12,
+                     PageSize::Page4K, true});
+
+    // All still hit at least in L2 (sized 4x). Probing most-recent
+    // first finds the L1-resident tail (ascending would chase its own
+    // refill evictions under LRU).
+    std::size_t l1_hits = 0;
+    for (std::size_t i = n; i-- > 0;) {
+        auto r = tlb.lookup(static_cast<Addr>(i) << 12);
+        ASSERT_TRUE(r.hit) << i;
+        l1_hits += r.l1_hit;
+    }
+    EXPECT_GT(l1_hits, 0u);
+    EXPECT_LT(l1_hits, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometry,
+    ::testing::Values(std::make_pair(16, 4), std::make_pair(64, 4),
+                      std::make_pair(32, 0), std::make_pair(64, 8),
+                      std::make_pair(128, 2)));
+
+// ----------------------------------------------------- Batch properties
+
+class BatchWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchWidth, ColdBatchLatencyGrowsSublinearly)
+{
+    const int width = GetParam();
+    MemHierarchyConfig cfg;
+    MemoryHierarchy mem(cfg, 1);
+    std::vector<Addr> one = {0x10'0000};
+    std::vector<Addr> many;
+    for (int i = 0; i < width; ++i)
+        many.push_back(0x40'0000 + static_cast<Addr>(i) * 8192);
+
+    const Cycles lat1 = mem.batchAccess(one, 0, 0).latency;
+    const Cycles latN = mem.batchAccess(many, 100'000, 0).latency;
+    // Parallel issue: N cold misses cost far less than N serial ones,
+    // but no less than one.
+    EXPECT_GE(latN, lat1);
+    EXPECT_LT(latN, lat1 * static_cast<Cycles>(width));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BatchWidth,
+                         ::testing::Values(2, 3, 4, 6, 9, 16));
+
+// --------------------------------------------------- Resize thresholds
+
+class ResizeThreshold : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ResizeThreshold, IntegrityAndLoadBound)
+{
+    const double threshold = GetParam();
+    BumpAllocator alloc;
+    CuckooConfig cfg;
+    cfg.initial_slots = 64;
+    cfg.resize_threshold = threshold;
+    ElasticCuckooTable<std::uint64_t> table(alloc, cfg);
+
+    for (std::uint64_t k = 0; k < 3000; ++k)
+        table.insert(k * 3 + 1, k);
+    table.finishResize();
+
+    for (std::uint64_t k = 0; k < 3000; ++k) {
+        auto hit = table.find(k * 3 + 1);
+        ASSERT_TRUE(hit);
+        ASSERT_EQ(*hit.value, k);
+    }
+    // After quiescing, the live table satisfies the threshold bound
+    // (one doubling of slack is possible right at the boundary).
+    EXPECT_LE(table.loadFactor(), threshold + 0.01);
+    EXPECT_GT(table.resizeCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ResizeThreshold,
+                         ::testing::Values(0.4, 0.5, 0.6, 0.75));
+
+// ------------------------------------------------------- HPT load curve
+
+class HptLoad : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HptLoad, ProbeChainsGrowWithLoadFactor)
+{
+    const int load_pct = GetParam();
+    BumpAllocator alloc;
+    HashedPageTable hpt(alloc, 4096);
+    const std::uint64_t fills = 4096ULL * load_pct / 100;
+    for (std::uint64_t i = 0; i < fills; ++i)
+        ASSERT_TRUE(hpt.map(i << 12, i << 12));
+    for (std::uint64_t i = 0; i < fills; ++i)
+        ASSERT_TRUE(hpt.lookup(i << 12).valid);
+    const double avg = hpt.avgProbes();
+    EXPECT_GE(avg, 1.0);
+    // Open addressing: expected successful probe count ~ the
+    // textbook (1 + 1/(1-a)) / 2 bound; allow generous slack.
+    const double a = load_pct / 100.0;
+    EXPECT_LE(avg, (1.0 + 1.0 / (1.0 - a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, HptLoad,
+                         ::testing::Values(10, 30, 50, 70, 85));
+
+TEST(HptLoadCurve, MonotoneInLoad)
+{
+    double prev = 0;
+    for (int load_pct : {10, 40, 70, 90}) {
+        BumpAllocator alloc;
+        HashedPageTable hpt(alloc, 4096);
+        const std::uint64_t fills = 4096ULL * load_pct / 100;
+        for (std::uint64_t i = 0; i < fills; ++i)
+            ASSERT_TRUE(hpt.map(i << 12, i << 12));
+        for (std::uint64_t i = 0; i < fills; ++i)
+            hpt.lookup(i << 12);
+        EXPECT_GE(hpt.avgProbes(), prev);
+        prev = hpt.avgProbes();
+    }
+    EXPECT_GT(prev, 1.2); // at 90% load, chains are clearly visible
+}
+
+} // namespace necpt

@@ -1,0 +1,39 @@
+/** @file Shared test fixtures: a simple bump RegionAllocator. */
+
+#ifndef NECPT_TESTS_TEST_UTIL_HH
+#define NECPT_TESTS_TEST_UTIL_HH
+
+#include "pt/pte.hh"
+
+namespace necpt
+{
+
+/** Trivial bump allocator for table-structure tests. */
+class BumpAllocator : public RegionAllocator
+{
+  public:
+    explicit BumpAllocator(Addr base = 0x1000'0000) : cursor(base) {}
+
+    Addr
+    allocRegion(std::uint64_t bytes) override
+    {
+        const Addr r = cursor;
+        cursor += (bytes + 4095) & ~4095ULL;
+        ++allocs;
+        return r;
+    }
+
+    void
+    freeRegion(Addr, std::uint64_t) override
+    {
+        ++frees;
+    }
+
+    Addr cursor;
+    int allocs = 0;
+    int frees = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_TESTS_TEST_UTIL_HH

@@ -1,0 +1,184 @@
+/** @file Parameterized differential sweep: every walker, across THP
+ *  modes, coverage levels, cuckoo way counts, and radix depths, must
+ *  agree with the functional ground truth and respect its design's
+ *  structural bounds. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "walk/baselines.hh"
+#include "walk/hybrid.hh"
+#include "walk/native_radix.hh"
+#include "walk/nested_ecpt.hh"
+#include "walk/nested_radix.hh"
+#include "walk/shadow.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+enum class WalkerSel
+{
+    NestedRadix,
+    NestedEcptAdvanced,
+    NestedEcptPlain,
+    Hybrid,
+    Agile,
+    FlatNested,
+    Shadow,
+};
+
+const char *
+walkerName(WalkerSel sel)
+{
+    switch (sel) {
+      case WalkerSel::NestedRadix: return "NestedRadix";
+      case WalkerSel::NestedEcptAdvanced: return "EcptAdvanced";
+      case WalkerSel::NestedEcptPlain: return "EcptPlain";
+      case WalkerSel::Hybrid: return "Hybrid";
+      case WalkerSel::Agile: return "Agile";
+      case WalkerSel::FlatNested: return "FlatNested";
+      case WalkerSel::Shadow: return "Shadow";
+    }
+    return "?";
+}
+
+/** (walker, thp, guest coverage, cuckoo ways, radix levels) */
+using MatrixParam = std::tuple<WalkerSel, bool, double, int, int>;
+
+class WalkerMatrix : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+std::string
+matrixName(const ::testing::TestParamInfo<MatrixParam> &param_info)
+{
+    const WalkerSel sel = std::get<0>(param_info.param);
+    const bool thp = std::get<1>(param_info.param);
+    const double coverage = std::get<2>(param_info.param);
+    const int ways = std::get<3>(param_info.param);
+    const int levels = std::get<4>(param_info.param);
+    std::string name = walkerName(sel);
+    name += thp ? "_thp" : "_4k";
+    name += "_cov" + std::to_string(static_cast<int>(coverage * 10));
+    name += "_d" + std::to_string(ways);
+    name += "_L" + std::to_string(levels);
+    return name;
+}
+
+} // namespace
+
+TEST_P(WalkerMatrix, AgreesWithGroundTruthEverywhere)
+{
+    const auto [sel, thp, coverage, ways, levels] = GetParam();
+
+    SystemConfig cfg;
+    cfg.virtualized = true;
+    cfg.guest_thp = thp;
+    cfg.host_thp = thp;
+    cfg.guest_thp_coverage = coverage;
+    cfg.host_thp_coverage = 0.8;
+    cfg.radix_levels = levels;
+    cfg.guest_phys_bytes = 2ULL << 30;
+    cfg.host_phys_bytes = 3ULL << 30;
+    cfg.guest_ecpt.initial_slots = {512, 512, 256};
+    cfg.guest_ecpt.ways = ways;
+    cfg.host_ecpt = cfg.guest_ecpt;
+    cfg.host_ecpt.has_pte_cwt = true;
+
+    const bool guest_ecpt = sel == WalkerSel::NestedEcptAdvanced
+        || sel == WalkerSel::NestedEcptPlain;
+    cfg.guest_kind = guest_ecpt ? PtKind::Ecpt : PtKind::Radix;
+    cfg.host_kind = guest_ecpt || sel == WalkerSel::Hybrid
+        ? PtKind::Ecpt
+        : (sel == WalkerSel::FlatNested ? PtKind::Flat : PtKind::Radix);
+
+    NestedSystem sys(cfg);
+    MemoryHierarchy mem(MemHierarchyConfig{}, 1);
+
+    std::unique_ptr<Walker> walker;
+    switch (sel) {
+      case WalkerSel::NestedRadix:
+        walker = std::make_unique<NestedRadixWalker>(sys, mem, 0);
+        break;
+      case WalkerSel::NestedEcptAdvanced:
+        walker = std::make_unique<NestedEcptWalker>(
+            sys, mem, 0, NestedEcptFeatures::advanced());
+        break;
+      case WalkerSel::NestedEcptPlain:
+        walker = std::make_unique<NestedEcptWalker>(
+            sys, mem, 0, NestedEcptFeatures::plain());
+        break;
+      case WalkerSel::Hybrid:
+        walker = std::make_unique<HybridWalker>(sys, mem, 0);
+        break;
+      case WalkerSel::Agile:
+        walker = std::make_unique<AgilePagingWalker>(sys, mem, 0);
+        break;
+      case WalkerSel::FlatNested:
+        walker = std::make_unique<FlatNestedWalker>(sys, mem, 0);
+        break;
+      case WalkerSel::Shadow:
+        walker = std::make_unique<ShadowPagingWalker>(sys, mem, 0);
+        break;
+    }
+
+    const Addr base = sys.mmapRegion(96ULL << 20);
+    Rng rng(0xFACADE ^ static_cast<std::uint64_t>(ways * 10 + levels));
+    Cycles now = 0;
+    for (int i = 0; i < 120; ++i) {
+        const Addr gva = base + rng.below(96ULL << 20);
+        sys.ensureResident(gva);
+        const WalkResult r = walker->translate(gva, now);
+        ASSERT_TRUE(r.translation.valid)
+            << walkerName(sel) << " @" << std::hex << gva;
+        ASSERT_EQ(r.translation.apply(gva),
+                  sys.fullTranslate(gva).apply(gva))
+            << walkerName(sel) << " @" << std::hex << gva;
+        ASSERT_GT(r.latency, 0u);
+        // Structural bounds on foreground accesses per design.
+        const int max_radix = levels == 5 ? 35 : 24;
+        switch (sel) {
+          case WalkerSel::NestedRadix:
+            ASSERT_LE(r.mem_accesses, max_radix);
+            break;
+          case WalkerSel::Agile:
+            ASSERT_LE(r.mem_accesses, levels);
+            break;
+          case WalkerSel::FlatNested:
+            ASSERT_LE(r.mem_accesses, 2 * levels + 1);
+            break;
+          case WalkerSel::Shadow:
+            ASSERT_LE(r.mem_accesses, levels);
+            break;
+          default: {
+            // ECPT walks: at most n*d + (n*d during resize doubling)
+            // probes per phase; three foreground phases.
+            const int cap = 2 * 3 * ways * num_page_sizes + 6;
+            ASSERT_LE(r.mem_accesses, cap) << walkerName(sel);
+            break;
+          }
+        }
+        now += 1500;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WalkerMatrix,
+    ::testing::Combine(
+        ::testing::Values(WalkerSel::NestedRadix,
+                          WalkerSel::NestedEcptAdvanced,
+                          WalkerSel::NestedEcptPlain, WalkerSel::Hybrid,
+                          WalkerSel::Agile, WalkerSel::FlatNested,
+                          WalkerSel::Shadow),
+        ::testing::Values(false, true),   // THP
+        ::testing::Values(0.0, 0.5, 1.0), // guest coverage
+        ::testing::Values(2, 3),          // cuckoo ways
+        ::testing::Values(4, 5)),         // radix levels
+    matrixName);
+
+} // namespace necpt

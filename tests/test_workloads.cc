@@ -1,0 +1,155 @@
+/** @file Unit tests for the Table-4 workload generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+namespace
+{
+SystemConfig
+bigSystem()
+{
+    SystemConfig cfg;
+    cfg.virtualized = false;
+    cfg.guest_kind = PtKind::Radix;
+    cfg.host_phys_bytes = 8ULL << 30;
+    return cfg;
+}
+} // namespace
+
+TEST(Workloads, AllPaperAppsConstruct)
+{
+    EXPECT_EQ(paperApplications().size(), 11u);
+    for (const auto &name : paperApplications()) {
+        auto wl = makeWorkload(name, 64);
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->info().name, name);
+        EXPECT_GT(wl->info().footprint_bytes, 0u);
+        EXPECT_GT(wl->info().paper_footprint_bytes,
+                  wl->info().footprint_bytes);
+    }
+}
+
+TEST(Workloads, FootprintsMatchTable4Order)
+{
+    auto gups = makeWorkload("GUPS", 8);
+    auto bfs = makeWorkload("BFS", 8);
+    auto mummer = makeWorkload("MUMmer", 8);
+    // GUPS (64GB) > BFS (9.3GB) > MUMmer (6.9GB), modulo floor.
+    EXPECT_GT(gups->info().footprint_bytes,
+              bfs->info().footprint_bytes);
+    EXPECT_GE(bfs->info().footprint_bytes,
+              mummer->info().footprint_bytes);
+}
+
+TEST(Workloads, DeterministicStreams)
+{
+    for (const auto &name : paperApplications()) {
+        NestedSystem sys_a(bigSystem()), sys_b(bigSystem());
+        auto a = makeWorkload(name, 64);
+        auto b = makeWorkload(name, 64);
+        a->setup(sys_a);
+        b->setup(sys_b);
+        for (int i = 0; i < 2000; ++i) {
+            const MemAccess ma = a->next();
+            const MemAccess mb = b->next();
+            ASSERT_EQ(ma.vaddr, mb.vaddr) << name << " @" << i;
+            ASSERT_EQ(ma.write, mb.write) << name << " @" << i;
+        }
+    }
+}
+
+TEST(Workloads, AddressesStayInMappedRegions)
+{
+    for (const auto &name : paperApplications()) {
+        NestedSystem sys(bigSystem());
+        auto wl = makeWorkload(name, 64);
+        wl->setup(sys);
+        for (int i = 0; i < 20000; ++i) {
+            const MemAccess acc = wl->next();
+            // ensureResident fatals on out-of-VMA addresses.
+            sys.ensureResident(acc.vaddr);
+        }
+        SUCCEED() << name;
+    }
+}
+
+TEST(Workloads, GupsIsTlbHostile)
+{
+    NestedSystem sys(bigSystem());
+    auto wl = makeWorkload("GUPS", 64);
+    wl->setup(sys);
+    // Count distinct 4KB pages in a short window: GUPS spreads widely.
+    std::set<Addr> pages;
+    for (int i = 0; i < 10000; ++i)
+        pages.insert(wl->next().vaddr >> 12);
+    EXPECT_GT(pages.size(), 4000u);
+}
+
+TEST(Workloads, SysbenchHasHotIndex)
+{
+    NestedSystem sys(bigSystem());
+    auto wl = makeWorkload("SysBench", 64);
+    wl->setup(sys);
+    std::map<Addr, int> page_counts;
+    for (int i = 0; i < 20000; ++i)
+        ++page_counts[wl->next().vaddr >> 12];
+    // The hottest page absorbs far more than a uniform share.
+    int hottest = 0;
+    for (auto &[page, count] : page_counts)
+        hottest = std::max(hottest, count);
+    EXPECT_GT(hottest, 200);
+}
+
+TEST(Workloads, WritesPresentWhereExpected)
+{
+    NestedSystem sys(bigSystem());
+    auto wl = makeWorkload("DC", 64); // degree centrality: many writes
+    wl->setup(sys);
+    int writes = 0;
+    for (int i = 0; i < 1000; ++i)
+        writes += wl->next().write;
+    EXPECT_GT(writes, 100);
+}
+
+TEST(Workloads, GraphReadsDominatePr)
+{
+    NestedSystem sys(bigSystem());
+    auto wl = makeWorkload("PR", 64);
+    wl->setup(sys);
+    int writes = 0;
+    for (int i = 0; i < 1000; ++i)
+        writes += wl->next().write;
+    EXPECT_EQ(writes, 0);
+}
+
+TEST(Workloads, UnknownNameFatals)
+{
+    EXPECT_EXIT(makeWorkload("NoSuchApp"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workloads, InstructionGapsReasonable)
+{
+    NestedSystem sys(bigSystem());
+    for (const auto &name : paperApplications()) {
+        auto wl = makeWorkload(name, 64);
+        // gaps are small positive counts
+        NestedSystem local(bigSystem());
+        wl->setup(local);
+        for (int i = 0; i < 100; ++i) {
+            const auto gap = wl->next().inst_gap;
+            EXPECT_GE(gap, 1);
+            EXPECT_LE(gap, 16);
+        }
+    }
+}
+
+} // namespace necpt
