@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_adaptive_hit_rates.cc" "bench/CMakeFiles/bench_fig12_adaptive_hit_rates.dir/bench_fig12_adaptive_hit_rates.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_adaptive_hit_rates.dir/bench_fig12_adaptive_hit_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/necpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/necpt_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/necpt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/necpt_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/necpt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/necpt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/necpt_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/necpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

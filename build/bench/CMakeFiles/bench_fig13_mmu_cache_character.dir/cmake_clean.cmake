@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mmu_cache_character.dir/bench_fig13_mmu_cache_character.cc.o"
+  "CMakeFiles/bench_fig13_mmu_cache_character.dir/bench_fig13_mmu_cache_character.cc.o.d"
+  "bench_fig13_mmu_cache_character"
+  "bench_fig13_mmu_cache_character.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mmu_cache_character.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_mmu_cache_character.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicore_scaling.dir/bench_multicore_scaling.cc.o"
+  "CMakeFiles/bench_multicore_scaling.dir/bench_multicore_scaling.cc.o.d"
+  "bench_multicore_scaling"
+  "bench_multicore_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

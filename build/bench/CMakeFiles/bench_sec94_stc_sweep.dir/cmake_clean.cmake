@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec94_stc_sweep.dir/bench_sec94_stc_sweep.cc.o"
+  "CMakeFiles/bench_sec94_stc_sweep.dir/bench_sec94_stc_sweep.cc.o.d"
+  "bench_sec94_stc_sweep"
+  "bench_sec94_stc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec94_stc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

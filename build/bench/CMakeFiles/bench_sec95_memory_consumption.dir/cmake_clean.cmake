@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec95_memory_consumption.dir/bench_sec95_memory_consumption.cc.o"
+  "CMakeFiles/bench_sec95_memory_consumption.dir/bench_sec95_memory_consumption.cc.o.d"
+  "bench_sec95_memory_consumption"
+  "bench_sec95_memory_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec95_memory_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec96_other_designs.dir/bench_sec96_other_designs.cc.o"
+  "CMakeFiles/bench_sec96_other_designs.dir/bench_sec96_other_designs.cc.o.d"
+  "bench_sec96_other_designs"
+  "bench_sec96_other_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec96_other_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_migration.dir/hybrid_migration.cpp.o"
+  "CMakeFiles/hybrid_migration.dir/hybrid_migration.cpp.o.d"
+  "hybrid_migration"
+  "hybrid_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_common.dir/hash.cc.o"
+  "CMakeFiles/necpt_common.dir/hash.cc.o.d"
+  "CMakeFiles/necpt_common.dir/rng.cc.o"
+  "CMakeFiles/necpt_common.dir/rng.cc.o.d"
+  "CMakeFiles/necpt_common.dir/stats.cc.o"
+  "CMakeFiles/necpt_common.dir/stats.cc.o.d"
+  "libnecpt_common.a"
+  "libnecpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

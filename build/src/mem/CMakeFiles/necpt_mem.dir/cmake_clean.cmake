@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_mem.dir/cache.cc.o"
+  "CMakeFiles/necpt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/necpt_mem.dir/dram.cc.o"
+  "CMakeFiles/necpt_mem.dir/dram.cc.o.d"
+  "CMakeFiles/necpt_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/necpt_mem.dir/hierarchy.cc.o.d"
+  "libnecpt_mem.a"
+  "libnecpt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_mmu.dir/cwc.cc.o"
+  "CMakeFiles/necpt_mmu.dir/cwc.cc.o.d"
+  "CMakeFiles/necpt_mmu.dir/pom_tlb.cc.o"
+  "CMakeFiles/necpt_mmu.dir/pom_tlb.cc.o.d"
+  "CMakeFiles/necpt_mmu.dir/tlb.cc.o"
+  "CMakeFiles/necpt_mmu.dir/tlb.cc.o.d"
+  "libnecpt_mmu.a"
+  "libnecpt_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

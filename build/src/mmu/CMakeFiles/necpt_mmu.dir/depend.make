@@ -1,0 +1,2 @@
+# Empty dependencies file for necpt_mmu.
+# This may be replaced when dependencies are built.

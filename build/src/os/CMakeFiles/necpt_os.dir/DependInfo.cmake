@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/phys_pool.cc" "src/os/CMakeFiles/necpt_os.dir/phys_pool.cc.o" "gcc" "src/os/CMakeFiles/necpt_os.dir/phys_pool.cc.o.d"
+  "/root/repo/src/os/system.cc" "src/os/CMakeFiles/necpt_os.dir/system.cc.o" "gcc" "src/os/CMakeFiles/necpt_os.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/necpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/necpt_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

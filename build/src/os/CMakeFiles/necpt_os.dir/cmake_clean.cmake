@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_os.dir/phys_pool.cc.o"
+  "CMakeFiles/necpt_os.dir/phys_pool.cc.o.d"
+  "CMakeFiles/necpt_os.dir/system.cc.o"
+  "CMakeFiles/necpt_os.dir/system.cc.o.d"
+  "libnecpt_os.a"
+  "libnecpt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/cwt.cc" "src/pt/CMakeFiles/necpt_pt.dir/cwt.cc.o" "gcc" "src/pt/CMakeFiles/necpt_pt.dir/cwt.cc.o.d"
+  "/root/repo/src/pt/ecpt.cc" "src/pt/CMakeFiles/necpt_pt.dir/ecpt.cc.o" "gcc" "src/pt/CMakeFiles/necpt_pt.dir/ecpt.cc.o.d"
+  "/root/repo/src/pt/flat.cc" "src/pt/CMakeFiles/necpt_pt.dir/flat.cc.o" "gcc" "src/pt/CMakeFiles/necpt_pt.dir/flat.cc.o.d"
+  "/root/repo/src/pt/hashed.cc" "src/pt/CMakeFiles/necpt_pt.dir/hashed.cc.o" "gcc" "src/pt/CMakeFiles/necpt_pt.dir/hashed.cc.o.d"
+  "/root/repo/src/pt/radix.cc" "src/pt/CMakeFiles/necpt_pt.dir/radix.cc.o" "gcc" "src/pt/CMakeFiles/necpt_pt.dir/radix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/necpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_pt.dir/cwt.cc.o"
+  "CMakeFiles/necpt_pt.dir/cwt.cc.o.d"
+  "CMakeFiles/necpt_pt.dir/ecpt.cc.o"
+  "CMakeFiles/necpt_pt.dir/ecpt.cc.o.d"
+  "CMakeFiles/necpt_pt.dir/flat.cc.o"
+  "CMakeFiles/necpt_pt.dir/flat.cc.o.d"
+  "CMakeFiles/necpt_pt.dir/hashed.cc.o"
+  "CMakeFiles/necpt_pt.dir/hashed.cc.o.d"
+  "CMakeFiles/necpt_pt.dir/radix.cc.o"
+  "CMakeFiles/necpt_pt.dir/radix.cc.o.d"
+  "libnecpt_pt.a"
+  "libnecpt_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnecpt_pt.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_sim.dir/cacti_lite.cc.o"
+  "CMakeFiles/necpt_sim.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/necpt_sim.dir/config.cc.o"
+  "CMakeFiles/necpt_sim.dir/config.cc.o.d"
+  "CMakeFiles/necpt_sim.dir/experiment.cc.o"
+  "CMakeFiles/necpt_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/necpt_sim.dir/report.cc.o"
+  "CMakeFiles/necpt_sim.dir/report.cc.o.d"
+  "CMakeFiles/necpt_sim.dir/simulator.cc.o"
+  "CMakeFiles/necpt_sim.dir/simulator.cc.o.d"
+  "libnecpt_sim.a"
+  "libnecpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

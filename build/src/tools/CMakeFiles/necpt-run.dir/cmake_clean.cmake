@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt-run.dir/necpt_run.cc.o"
+  "CMakeFiles/necpt-run.dir/necpt_run.cc.o.d"
+  "necpt-run"
+  "necpt-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/walk/baselines.cc" "src/walk/CMakeFiles/necpt_walk.dir/baselines.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/baselines.cc.o.d"
+  "/root/repo/src/walk/hybrid.cc" "src/walk/CMakeFiles/necpt_walk.dir/hybrid.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/hybrid.cc.o.d"
+  "/root/repo/src/walk/native_ecpt.cc" "src/walk/CMakeFiles/necpt_walk.dir/native_ecpt.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/native_ecpt.cc.o.d"
+  "/root/repo/src/walk/native_radix.cc" "src/walk/CMakeFiles/necpt_walk.dir/native_radix.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/native_radix.cc.o.d"
+  "/root/repo/src/walk/nested_ecpt.cc" "src/walk/CMakeFiles/necpt_walk.dir/nested_ecpt.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/nested_ecpt.cc.o.d"
+  "/root/repo/src/walk/nested_hpt.cc" "src/walk/CMakeFiles/necpt_walk.dir/nested_hpt.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/nested_hpt.cc.o.d"
+  "/root/repo/src/walk/nested_radix.cc" "src/walk/CMakeFiles/necpt_walk.dir/nested_radix.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/nested_radix.cc.o.d"
+  "/root/repo/src/walk/plan.cc" "src/walk/CMakeFiles/necpt_walk.dir/plan.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/plan.cc.o.d"
+  "/root/repo/src/walk/shadow.cc" "src/walk/CMakeFiles/necpt_walk.dir/shadow.cc.o" "gcc" "src/walk/CMakeFiles/necpt_walk.dir/shadow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/necpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/necpt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/necpt_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/necpt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/necpt_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_walk.dir/baselines.cc.o"
+  "CMakeFiles/necpt_walk.dir/baselines.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/hybrid.cc.o"
+  "CMakeFiles/necpt_walk.dir/hybrid.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/native_ecpt.cc.o"
+  "CMakeFiles/necpt_walk.dir/native_ecpt.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/native_radix.cc.o"
+  "CMakeFiles/necpt_walk.dir/native_radix.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/nested_ecpt.cc.o"
+  "CMakeFiles/necpt_walk.dir/nested_ecpt.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/nested_hpt.cc.o"
+  "CMakeFiles/necpt_walk.dir/nested_hpt.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/nested_radix.cc.o"
+  "CMakeFiles/necpt_walk.dir/nested_radix.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/plan.cc.o"
+  "CMakeFiles/necpt_walk.dir/plan.cc.o.d"
+  "CMakeFiles/necpt_walk.dir/shadow.cc.o"
+  "CMakeFiles/necpt_walk.dir/shadow.cc.o.d"
+  "libnecpt_walk.a"
+  "libnecpt_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

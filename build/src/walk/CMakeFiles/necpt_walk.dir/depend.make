@@ -1,0 +1,2 @@
+# Empty dependencies file for necpt_walk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/necpt_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/necpt_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/necpt_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/necpt_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/others.cc" "src/workloads/CMakeFiles/necpt_workloads.dir/others.cc.o" "gcc" "src/workloads/CMakeFiles/necpt_workloads.dir/others.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/necpt_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/necpt_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/necpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/necpt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/necpt_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necpt_workloads.dir/factory.cc.o"
+  "CMakeFiles/necpt_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/necpt_workloads.dir/graph.cc.o"
+  "CMakeFiles/necpt_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/necpt_workloads.dir/others.cc.o"
+  "CMakeFiles/necpt_workloads.dir/others.cc.o.d"
+  "CMakeFiles/necpt_workloads.dir/trace.cc.o"
+  "CMakeFiles/necpt_workloads.dir/trace.cc.o.d"
+  "libnecpt_workloads.a"
+  "libnecpt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necpt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuckoo.dir/test_cuckoo.cc.o"
+  "CMakeFiles/test_cuckoo.dir/test_cuckoo.cc.o.d"
+  "test_cuckoo"
+  "test_cuckoo.pdb"
+  "test_cuckoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

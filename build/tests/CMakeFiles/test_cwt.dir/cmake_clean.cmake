@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cwt.dir/test_cwt.cc.o"
+  "CMakeFiles/test_cwt.dir/test_cwt.cc.o.d"
+  "test_cwt"
+  "test_cwt.pdb"
+  "test_cwt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecpt.dir/test_ecpt.cc.o"
+  "CMakeFiles/test_ecpt.dir/test_ecpt.cc.o.d"
+  "test_ecpt"
+  "test_ecpt.pdb"
+  "test_ecpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_hashed.dir/test_flat_hashed.cc.o"
+  "CMakeFiles/test_flat_hashed.dir/test_flat_hashed.cc.o.d"
+  "test_flat_hashed"
+  "test_flat_hashed.pdb"
+  "test_flat_hashed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_hashed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walker_matrix.dir/test_walker_matrix.cc.o"
+  "CMakeFiles/test_walker_matrix.dir/test_walker_matrix.cc.o.d"
+  "test_walker_matrix"
+  "test_walker_matrix.pdb"
+  "test_walker_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walker_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitops[1]_include.cmake")
+include("/root/repo/build/tests/test_cacti_config[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cuckoo[1]_include.cmake")
+include("/root/repo/build/tests/test_cwt[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_ecpt[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_flat_hashed[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mmu[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_radix[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_walker_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_walkers[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
