@@ -19,8 +19,7 @@ main()
 {
     benchBanner("5-level radix ablation (Sunny Cove / LA57)",
                 "Section 1 motivation");
-    SimParams params = paramsFromEnv();
-    params.measure_accesses /= 2;
+    SimParams params = scaledParams(paramsFromEnv(), 2, 1);
     auto apps = appsFromEnv();
     if (apps.size() > 4)
         apps = {"GUPS", "BFS", "MUMmer", "SysBench"};

@@ -38,9 +38,7 @@ main()
 {
     benchBanner("Design-choice ablations",
                 "DESIGN.md design-space notes");
-    SimParams params = paramsFromEnv();
-    params.measure_accesses /= 4;
-    params.warmup_accesses /= 2;
+    SimParams params = scaledParams(paramsFromEnv(), 4, 2);
     auto apps = appsFromEnv();
     if (apps.size() > 3)
         apps = {"GUPS", "BFS", "MUMmer"};

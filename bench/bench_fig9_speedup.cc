@@ -8,6 +8,11 @@
  * Paper reference points: Nested ECPTs 1.19x (4KB) / 1.24x (THP) over
  * Nested Radix; Plain design only ~3%/5%; Hybrid +12%/+13%; technique
  * contributions ordered STC > Step-1 > Step-3 >> 4KB-alloc.
+ *
+ * The grid itself lives in the exec layer ("fig9" in
+ * exec/registry.hh) and fans out across a thread pool; this binary
+ * and `necpt_sweep fig9` print identical tables. NECPT_JOBS sets the
+ * worker count.
  */
 
 #include "bench/bench_util.hh"
@@ -17,80 +22,5 @@ using namespace necpt;
 int
 main()
 {
-    benchBanner("Speedup over the Nested Radix configuration",
-                "Figure 9");
-    const SimParams params = paramsFromEnv();
-    const auto apps = appsFromEnv();
-
-    // The Figure-9 configuration set: Table-1 rows plus the Advanced
-    // feature ladder (each step adds one technique to the previous).
-    std::vector<ExperimentConfig> configs;
-    for (const ConfigId id : table1Configs())
-        configs.push_back(makeConfig(id));
-    for (const bool thp : {false, true}) {
-        NestedEcptFeatures f = NestedEcptFeatures::plain();
-        auto name = [thp](const std::string &base) {
-            return base; // THP suffix added by maker
-        };
-        (void)name;
-        configs.push_back(
-            makeNestedEcptConfig(f, thp, "Plain Nested ECPTs"));
-        f.stc = true;
-        configs.push_back(makeNestedEcptConfig(f, thp, "Plain+STC"));
-        f.step1_pte_hcwt = true;
-        configs.push_back(
-            makeNestedEcptConfig(f, thp, "Plain+STC+Step1"));
-        f.step3_adaptive_pte = true;
-        configs.push_back(
-            makeNestedEcptConfig(f, thp, "Plain+STC+Step1+Step3"));
-        // f.pt_4kb = true would equal the full Advanced design, which
-        // is already in the Table-1 set.
-    }
-
-    const ResultGrid grid = runGrid(configs, apps, params);
-
-    // Per-application speedups (Figure 9's bars).
-    printHeader("Speedup over Nested Radix (higher is better)");
-    std::vector<std::string> header = apps;
-    header.push_back("GeoMean");
-    printColumns("Configuration", header);
-    for (const ExperimentConfig &cfg : configs) {
-        if (cfg.name == "Nested Radix")
-            continue;
-        std::vector<double> row;
-        for (const auto &app : apps)
-            row.push_back(
-                speedupOver(grid, "Nested Radix", cfg.name, app));
-        row.push_back(geoMean(row));
-        printRow(cfg.name, row);
-    }
-
-    // Technique-contribution summary (the stacked segments of Fig. 9).
-    printHeader("Advanced-technique contributions (geomean speedup)");
-    for (const bool thp : {false, true}) {
-        const std::string suffix = thp ? " THP" : "";
-        auto gm = [&](const std::string &config) {
-            std::vector<double> v;
-            for (const auto &app : apps)
-                v.push_back(speedupOver(grid, "Nested Radix",
-                                        config + suffix, app));
-            return geoMean(v);
-        };
-        const double plain = gm("Plain Nested ECPTs");
-        const double stc = gm("Plain+STC");
-        const double step1 = gm("Plain+STC+Step1");
-        const double step3 = gm("Plain+STC+Step1+Step3");
-        const double advanced = gm("Nested ECPTs");
-        std::printf("%-6s plain %.3f | +STC %+0.1f%% | +Step1 %+0.1f%% "
-                    "| +Step3 %+0.1f%% | +4KB %+0.1f%% => advanced "
-                    "%.3f\n",
-                    thp ? "THP" : "4KB", plain,
-                    (stc / plain - 1) * 100, (step1 / stc - 1) * 100,
-                    (step3 / step1 - 1) * 100,
-                    (advanced / step3 - 1) * 100, advanced);
-    }
-
-    std::printf("\nPaper: Nested ECPTs 1.19x (4KB), 1.24x (THP); "
-                "Plain ~1.03-1.05x; Hybrid 1.12x/1.13x.\n");
-    return 0;
+    return runRegisteredSweep("fig9");
 }

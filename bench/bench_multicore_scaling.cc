@@ -6,6 +6,10 @@
  * verifies that the Nested-ECPT advantage survives shared-resource
  * contention — i.e. that the default single-core-slice approximation
  * is not doing the design any favors.
+ *
+ * Ported onto the sweep engine ("multicore" in exec/registry.hh);
+ * identical output to `necpt_sweep multicore`. NECPT_JOBS sets the
+ * worker count.
  */
 
 #include "bench/bench_util.hh"
@@ -15,48 +19,5 @@ using namespace necpt;
 int
 main()
 {
-    benchBanner("Multi-core (multiprogrammed) scaling",
-                "Section 8 machine configuration");
-    SimParams params = paramsFromEnv();
-    params.measure_accesses /= 4;
-    params.warmup_accesses /= 2;
-    auto apps = appsFromEnv();
-    if (apps.size() > 2)
-        apps = {"GUPS", "BFS"};
-
-    std::printf("%-6s %-10s %18s %18s %10s\n", "cores", "app",
-                "radix cyc/core", "ecpt cyc/core", "speedup");
-    for (const int cores : {1, 2, 4}) {
-        for (const auto &app : apps) {
-            ExperimentConfig radix = makeConfig(ConfigId::NestedRadix);
-            ExperimentConfig ecpt = makeConfig(ConfigId::NestedEcpt);
-            // Restore the shared resources the cores actually share:
-            // cores x 2MB L3 slices and the machine's DRAM channels
-            // (the single-core default models a 1/4 share).
-            radix.memory.l3.size_bytes =
-                static_cast<std::uint64_t>(cores) * 2 * 1024 * 1024;
-            radix.memory.dram.channels = std::max(2, cores);
-            ecpt.memory.l3.size_bytes = radix.memory.l3.size_bytes;
-            ecpt.memory.dram.channels = radix.memory.dram.channels;
-            params.cores = cores;
-            const SimResult r = runSim(radix, params, app);
-            const SimResult e = runSim(ecpt, params, app);
-            std::printf("%-6d %-10s %18llu %18llu %9.3fx\n", cores,
-                        app.c_str(),
-                        static_cast<unsigned long long>(r.cycles),
-                        static_cast<unsigned long long>(e.cycles),
-                        static_cast<double>(r.cycles) / e.cycles);
-        }
-    }
-    std::printf("\nReading: per-core time grows with core count "
-                "(shared L3/DRAM contention). Multiprogrammed copies "
-                "multiply translation-bandwidth demand, and the "
-                "parallel probe groups are the more bandwidth-"
-                "sensitive design — the very effect that motivates the "
-                "paper's 'judiciously limiting the number of parallel "
-                "memory accesses' (Abstract). The paper's own runs are "
-                "one multithreaded instance (shared footprint), which "
-                "stresses bandwidth far less than N independent "
-                "copies.\n");
-    return 0;
+    return runRegisteredSweep("multicore");
 }

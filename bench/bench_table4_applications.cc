@@ -2,6 +2,9 @@
  * @file
  * Table 4: the evaluated applications and their memory footprints
  * (paper values plus the scaled footprints this repo simulates).
+ *
+ * Ported onto the sweep engine ("table4" in exec/registry.hh);
+ * identical output to `necpt_sweep table4`.
  */
 
 #include "bench/bench_util.hh"
@@ -11,23 +14,5 @@ using namespace necpt;
 int
 main()
 {
-    benchBanner("Applications evaluated", "Table 4");
-    const SimParams params = paramsFromEnv();
-
-    std::printf("%-10s %-16s %-10s %12s %14s\n", "Name", "Domain",
-                "Suite", "Paper footpr.", "Simulated");
-    for (const auto &name : paperApplications()) {
-        auto wl = makeWorkload(name, params.scale_denominator);
-        const auto info = wl->info();
-        std::printf("%-10s %-16s %-10s %10.1f GB %11.2f GB\n",
-                    info.name.c_str(), info.domain.c_str(),
-                    info.suite.c_str(),
-                    static_cast<double>(info.paper_footprint_bytes)
-                        / (1ULL << 30),
-                    static_cast<double>(info.footprint_bytes)
-                        / (1ULL << 30));
-    }
-    std::printf("\n(scale denominator: %llu; NECPT_SCALE overrides)\n",
-                (unsigned long long)params.scale_denominator);
-    return 0;
+    return runRegisteredSweep("table4");
 }

@@ -16,11 +16,34 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "exec/registry.hh"
 #include "sim/experiment.hh"
 #include "workloads/workload.hh"
 
 namespace necpt
 {
+
+/**
+ * Run a grid registered in exec/registry.hh end to end (banner,
+ * parallel fan-out via the sweep engine, summary tables) with the
+ * environment-knob parameters — the whole main() of a ported bench.
+ * @return process exit code (2 if any job failed).
+ */
+inline int
+runRegisteredSweep(const std::string &grid_name)
+{
+    const SweepGrid *grid = findSweepGrid(grid_name);
+    if (!grid) {
+        std::fprintf(stderr, "sweep grid '%s' is not registered\n",
+                     grid_name.c_str());
+        return 1;
+    }
+    const SimParams params = paramsFromEnv();
+    SweepOptions options;
+    options.base_seed = params.seed;
+    const ResultSink sink = runSweepGrid(*grid, params, options);
+    return sink.failedCount() ? 2 : 0;
+}
 
 /** Print the standard bench banner. */
 inline void

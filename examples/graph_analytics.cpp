@@ -19,8 +19,7 @@ main(int argc, char **argv)
     using namespace necpt;
 
     const std::string app = argc > 1 ? argv[1] : "PR";
-    SimParams params = paramsFromEnv();
-    params.measure_accesses = params.measure_accesses / 2;
+    SimParams params = scaledParams(paramsFromEnv(), 2, 1);
 
     std::printf("Running %s under two virtualized page-table "
                 "organizations...\n\n",

@@ -21,8 +21,7 @@ main(int argc, char **argv)
     using namespace necpt;
 
     const std::string app = argc > 1 ? argv[1] : "MUMmer";
-    SimParams params = paramsFromEnv();
-    params.measure_accesses = params.measure_accesses / 2;
+    SimParams params = scaledParams(paramsFromEnv(), 2, 1);
 
     std::printf("Migration path for %s (Section 6):\n\n", app.c_str());
 

@@ -20,9 +20,7 @@ main(int argc, char **argv)
     using namespace necpt;
 
     const std::string app = argc > 1 ? argv[1] : "GUPS";
-    SimParams params = paramsFromEnv();
-    params.measure_accesses = params.measure_accesses / 4;
-    params.warmup_accesses = params.warmup_accesses / 2;
+    SimParams params = scaledParams(paramsFromEnv(), 4, 2);
 
     std::printf("Footprint sweep for %s (larger scale divisor = "
                 "smaller footprint):\n\n",

@@ -1,0 +1,140 @@
+#include "exec/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "exec/thread_pool.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** Shared between a job's runner thread and its supervising worker. */
+struct Isolated
+{
+    std::mutex mtx;
+    std::condition_variable done_cv;
+    bool done = false;
+    JobStatus status = JobStatus::Failed;
+    std::string error;
+    JobOutput out;
+};
+
+} // namespace
+
+SweepEngine::SweepEngine(const SweepOptions &options) : opts(options)
+{
+    n_jobs = opts.jobs > 0 ? opts.jobs : jobsFromEnv();
+}
+
+JobRecord
+SweepEngine::runIsolated(const JobSpec &spec) const
+{
+    JobRecord record;
+    record.key = spec.key;
+    record.seed = deriveJobSeed(opts.base_seed, spec.key);
+
+    const JobContext ctx{record.seed};
+    const auto start = Clock::now();
+    const std::uint64_t budget_ms =
+        spec.timeout_ms ? spec.timeout_ms : opts.timeout_ms;
+
+    // Heap-shared so a detached (timed-out) runner can still finish
+    // writing into it safely after the supervisor has moved on.
+    // fn is captured by value: a detached runner may outlive the
+    // caller's JobSpec vector.
+    auto state = std::make_shared<Isolated>();
+    std::thread runner([state, fn = spec.fn, ctx] {
+        JobStatus status = JobStatus::Failed;
+        std::string error;
+        JobOutput out;
+        try {
+            out = fn(ctx);
+            status = JobStatus::Ok;
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
+        std::lock_guard<std::mutex> lock(state->mtx);
+        state->status = status;
+        state->error = std::move(error);
+        state->out = std::move(out);
+        state->done = true;
+        state->done_cv.notify_all();
+    });
+
+    bool finished = true;
+    if (budget_ms == 0) {
+        runner.join();
+    } else {
+        std::unique_lock<std::mutex> lock(state->mtx);
+        finished = state->done_cv.wait_for(
+            lock, std::chrono::milliseconds(budget_ms),
+            [&] { return state->done; });
+        lock.unlock();
+        if (finished)
+            runner.join();
+        else
+            runner.detach(); // no cancellation points in a simulation
+    }
+
+    record.wall_ms = msSince(start);
+    if (!finished) {
+        record.status = JobStatus::TimedOut;
+        record.error = "timed out after " + std::to_string(budget_ms)
+            + " ms";
+        return record;
+    }
+    std::lock_guard<std::mutex> lock(state->mtx);
+    record.status = state->status;
+    record.error = state->error;
+    record.out = std::move(state->out);
+    return record;
+}
+
+ResultSink
+SweepEngine::run(const std::vector<JobSpec> &specs) const
+{
+    ResultSink sink(specs.size());
+    if (specs.empty())
+        return sink;
+
+    std::atomic<std::size_t> completed{0};
+    const int workers =
+        std::min<int>(n_jobs, static_cast<int>(specs.size()));
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool.submit([this, i, &specs, &sink, &completed] {
+            const JobSpec &spec = specs[i];
+            JobRecord record = runIsolated(spec);
+            const std::size_t n = completed.fetch_add(1) + 1;
+            if (opts.progress)
+                std::fprintf(opts.progress,
+                             "  [%3zu/%zu] %-40s %s (%.0f ms)\n", n,
+                             specs.size(), spec.key.c_str(),
+                             jobStatusName(record.status),
+                             record.wall_ms);
+            sink.put(i, std::move(record));
+        });
+    }
+    pool.wait();
+    return sink;
+}
+
+} // namespace necpt

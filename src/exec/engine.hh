@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The sweep engine: schedules an experiment grid onto a fixed-size
+ * thread pool with per-job fault isolation.
+ *
+ *  - Determinism: each job's RNG seed is deriveJobSeed(base, key) —
+ *    a pure function of the job key — so --jobs 1 and --jobs 8 yield
+ *    bit-identical per-job records, in identical (submission) order.
+ *  - Fault isolation: a job that throws is captured as a `failed`
+ *    record carrying the exception message; a job that exceeds its
+ *    wall-clock budget is captured as `timeout`. Sibling jobs keep
+ *    running either way — a sweep never aborts mid-grid.
+ *  - Timeouts are supervised: a timed-out job's runner thread is
+ *    detached (simulations have no cancellation points), so its
+ *    state is intentionally leaked rather than torn down underneath
+ *    a running walker.
+ */
+
+#ifndef NECPT_EXEC_ENGINE_HH
+#define NECPT_EXEC_ENGINE_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "exec/job.hh"
+#include "exec/result_sink.hh"
+
+namespace necpt
+{
+
+struct SweepOptions
+{
+    /** Worker count; <= 0 means jobsFromEnv() (NECPT_JOBS). */
+    int jobs = 0;
+    /** Default per-job wall-clock budget in ms; 0 = unlimited. */
+    std::uint64_t timeout_ms = 0;
+    /** Base seed every job key is mixed with. */
+    std::uint64_t base_seed = 0xD15EA5E;
+    /** Progress destination (one line per job); nullptr = silent. */
+    std::FILE *progress = stderr;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(const SweepOptions &options = {});
+
+    /**
+     * Run every job (fault-isolated, seeded from its key) and return
+     * the filled sink. Records sit at their submission index.
+     */
+    ResultSink run(const std::vector<JobSpec> &specs) const;
+
+    int jobs() const { return n_jobs; }
+    const SweepOptions &options() const { return opts; }
+
+  private:
+    JobRecord runIsolated(const JobSpec &spec) const;
+
+    SweepOptions opts;
+    int n_jobs;
+};
+
+} // namespace necpt
+
+#endif // NECPT_EXEC_ENGINE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The unit of sweep work: a keyed, seeded, fault-isolated simulation
+ * job and the structured record it leaves behind.
+ *
+ * Determinism contract: a job's RNG seed is derived purely from
+ * (sweep base seed, job key) — never from submission order, worker
+ * identity, or wall-clock — so a grid run with 1 worker and with 8
+ * workers produces bit-identical per-job results.
+ */
+
+#ifndef NECPT_EXEC_JOB_HH
+#define NECPT_EXEC_JOB_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace necpt
+{
+
+/** What the engine hands a job when it runs. */
+struct JobContext
+{
+    /** Seed derived from (base seed, job key); see deriveJobSeed(). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * What a job produces: the standard structured simulation record,
+ * plus free-form numeric/text extras for grids that report values
+ * outside SimResult (e.g. Table-4 footprints).
+ */
+struct JobOutput
+{
+    SimResult sim;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> labels;
+};
+
+using JobFn = std::function<JobOutput(const JobContext &)>;
+
+/** One schedulable experiment. */
+struct JobSpec
+{
+    /**
+     * Stable identity, e.g. "fig9/Nested ECPTs/GUPS". Keys must be
+     * unique within a sweep; they name the job in logs, seed
+     * derivation, and the results file.
+     */
+    std::string key;
+    JobFn fn;
+    /** Per-job wall-clock budget; 0 = use the engine default. */
+    std::uint64_t timeout_ms = 0;
+};
+
+enum class JobStatus
+{
+    Ok,
+    Failed,   //!< threw; error holds the exception message
+    TimedOut, //!< exceeded its wall-clock budget
+};
+
+/** The structured record every job leaves in the ResultSink. */
+struct JobRecord
+{
+    std::string key;
+    JobStatus status = JobStatus::Failed;
+    std::string error;       //!< non-empty iff status != Ok
+    std::uint64_t seed = 0;  //!< the derived seed the job ran with
+    double wall_ms = 0;      //!< observed wall-clock (informational)
+    JobOutput out;           //!< valid iff status == Ok
+};
+
+/** Printable status name ("ok" / "failed" / "timeout"). */
+const char *jobStatusName(JobStatus status);
+
+/**
+ * Derive a job's RNG seed from the sweep base seed and the job key
+ * (FNV-1a over the key, then a splitmix64 finalizer with the base).
+ * Pure function of its inputs — the scheduling-independence anchor.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base_seed,
+                            const std::string &key);
+
+} // namespace necpt
+
+#endif // NECPT_EXEC_JOB_HH

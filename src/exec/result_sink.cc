@@ -1,0 +1,183 @@
+#include "exec/result_sink.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "sim/report.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::TimedOut: return "timeout";
+    }
+    return "?";
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base_seed, const std::string &key)
+{
+    // FNV-1a over the key bytes...
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    // ...then fold in the base seed and finalize with splitmix64 so
+    // nearby keys land on unrelated streams.
+    std::uint64_t sm = h ^ base_seed;
+    std::uint64_t seed = splitmix64(sm);
+    return seed ? seed : 1; // keep 0 out of seed-sensitive RNGs
+}
+
+ResultSink::ResultSink(std::size_t jobs) : slots(jobs) {}
+
+void
+ResultSink::put(std::size_t index, JobRecord record)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (index >= slots.size())
+        slots.resize(index + 1);
+    slots[index] = std::move(record);
+}
+
+std::size_t
+ResultSink::okCount() const
+{
+    std::size_t n = 0;
+    for (const JobRecord &r : slots)
+        n += r.status == JobStatus::Ok;
+    return n;
+}
+
+const JobRecord *
+ResultSink::find(const std::string &key) const
+{
+    for (const JobRecord &r : slots)
+        if (r.key == key)
+            return &r;
+    return nullptr;
+}
+
+std::vector<SimResult>
+ResultSink::okResults() const
+{
+    std::vector<SimResult> results;
+    results.reserve(slots.size());
+    for (const JobRecord &r : slots)
+        if (r.status == JobStatus::Ok)
+            results.push_back(r.out.sim);
+    return results;
+}
+
+ResultGrid
+ResultSink::toGrid() const
+{
+    ResultGrid grid;
+    for (const JobRecord &r : slots)
+        if (r.status == JobStatus::Ok)
+            grid.add(r.out.sim);
+    return grid;
+}
+
+bool
+ResultSink::writeJson(const std::string &path,
+                      const std::string &sweep_name,
+                      std::uint64_t base_seed, int jobs) const
+{
+    std::ostringstream os;
+    os << "{\"sweep\":\"" << jsonEscape(sweep_name) << "\",";
+    os << "\"base_seed\":" << base_seed << ",";
+    os << "\"jobs\":" << jobs << ",";
+    os << "\"total\":" << size() << ",";
+    os << "\"ok\":" << okCount() << ",";
+    os << "\"failed\":" << failedCount() << ",";
+    os << "\"records\":[";
+    bool first = true;
+    for (const JobRecord &r : slots) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"key\":\"" << jsonEscape(r.key) << "\",";
+        os << "\"status\":\"" << jobStatusName(r.status) << "\",";
+        os << "\"seed\":" << r.seed << ",";
+        os << "\"wall_ms\":" << r.wall_ms;
+        if (r.status != JobStatus::Ok) {
+            os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+        } else {
+            os << ",\"result\":" << toJson(r.out.sim);
+            if (!r.out.metrics.empty()) {
+                os << ",\"metrics\":{";
+                bool m1 = true;
+                for (const auto &[k, v] : r.out.metrics) {
+                    if (!m1)
+                        os << ",";
+                    m1 = false;
+                    os << "\"" << jsonEscape(k) << "\":" << v;
+                }
+                os << "}";
+            }
+            if (!r.out.labels.empty()) {
+                os << ",\"labels\":{";
+                bool l1 = true;
+                for (const auto &[k, v] : r.out.labels) {
+                    if (!l1)
+                        os << ",";
+                    l1 = false;
+                    os << "\"" << jsonEscape(k) << "\":\""
+                       << jsonEscape(v) << "\"";
+                }
+                os << "}";
+            }
+        }
+        os << "}";
+    }
+    os << "]}\n";
+
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        return false;
+    const std::string text = os.str();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), out) == text.size();
+    std::fclose(out);
+    return ok;
+}
+
+bool
+ResultSink::writeCsv(const std::string &path) const
+{
+    return writeCsvFile(path, okResults());
+}
+
+} // namespace necpt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Thread-safe aggregation of per-job records plus machine-readable
+ * export: one JSON document per sweep (every record, including
+ * failures) and a CSV of the successful SimResults in the existing
+ * sim/report.hh column format.
+ *
+ * Record order is the grid's submission order, not completion order,
+ * so exported files are deterministic regardless of worker count.
+ */
+
+#ifndef NECPT_EXEC_RESULT_SINK_HH
+#define NECPT_EXEC_RESULT_SINK_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/job.hh"
+#include "sim/experiment.hh"
+
+namespace necpt
+{
+
+class ResultSink
+{
+  public:
+    /** Size the sink for @p jobs records (slot per submission index). */
+    explicit ResultSink(std::size_t jobs = 0);
+
+    /** Movable (a fresh mutex; no concurrent use during a move). */
+    ResultSink(ResultSink &&other) noexcept
+        : slots(std::move(other.slots))
+    {
+    }
+    ResultSink &
+    operator=(ResultSink &&other) noexcept
+    {
+        slots = std::move(other.slots);
+        return *this;
+    }
+
+    /** Deposit the record for submission index @p index. Thread-safe. */
+    void put(std::size_t index, JobRecord record);
+
+    /** All records, in submission order. */
+    const std::vector<JobRecord> &records() const { return slots; }
+
+    std::size_t size() const { return slots.size(); }
+    std::size_t okCount() const;
+    std::size_t failedCount() const { return size() - okCount(); }
+
+    /** Record for @p key, or nullptr. */
+    const JobRecord *find(const std::string &key) const;
+
+    /** Successful SimResults, submission order (CSV/grid fodder). */
+    std::vector<SimResult> okResults() const;
+
+    /** Bridge to the (config, app)-keyed grid the benches consume. */
+    ResultGrid toGrid() const;
+
+    /**
+     * Write the sweep as one JSON document:
+     * {"sweep": name, "base_seed": n, "jobs": n, "total": n, "ok": n,
+     *  "failed": n, "records": [{"key","status","seed","wall_ms",
+     *  "error"?, "result"?, "metrics"?, "labels"?}, ...]}
+     * @return success.
+     */
+    bool writeJson(const std::string &path, const std::string &sweep_name,
+                   std::uint64_t base_seed, int jobs) const;
+
+    /** CSV of successful results via sim/report.hh. @return success. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<JobRecord> slots;
+    mutable std::mutex mtx;
+};
+
+} // namespace necpt
+
+#endif // NECPT_EXEC_RESULT_SINK_HH

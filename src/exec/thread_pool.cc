@@ -1,0 +1,68 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace necpt
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    work_cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    work_cv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    idle_cv.wait(lock, [this] { return queue.empty() && in_flight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            work_cv.wait(lock,
+                         [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping with nothing left to do
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++in_flight;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --in_flight;
+        }
+        idle_cv.notify_all();
+    }
+}
+
+} // namespace necpt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A fixed-size worker pool with a FIFO task queue.
+ *
+ * This is the execution substrate for the sweep engine: submitters
+ * enqueue plain closures, a fixed set of workers drains them, and
+ * wait() blocks until every submitted task has finished (queue empty
+ * AND no task mid-flight). Tasks must not throw — the engine wraps
+ * each job in its own fault-isolation layer before submission.
+ */
+
+#ifndef NECPT_EXEC_THREAD_POOL_HH
+#define NECPT_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace necpt
+{
+
+class ThreadPool
+{
+  public:
+    /** Spin up @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Illegal after shutdown began. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void wait();
+
+    int size() const { return static_cast<int>(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable work_cv;  //!< wakes workers
+    std::condition_variable idle_cv;  //!< wakes wait()
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    int in_flight = 0;
+    bool stopping = false;
+};
+
+} // namespace necpt
+
+#endif // NECPT_EXEC_THREAD_POOL_HH

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +62,25 @@ jobsFromEnv()
         std::min<std::uint64_t>(4, hw ? hw : 1);
     const auto jobs = envU64("NECPT_JOBS", fallback);
     return static_cast<int>(std::max<std::uint64_t>(1, jobs));
+}
+
+SimParams
+scaledParams(SimParams params, std::uint64_t measure_div,
+             std::uint64_t warmup_div)
+{
+    if (measure_div > 1)
+        params.measure_accesses /= measure_div;
+    if (warmup_div > 1)
+        params.warmup_accesses /= warmup_div;
+    return params;
+}
+
+void
+configureSharedResources(ExperimentConfig &config, int cores)
+{
+    config.memory.l3.size_bytes =
+        static_cast<std::uint64_t>(cores) * 2 * 1024 * 1024;
+    config.memory.dram.channels = std::max(2, cores);
 }
 
 ResultGrid

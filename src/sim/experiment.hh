@@ -32,6 +32,22 @@ SimParams paramsFromEnv();
 /** Worker count for runGrid (NECPT_JOBS; default min(4, hw)). */
 int jobsFromEnv();
 
+/**
+ * @p params with the measured/warm-up run lengths divided — the
+ * standard shortening the wide-grid benches apply (divisors of 0 or
+ * 1 leave the phase untouched).
+ */
+SimParams scaledParams(SimParams params, std::uint64_t measure_div,
+                       std::uint64_t warmup_div);
+
+/**
+ * Restore the shared resources @p cores multiprogrammed cores
+ * actually share: cores x 2MB L3 slices and the machine's DRAM
+ * channels (the single-core default models a 1/4 share of the
+ * paper's 8-core machine).
+ */
+void configureSharedResources(ExperimentConfig &config, int cores);
+
 /** Application list honoring NECPT_APPS. */
 std::vector<std::string> appsFromEnv();
 

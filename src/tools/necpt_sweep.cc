@@ -1,0 +1,134 @@
+/**
+ * @file
+ * necpt_sweep — the unified parallel sweep runner.
+ *
+ *   necpt_sweep --list
+ *   necpt_sweep fig9 --jobs 8
+ *   necpt_sweep multicore --jobs 4 --timeout 600 --json mc.json \
+ *               --csv mc.csv
+ *
+ * Runs any registered figure/table grid on the sweep engine: the
+ * grid fans out across a fixed-size thread pool, each (config, app)
+ * job is fault-isolated (exceptions and timeouts become `failed`
+ * records instead of aborting the sweep), and results are emitted
+ * both as the bench binary's human tables (byte-identical stdout)
+ * and as machine-readable JSON (always) / CSV (on request).
+ *
+ * Determinism: per-job seeds derive from the job key, so any --jobs
+ * value produces identical records. Environment knobs (NECPT_WARMUP,
+ * NECPT_MEASURE, NECPT_SCALE, NECPT_APPS, NECPT_FULL, NECPT_JOBS)
+ * are honored exactly as the bench binaries honor them.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "exec/registry.hh"
+
+using namespace necpt;
+
+namespace
+{
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s GRID [options]\n"
+        "       %s --list\n\n"
+        "options:\n"
+        "  --list          list registered sweep grids\n"
+        "  --jobs N        worker threads (default: NECPT_JOBS or\n"
+        "                  min(4, hardware threads))\n"
+        "  --timeout SEC   per-job wall-clock budget (default: none)\n"
+        "  --seed N        sweep base seed (per-job seeds derive\n"
+        "                  from it and the job key)\n"
+        "  --json FILE     results JSON (default: sweep_GRID.json)\n"
+        "  --no-json       skip the JSON results file\n"
+        "  --csv FILE      also write successful results as CSV\n"
+        "  --quiet         no per-job progress on stderr\n",
+        prog, prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string grid_name, json_path, csv_path;
+    bool list = false, no_json = false;
+    SweepOptions options;
+    SimParams params = paramsFromEnv();
+    options.base_seed = params.seed;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--list") list = true;
+        else if (arg == "--jobs") options.jobs = std::stoi(value());
+        else if (arg == "--timeout")
+            options.timeout_ms = std::stoull(value()) * 1000;
+        else if (arg == "--seed") {
+            options.base_seed = std::stoull(value());
+            params.seed = options.base_seed;
+        } else if (arg == "--json") json_path = value();
+        else if (arg == "--no-json") no_json = true;
+        else if (arg == "--csv") csv_path = value();
+        else if (arg == "--quiet") options.progress = nullptr;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && grid_name.empty()) {
+            grid_name = arg;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    if (list) {
+        std::printf("registered sweep grids:\n");
+        for (const SweepGrid &grid : sweepGrids())
+            std::printf("  %-12s %s (%s)\n", grid.name.c_str(),
+                        grid.title.c_str(), grid.paper_ref.c_str());
+        return 0;
+    }
+    if (grid_name.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    const SweepGrid *grid = findSweepGrid(grid_name);
+    if (!grid)
+        fatal("unknown sweep grid '%s' (see --list)",
+              grid_name.c_str());
+
+    const ResultSink sink = runSweepGrid(*grid, params, options);
+
+    if (!no_json) {
+        if (json_path.empty())
+            json_path = "sweep_" + grid->name + ".json";
+        const SweepEngine engine(options);
+        if (!sink.writeJson(json_path, grid->name, options.base_seed,
+                            engine.jobs()))
+            fatal("cannot write '%s'", json_path.c_str());
+        std::fprintf(stderr, "results JSON: %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        if (!sink.writeCsv(csv_path))
+            fatal("cannot write '%s'", csv_path.c_str());
+        std::fprintf(stderr, "results CSV:  %s\n", csv_path.c_str());
+    }
+
+    const std::size_t failed = sink.failedCount();
+    if (failed)
+        std::fprintf(stderr, "%zu/%zu jobs failed\n", failed,
+                     sink.size());
+    return failed ? 2 : 0;
+}

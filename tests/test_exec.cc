@@ -1,0 +1,361 @@
+/** @file The sweep engine: thread-pool scheduling, key-derived seed
+ *  determinism (jobs=1 == jobs=8), per-job fault isolation (throws
+ *  and timeouts become failed records), and structured result export. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/engine.hh"
+#include "exec/registry.hh"
+#include "exec/thread_pool.hh"
+#include "tests/test_util.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** A cheap deterministic job: stats are a pure function of the seed. */
+JobSpec
+fakeJob(const std::string &key)
+{
+    JobSpec spec;
+    spec.key = key;
+    spec.fn = [key](const JobContext &ctx) {
+        JobOutput out;
+        out.sim.config = "fake";
+        out.sim.app = key;
+        out.sim.cycles = ctx.seed % 100'000;
+        out.sim.instructions = ctx.seed % 777;
+        out.metrics["seed_lo"] = static_cast<double>(ctx.seed & 0xFF);
+        return out;
+    };
+    return spec;
+}
+
+SweepOptions
+quietOptions(int jobs)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    options.progress = nullptr;
+    return options;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+
+    // The pool stays usable after a wait().
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, WaitBlocksUntilInFlightTasksFinish)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> finished{false};
+    pool.submit([&finished] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        finished.store(true);
+    });
+    pool.wait();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+// ------------------------------------------------------ seed derivation
+
+TEST(JobSeed, PureFunctionOfBaseAndKey)
+{
+    const std::uint64_t a = deriveJobSeed(1, "fig9/Nested ECPTs/GUPS");
+    EXPECT_EQ(a, deriveJobSeed(1, "fig9/Nested ECPTs/GUPS"));
+    EXPECT_NE(a, deriveJobSeed(2, "fig9/Nested ECPTs/GUPS"));
+    EXPECT_NE(a, deriveJobSeed(1, "fig9/Nested ECPTs/BFS"));
+    EXPECT_NE(deriveJobSeed(1, ""), 0u) << "seed 0 must never escape";
+}
+
+TEST(JobSeed, SpreadsAcrossNearbyKeys)
+{
+    std::set<std::uint64_t> seeds;
+    for (int i = 0; i < 256; ++i)
+        seeds.insert(deriveJobSeed(0xD15EA5E, "job" + std::to_string(i)));
+    EXPECT_EQ(seeds.size(), 256u);
+}
+
+// -------------------------------------------------------- determinism
+
+TEST(SweepEngine, RecordsIdenticalAcrossWorkerCounts)
+{
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 24; ++i)
+        specs.push_back(fakeJob("det/job" + std::to_string(i)));
+
+    const ResultSink serial = SweepEngine(quietOptions(1)).run(specs);
+    const ResultSink wide = SweepEngine(quietOptions(8)).run(specs);
+
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const JobRecord &s = serial.records()[i];
+        const JobRecord &w = wide.records()[i];
+        EXPECT_EQ(s.key, w.key) << "submission order must be kept";
+        EXPECT_EQ(s.seed, w.seed);
+        EXPECT_EQ(s.status, JobStatus::Ok);
+        EXPECT_EQ(w.status, JobStatus::Ok);
+        EXPECT_EQ(s.out.sim.cycles, w.out.sim.cycles);
+        EXPECT_EQ(s.out.sim.instructions, w.out.sim.instructions);
+        EXPECT_EQ(s.out.metrics.at("seed_lo"),
+                  w.out.metrics.at("seed_lo"));
+    }
+}
+
+TEST(SweepEngine, RealSimulationGridIsWorkerCountInvariant)
+{
+    // A miniature fig9-style grid through the real simulator: two
+    // configurations x one app, short runs. jobs=1 and jobs=4 must
+    // produce bit-identical stats (seeds derive from keys, not from
+    // scheduling).
+    SimParams params;
+    params.warmup_accesses = 2'000;
+    params.measure_accesses = 10'000;
+    params.scale_denominator = 2048;
+
+    std::vector<JobSpec> specs;
+    for (const ConfigId id :
+         {ConfigId::NestedRadix, ConfigId::NestedEcpt}) {
+        const ExperimentConfig config = makeConfig(id);
+        JobSpec spec;
+        spec.key = "mini/" + config.name + "/GUPS";
+        spec.fn = [config, params](const JobContext &ctx) {
+            SimParams p = params;
+            p.seed = ctx.seed;
+            JobOutput out;
+            out.sim = runSim(config, p, "GUPS");
+            return out;
+        };
+        specs.push_back(std::move(spec));
+    }
+
+    const ResultSink serial = SweepEngine(quietOptions(1)).run(specs);
+    const ResultSink wide = SweepEngine(quietOptions(4)).run(specs);
+    ASSERT_EQ(serial.size(), 2u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const SimResult &s = serial.records()[i].out.sim;
+        const SimResult &w = wide.records()[i].out.sim;
+        EXPECT_EQ(serial.records()[i].status, JobStatus::Ok);
+        EXPECT_EQ(s.cycles, w.cycles) << s.config;
+        EXPECT_EQ(s.instructions, w.instructions);
+        EXPECT_EQ(s.walks, w.walks);
+        EXPECT_EQ(s.l2_tlb_misses, w.l2_tlb_misses);
+        EXPECT_EQ(s.mmu_busy_cycles, w.mmu_busy_cycles);
+    }
+    EXPECT_GT(serial.records()[0].out.sim.cycles, 0u);
+}
+
+// ----------------------------------------------------- fault isolation
+
+TEST(SweepEngine, ThrowingJobBecomesFailedRecordSiblingsComplete)
+{
+    std::vector<JobSpec> specs;
+    specs.push_back(fakeJob("iso/before"));
+    JobSpec bad;
+    bad.key = "iso/bad";
+    bad.fn = [](const JobContext &) -> JobOutput {
+        throw std::runtime_error("walker exploded");
+    };
+    specs.push_back(std::move(bad));
+    specs.push_back(fakeJob("iso/after"));
+
+    const ResultSink sink = SweepEngine(quietOptions(4)).run(specs);
+    ASSERT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.okCount(), 2u);
+    EXPECT_EQ(sink.failedCount(), 1u);
+
+    const JobRecord *bad_rec = sink.find("iso/bad");
+    ASSERT_NE(bad_rec, nullptr);
+    EXPECT_EQ(bad_rec->status, JobStatus::Failed);
+    EXPECT_EQ(bad_rec->error, "walker exploded");
+    EXPECT_EQ(sink.find("iso/before")->status, JobStatus::Ok);
+    EXPECT_EQ(sink.find("iso/after")->status, JobStatus::Ok);
+}
+
+TEST(SweepEngine, NonStdExceptionIsCaptured)
+{
+    JobSpec bad;
+    bad.key = "iso/odd";
+    bad.fn = [](const JobContext &) -> JobOutput { throw 42; };
+    const ResultSink sink = SweepEngine(quietOptions(1)).run({bad});
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.records()[0].status, JobStatus::Failed);
+    EXPECT_EQ(sink.records()[0].error, "unknown exception");
+}
+
+TEST(SweepEngine, TimedOutJobIsReportedWhileSiblingsComplete)
+{
+    // The sleeper polls a shared flag so the detached runner drains
+    // promptly once the test is done with it.
+    auto stop = std::make_shared<std::atomic<bool>>(false);
+
+    std::vector<JobSpec> specs;
+    JobSpec slow;
+    slow.key = "iso/slow";
+    slow.timeout_ms = 80;
+    slow.fn = [stop](const JobContext &) {
+        for (int i = 0; i < 100 && !stop->load(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return JobOutput{};
+    };
+    specs.push_back(std::move(slow));
+    specs.push_back(fakeJob("iso/fast"));
+
+    const ResultSink sink = SweepEngine(quietOptions(2)).run(specs);
+    ASSERT_EQ(sink.size(), 2u);
+    const JobRecord *slow_rec = sink.find("iso/slow");
+    ASSERT_NE(slow_rec, nullptr);
+    EXPECT_EQ(slow_rec->status, JobStatus::TimedOut);
+    EXPECT_NE(slow_rec->error.find("timed out"), std::string::npos);
+    EXPECT_EQ(sink.find("iso/fast")->status, JobStatus::Ok);
+
+    stop->store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// ------------------------------------------------------- result export
+
+TEST(ResultSink, JsonCarriesEveryRecordAndFailureDetail)
+{
+    std::vector<JobSpec> specs = {fakeJob("exp/one"), fakeJob("exp/two")};
+    JobSpec bad;
+    bad.key = "exp/bad";
+    bad.fn = [](const JobContext &) -> JobOutput {
+        throw std::runtime_error("quoted \"message\"");
+    };
+    specs.push_back(std::move(bad));
+
+    const ResultSink sink = SweepEngine(quietOptions(2)).run(specs);
+    const std::string path = "test_exec_results.json";
+    ASSERT_TRUE(sink.writeJson(path, "unit", 0xD15EA5E, 2));
+    const std::string json = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"sweep\":\"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"ok\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"key\":\"exp/one\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"failed\""), std::string::npos);
+    EXPECT_NE(json.find("quoted \\\"message\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed_lo\""), std::string::npos);
+    // Balanced braces — cheap structural sanity without a parser.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ResultSink, CsvContainsOnlySuccessfulRows)
+{
+    std::vector<JobSpec> specs = {fakeJob("csv/one")};
+    JobSpec bad;
+    bad.key = "csv/bad";
+    bad.fn = [](const JobContext &) -> JobOutput {
+        throw std::runtime_error("no row for me");
+    };
+    specs.push_back(std::move(bad));
+
+    const ResultSink sink = SweepEngine(quietOptions(1)).run(specs);
+    const std::string path = "test_exec_results.csv";
+    ASSERT_TRUE(sink.writeCsv(path));
+    const std::string csv = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2)
+        << "header + one ok row";
+    EXPECT_NE(csv.find("csv/one"), std::string::npos);
+    EXPECT_EQ(csv.find("csv/bad"), std::string::npos);
+}
+
+TEST(ResultSink, ToGridBridgesOkRecords)
+{
+    std::vector<JobSpec> specs = {fakeJob("grid/a"), fakeJob("grid/b")};
+    const ResultSink sink = SweepEngine(quietOptions(2)).run(specs);
+    const ResultGrid grid = sink.toGrid();
+    EXPECT_TRUE(grid.has("fake", "grid/a"));
+    EXPECT_TRUE(grid.has("fake", "grid/b"));
+    EXPECT_EQ(grid.at("fake", "grid/a").cycles,
+              sink.find("grid/a")->out.sim.cycles);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(SweepRegistry, PortedGridsAreRegistered)
+{
+    EXPECT_GE(sweepGrids().size(), 3u);
+    for (const char *name : {"fig9", "table4", "multicore"}) {
+        const SweepGrid *grid = findSweepGrid(name);
+        ASSERT_NE(grid, nullptr) << name;
+        EXPECT_EQ(grid->name, name);
+        EXPECT_FALSE(grid->title.empty());
+    }
+    EXPECT_EQ(findSweepGrid("no-such-grid"), nullptr);
+}
+
+TEST(SweepRegistry, JobKeysAreUniqueAndStable)
+{
+    const SimParams params;
+    for (const SweepGrid &grid : sweepGrids()) {
+        const auto jobs = grid.make_jobs(params);
+        ASSERT_FALSE(jobs.empty()) << grid.name;
+        std::set<std::string> keys;
+        for (const JobSpec &spec : jobs) {
+            EXPECT_TRUE(keys.insert(spec.key).second)
+                << "duplicate key " << spec.key;
+            EXPECT_EQ(spec.key.rfind(grid.name + "/", 0), 0u)
+                << "keys are namespaced by grid: " << spec.key;
+        }
+        // Rebuilding the grid yields the same keys in the same order.
+        const auto again = grid.make_jobs(params);
+        ASSERT_EQ(again.size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            EXPECT_EQ(again[i].key, jobs[i].key);
+    }
+}
+
+} // namespace necpt
