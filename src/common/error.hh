@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Structured, recoverable error taxonomy for the simulator library.
+ *
+ * Library code must never kill the process: a bad config, an
+ * exhausted pool, or a corrupt trace is one failed job inside a
+ * multi-hour sweep, not a reason to abort it. Library-side failure
+ * paths throw a SimError subclass; only the CLI boundary in
+ * src/tools/ converts them into fatal() process exits. panic()
+ * remains for genuine simulator bugs (impossible states).
+ *
+ * The `kind()` tag survives into sweep-engine JSON records
+ * (`error_kind`), and `retryable()` drives the engine's bounded
+ * retry-with-backoff: transient pressure (ResourceExhausted) is worth
+ * retrying under a fresh fault draw, while a bad config or corrupt
+ * trace will fail identically every time.
+ */
+
+#ifndef NECPT_COMMON_ERROR_HH
+#define NECPT_COMMON_ERROR_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace necpt
+{
+
+enum class ErrorKind
+{
+    Config,
+    ResourceExhausted,
+    Trace,
+    Invariant,
+};
+
+inline const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return "config";
+      case ErrorKind::ResourceExhausted: return "resource_exhausted";
+      case ErrorKind::Trace: return "trace";
+      case ErrorKind::Invariant: return "invariant";
+    }
+    return "unknown";
+}
+
+/** printf-style formatting into a std::string (for error messages). */
+inline std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+/** Base class for every recoverable simulator error. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &what)
+        : std::runtime_error(what), _kind(kind)
+    {}
+
+    ErrorKind kind() const { return _kind; }
+    const char *kindName() const { return errorKindName(_kind); }
+
+    /** Whether a sweep job failing with this error is worth
+     *  re-running (transient pressure vs. deterministic input). */
+    virtual bool retryable() const { return false; }
+
+  private:
+    ErrorKind _kind;
+};
+
+/** User-facing configuration mistakes (unknown config id, malformed
+ *  fault spec, impossible topology). Never retryable. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : SimError(ErrorKind::Config, what)
+    {}
+};
+
+/** A finite resource (physical memory pool, region zone) ran out.
+ *  Names the owning structure so the record is actionable. Retryable:
+ *  under fault injection the same job may pass on a fresh draw, and
+ *  in real sweeps pressure can be transient. */
+class ResourceExhausted : public SimError
+{
+  public:
+    explicit ResourceExhausted(const std::string &what)
+        : SimError(ErrorKind::ResourceExhausted, what)
+    {}
+
+    bool retryable() const override { return true; }
+};
+
+/** Trace file missing/truncated/corrupt. Carries the file and byte
+ *  offset where the problem was detected. Never retryable. */
+class TraceError : public SimError
+{
+  public:
+    TraceError(const std::string &file, std::uint64_t offset,
+               const std::string &detail)
+        : SimError(ErrorKind::Trace,
+                   strfmt("trace '%s': %s (byte offset %llu)",
+                          file.c_str(), detail.c_str(),
+                          (unsigned long long)offset)),
+          _file(file), _offset(offset)
+    {}
+
+    const std::string &file() const { return _file; }
+    std::uint64_t offset() const { return _offset; }
+
+  private:
+    std::string _file;
+    std::uint64_t _offset;
+};
+
+/** A cross-structure consistency check failed (ECPT/CWT staleness,
+ *  homeless-entry bound, accounting mismatch). Indicates a real bug
+ *  or an injected fault the design failed to absorb — not retryable,
+ *  the record is the point. */
+class InvariantViolation : public SimError
+{
+  public:
+    explicit InvariantViolation(const std::string &what)
+        : SimError(ErrorKind::Invariant, what)
+    {}
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_ERROR_HH

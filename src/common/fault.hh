@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultSpec says *which* corner cases to exercise (pool exhaustion,
+ * forced cuckoo kick exhaustion, forced mid-probe resize windows,
+ * memory latency spikes, trace corruption) and a FaultPlan turns the
+ * spec plus a seed into a concrete, reproducible sequence of
+ * injection decisions. Every site draws from its own seeded stream,
+ * so decisions are a pure function of (spec, seed, call sequence) —
+ * the same plan replayed through the same simulation makes the same
+ * calls and therefore injects the same faults, which is what lets a
+ * failing sweep record be reproduced from its seed alone.
+ *
+ * Sites are polled via const-cheap predicates; a null/absent plan
+ * means "never inject" so hot paths stay branch-of-nullptr cheap.
+ */
+
+#ifndef NECPT_COMMON_FAULT_HH
+#define NECPT_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** Which fault sites are armed, and how hard. Parsed from the
+ *  `--faults` CLI spec (see parseFaultSpec). */
+struct FaultSpec
+{
+    /** Fail PhysMemPool allocations (probabilistically) once the
+     *  pool's fill fraction reaches this value; < 0 disarms. */
+    double pool_fill = -1.0;
+
+    /** Per-placement probability of forcing cuckoo max_kicks
+     *  exhaustion (entry parks on the homeless list and the table
+     *  must re-place it before the insert returns). */
+    double kick_prob = 0.0;
+
+    /** Per-insert probability of forcing an elastic resize window,
+     *  exercising mid-probe two-generation lookups and migration. */
+    double resize_prob = 0.0;
+
+    /** Per-memory-access probability of a latency spike. */
+    double mem_prob = 0.0;
+
+    /** Size of an injected latency spike, in cycles. */
+    Cycles mem_spike_cycles = 200;
+
+    /** Campaign-level: also run deliberately corrupted trace loads
+     *  (exercised by the sweep campaign, not inside the machine). */
+    bool trace_corruption = false;
+
+    bool
+    enabled() const
+    {
+        return pool_fill >= 0.0 || kick_prob > 0.0 || resize_prob > 0.0
+               || mem_prob > 0.0 || trace_corruption;
+    }
+};
+
+/**
+ * Parse a fault spec string.
+ *
+ * Grammar (comma-separated sites):
+ *   pool:FRAC          arm pool exhaustion at fill fraction FRAC
+ *   kicks:PROB         arm forced kick exhaustion
+ *   resize:PROB        arm forced resize windows
+ *   mem:PROB[:CYCLES]  arm latency spikes (default 200 cycles)
+ *   trace              arm corrupt-trace campaign jobs
+ *   all                shorthand arming every site at stock rates
+ *
+ * Example: "pool:0.95,kicks:0.02,mem:0.01:400"
+ *
+ * Throws ConfigError on unknown sites or malformed values.
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/** Render a spec back into the grammar above (for banners/JSON). */
+std::string faultSpecToString(const FaultSpec &spec);
+
+/**
+ * A seeded, stateful instance of a FaultSpec. One per simulation run;
+ * polled from the injection sites. Not thread-safe — each sweep job
+ * owns its private plan (jobs are share-nothing).
+ */
+class FaultPlan
+{
+  public:
+    struct Counters
+    {
+        std::uint64_t pool_failures = 0;
+        std::uint64_t forced_kicks = 0;
+        std::uint64_t forced_resizes = 0;
+        std::uint64_t mem_spikes = 0;
+    };
+
+    FaultPlan(const FaultSpec &spec, std::uint64_t seed);
+
+    const FaultSpec &spec() const { return _spec; }
+    std::uint64_t seed() const { return _seed; }
+    const Counters &counters() const { return _counters; }
+
+    /** Pool site: should this allocation fail? `fill` is the pool's
+     *  current fill fraction in [0, 1]. */
+    bool failPoolAlloc(double fill);
+
+    /** Cuckoo site: force this placement to exhaust max_kicks?
+     *  Never fires twice in a row, so the settle() drain loop always
+     *  makes progress and terminates. */
+    bool forceKickExhaustion();
+
+    /** Cuckoo site: force an elastic resize window on this insert?
+     *  Capped per plan — each forced resize doubles live capacity,
+     *  so an uncapped stream would blow up real memory. */
+    bool forceResizeWindow();
+
+    /** Memory site: extra cycles to add to this access (0 = none). */
+    Cycles memSpikeCycles();
+
+  private:
+    FaultSpec _spec;
+    std::uint64_t _seed;
+    Counters _counters;
+
+    Rng pool_rng, kick_rng, resize_rng, mem_rng;
+    bool last_kick_forced = false;
+
+    /** Hard cap on forced resizes per plan (see forceResizeWindow). */
+    static constexpr std::uint64_t MAX_FORCED_RESIZES = 3;
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_FAULT_HH

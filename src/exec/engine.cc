@@ -1,5 +1,6 @@
 #include "exec/engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -7,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/error.hh"
 #include "exec/thread_pool.hh"
 
 namespace necpt
@@ -32,6 +34,8 @@ struct Isolated
     bool done = false;
     JobStatus status = JobStatus::Failed;
     std::string error;
+    std::string error_kind;
+    bool retryable = false;
     JobOutput out;
 };
 
@@ -49,63 +53,106 @@ SweepEngine::runIsolated(const JobSpec &spec) const
     record.key = spec.key;
     record.seed = deriveJobSeed(opts.base_seed, spec.key);
 
-    const JobContext ctx{record.seed};
     const auto start = Clock::now();
     const std::uint64_t budget_ms =
         spec.timeout_ms ? spec.timeout_ms : opts.timeout_ms;
 
-    // Heap-shared so a detached (timed-out) runner can still finish
-    // writing into it safely after the supervisor has moved on.
-    // fn is captured by value: a detached runner may outlive the
-    // caller's JobSpec vector.
-    auto state = std::make_shared<Isolated>();
-    std::thread runner([state, fn = spec.fn, ctx] {
-        JobStatus status = JobStatus::Failed;
-        std::string error;
-        JobOutput out;
-        try {
-            out = fn(ctx);
-            status = JobStatus::Ok;
-        } catch (const std::exception &e) {
-            error = e.what();
-        } catch (...) {
-            error = "unknown exception";
-        }
-        std::lock_guard<std::mutex> lock(state->mtx);
-        state->status = status;
-        state->error = std::move(error);
-        state->out = std::move(out);
-        state->done = true;
-        state->done_cv.notify_all();
-    });
+    for (int attempt = 0;; ++attempt) {
+        const JobContext ctx{record.seed, attempt};
+        record.attempts = attempt + 1;
 
-    bool finished = true;
-    if (budget_ms == 0) {
-        runner.join();
-    } else {
-        std::unique_lock<std::mutex> lock(state->mtx);
-        finished = state->done_cv.wait_for(
-            lock, std::chrono::milliseconds(budget_ms),
-            [&] { return state->done; });
-        lock.unlock();
-        if (finished)
+        // Heap-shared so a detached (timed-out) runner can still
+        // finish writing into it safely after the supervisor has
+        // moved on. fn/audit are captured by value: a detached runner
+        // may outlive the caller's JobSpec vector.
+        auto state = std::make_shared<Isolated>();
+        std::thread runner(
+            [state, fn = spec.fn, audit = spec.audit, ctx] {
+                JobStatus status = JobStatus::Failed;
+                std::string error, error_kind;
+                bool retryable = false;
+                JobOutput out;
+                try {
+                    out = fn(ctx);
+                    if (audit)
+                        audit(ctx);
+                    status = JobStatus::Ok;
+                } catch (const SimError &e) {
+                    error = e.what();
+                    error_kind = e.kindName();
+                    retryable = e.retryable();
+                } catch (const std::exception &e) {
+                    error = e.what();
+                    error_kind = "exception";
+                } catch (...) {
+                    error = "unknown exception";
+                    error_kind = "exception";
+                }
+                std::lock_guard<std::mutex> lock(state->mtx);
+                state->status = status;
+                state->error = std::move(error);
+                state->error_kind = std::move(error_kind);
+                state->retryable = retryable;
+                state->out = std::move(out);
+                state->done = true;
+                state->done_cv.notify_all();
+            });
+
+        bool finished = true;
+        if (budget_ms == 0) {
             runner.join();
-        else
-            runner.detach(); // no cancellation points in a simulation
-    }
+        } else {
+            std::unique_lock<std::mutex> lock(state->mtx);
+            finished = state->done_cv.wait_for(
+                lock, std::chrono::milliseconds(budget_ms),
+                [&] { return state->done; });
+            lock.unlock();
+            if (finished)
+                runner.join();
+            else
+                runner.detach(); // no cancellation points in a sim
+        }
 
-    record.wall_ms = msSince(start);
-    if (!finished) {
-        record.status = JobStatus::TimedOut;
-        record.error = "timed out after " + std::to_string(budget_ms)
-            + " ms";
-        return record;
+        if (!finished) {
+            // A timed-out job is never retried: the detached runner
+            // still owns the machine it was building, and a rerun
+            // would almost certainly time out again anyway.
+            record.wall_ms = msSince(start);
+            record.status = JobStatus::TimedOut;
+            record.error = "timed out after "
+                + std::to_string(budget_ms) + " ms";
+            record.error_kind = "timeout";
+            record.error_chain.push_back(record.error);
+            return record;
+        }
+
+        bool retryable;
+        {
+            std::lock_guard<std::mutex> lock(state->mtx);
+            record.status = state->status;
+            record.error = state->error;
+            record.error_kind = state->error_kind;
+            record.out = std::move(state->out);
+            retryable = state->retryable;
+        }
+        if (record.status == JobStatus::Ok) {
+            record.wall_ms = msSince(start);
+            return record;
+        }
+        record.error_chain.push_back(record.error);
+        if (!retryable || attempt >= opts.retries) {
+            record.wall_ms = msSince(start);
+            return record;
+        }
+        // Exponential backoff before the retry — transient pressure
+        // (the reason ResourceExhausted is retryable) needs time to
+        // drain on a loaded machine.
+        const std::uint64_t delay = std::min<std::uint64_t>(
+            opts.backoff_ms << attempt, 2000);
+        if (delay)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
     }
-    std::lock_guard<std::mutex> lock(state->mtx);
-    record.status = state->status;
-    record.error = state->error;
-    record.out = std::move(state->out);
-    return record;
 }
 
 ResultSink

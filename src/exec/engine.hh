@@ -7,9 +7,13 @@
  *    a pure function of the job key — so --jobs 1 and --jobs 8 yield
  *    bit-identical per-job records, in identical (submission) order.
  *  - Fault isolation: a job that throws is captured as a `failed`
- *    record carrying the exception message; a job that exceeds its
- *    wall-clock budget is captured as `timeout`. Sibling jobs keep
- *    running either way — a sweep never aborts mid-grid.
+ *    record carrying the exception message (plus the SimError
+ *    taxonomy kind when typed); a job that exceeds its wall-clock
+ *    budget is captured as `timeout`. Sibling jobs keep running
+ *    either way — a sweep never aborts mid-grid.
+ *  - Retries: attempts failing with a retryable SimError are re-run
+ *    with exponential backoff (SweepOptions::retries/backoff_ms); the
+ *    record keeps the attempt count and the full error chain.
  *  - Timeouts are supervised: a timed-out job's runner thread is
  *    detached (simulations have no cancellation points), so its
  *    state is intentionally leaked rather than torn down underneath
@@ -38,6 +42,15 @@ struct SweepOptions
     std::uint64_t base_seed = 0xD15EA5E;
     /** Progress destination (one line per job); nullptr = silent. */
     std::FILE *progress = stderr;
+    /**
+     * Bounded retry for attempts that fail with a *retryable*
+     * SimError (ResourceExhausted): up to this many re-runs after the
+     * first attempt. Timeouts, untyped exceptions, and non-retryable
+     * errors are never retried.
+     */
+    int retries = 0;
+    /** Base backoff before retry r: backoff_ms << r, capped at 2s. */
+    std::uint64_t backoff_ms = 100;
 };
 
 class SweepEngine

@@ -57,6 +57,9 @@ simJob(const std::string &key, const ExperimentConfig &config,
     spec.fn = [config, params, app](const JobContext &ctx) {
         SimParams p = params;
         p.seed = ctx.seed;
+        // Fault draws are seeded per attempt so a retried job redraws
+        // its injected faults; a no-fault sweep never reads this.
+        p.fault_seed = ctx.faultSeed();
         JobOutput out;
         out.sim = runSim(config, p, app);
         return out;
@@ -275,6 +278,42 @@ multicoreSummary(const ResultSink &sink, const SimParams &)
                 "copies.\n");
 }
 
+// ------------------------------------------------------------ smoke
+
+/** The two headline designs on one short workload: the cheapest grid
+ *  that still exercises every injection site (pools, cuckoo tables,
+ *  CWTs, DRAM), sized for CI fault campaigns. */
+std::vector<JobSpec>
+smokeJobs(const SimParams &base)
+{
+    const SimParams shortened = scaledParams(base, 16, 8);
+    std::vector<JobSpec> jobs;
+    for (const ConfigId id :
+         {ConfigId::NestedRadix, ConfigId::NestedEcpt}) {
+        const ExperimentConfig config = makeConfig(id);
+        jobs.push_back(simJob("smoke/" + config.name + "/GUPS", config,
+                              shortened, "GUPS"));
+    }
+    return jobs;
+}
+
+void
+smokeSummary(const ResultSink &sink, const SimParams &)
+{
+    std::printf("%-16s %14s %14s\n", "config", "cycles", "mmu busy");
+    for (const JobRecord &r : sink.records()) {
+        if (r.status != JobStatus::Ok) {
+            std::printf("%-16s (%s: %s)\n", r.key.c_str(),
+                        jobStatusName(r.status), r.error.c_str());
+            continue;
+        }
+        std::printf("%-16s %14llu %14llu\n", r.out.sim.config.c_str(),
+                    static_cast<unsigned long long>(r.out.sim.cycles),
+                    static_cast<unsigned long long>(
+                        r.out.sim.mmu_busy_cycles));
+    }
+}
+
 } // namespace
 
 const std::vector<SweepGrid> &
@@ -288,6 +327,8 @@ sweepGrids()
         {"multicore", "Multi-core (multiprogrammed) scaling",
          "Section 8 machine configuration", multicoreJobs,
          multicoreSummary},
+        {"smoke", "Two-design short run (CI / fault campaigns)",
+         "Section 8 machine configuration", smokeJobs, smokeSummary},
     };
     return grids;
 }

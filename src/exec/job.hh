@@ -16,7 +16,9 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/rng.hh"
 #include "sim/simulator.hh"
 
 namespace necpt
@@ -27,6 +29,26 @@ struct JobContext
 {
     /** Seed derived from (base seed, job key); see deriveJobSeed(). */
     std::uint64_t seed = 0;
+
+    /** Retry attempt number, 0 on the first run. The simulation seed
+     *  must NOT depend on it (records stay key-deterministic); only
+     *  fault draws may (see faultSeed()). */
+    int attempt = 0;
+
+    /**
+     * Fault-plan seed for this attempt: a pure function of (seed,
+     * attempt), so a retried job redraws its injected faults — the
+     * point of retrying a ResourceExhausted — while any --jobs value
+     * still reproduces the identical attempt sequence.
+     */
+    std::uint64_t
+    faultSeed() const
+    {
+        std::uint64_t sm = seed
+            ^ (0xFA17ULL * (static_cast<std::uint64_t>(attempt) + 1));
+        const std::uint64_t fs = splitmix64(sm);
+        return fs ? fs : 1;
+    }
 };
 
 /**
@@ -55,6 +77,13 @@ struct JobSpec
     JobFn fn;
     /** Per-job wall-clock budget; 0 = use the engine default. */
     std::uint64_t timeout_ms = 0;
+    /**
+     * Optional invariant audit, run in the job's isolated thread
+     * right after fn succeeds (e.g. an ECPT/CWT cross-check after
+     * injected faults). A throw here turns the attempt into a typed
+     * failure exactly as if fn had thrown.
+     */
+    std::function<void(const JobContext &)> audit;
 };
 
 enum class JobStatus
@@ -73,6 +102,16 @@ struct JobRecord
     std::uint64_t seed = 0;  //!< the derived seed the job ran with
     double wall_ms = 0;      //!< observed wall-clock (informational)
     JobOutput out;           //!< valid iff status == Ok
+
+    /** Attempts consumed (1 = no retry was needed). */
+    int attempts = 1;
+    /** SimError taxonomy tag of the final error ("config",
+     *  "resource_exhausted", "trace", "invariant"), "exception" for
+     *  untyped throws; empty when status == Ok. */
+    std::string error_kind;
+    /** Error message of every failed attempt, oldest first (the final
+     *  one equals @ref error). Empty when the first attempt passed. */
+    std::vector<std::string> error_chain;
 };
 
 /** Printable status name ("ok" / "failed" / "timeout"). */

@@ -113,12 +113,16 @@ ResultSink::toGrid() const
 bool
 ResultSink::writeJson(const std::string &path,
                       const std::string &sweep_name,
-                      std::uint64_t base_seed, int jobs) const
+                      std::uint64_t base_seed, int jobs,
+                      bool canonical) const
 {
     std::ostringstream os;
     os << "{\"sweep\":\"" << jsonEscape(sweep_name) << "\",";
     os << "\"base_seed\":" << base_seed << ",";
-    os << "\"jobs\":" << jobs << ",";
+    // Canonical output must be a pure function of (grid, seed): the
+    // worker count is an execution detail, like wall_ms below.
+    if (!canonical)
+        os << "\"jobs\":" << jobs << ",";
     os << "\"total\":" << size() << ",";
     os << "\"ok\":" << okCount() << ",";
     os << "\"failed\":" << failedCount() << ",";
@@ -131,9 +135,25 @@ ResultSink::writeJson(const std::string &path,
         os << "{\"key\":\"" << jsonEscape(r.key) << "\",";
         os << "\"status\":\"" << jobStatusName(r.status) << "\",";
         os << "\"seed\":" << r.seed << ",";
-        os << "\"wall_ms\":" << r.wall_ms;
+        os << "\"attempts\":" << r.attempts;
+        if (!canonical)
+            os << ",\"wall_ms\":" << r.wall_ms;
         if (r.status != JobStatus::Ok) {
             os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+            if (!r.error_kind.empty())
+                os << ",\"error_kind\":\"" << jsonEscape(r.error_kind)
+                   << "\"";
+            if (!r.error_chain.empty()) {
+                os << ",\"error_chain\":[";
+                bool c1 = true;
+                for (const std::string &e : r.error_chain) {
+                    if (!c1)
+                        os << ",";
+                    c1 = false;
+                    os << "\"" << jsonEscape(e) << "\"";
+                }
+                os << "]";
+            }
         } else {
             os << ",\"result\":" << toJson(r.out.sim);
             if (!r.out.metrics.empty()) {

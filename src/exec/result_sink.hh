@@ -62,12 +62,19 @@ class ResultSink
     /**
      * Write the sweep as one JSON document:
      * {"sweep": name, "base_seed": n, "jobs": n, "total": n, "ok": n,
-     *  "failed": n, "records": [{"key","status","seed","wall_ms",
-     *  "error"?, "result"?, "metrics"?, "labels"?}, ...]}
+     *  "failed": n, "records": [{"key","status","seed","attempts",
+     *  "wall_ms"?, "error"?, "error_kind"?, "error_chain"?,
+     *  "result"?, "metrics"?, "labels"?}, ...]}
+     *
+     * @param canonical omit execution-detail fields (jobs, wall_ms)
+     *        so two runs of the same seed compare byte-identical
+     *        regardless of worker count — the fault-campaign
+     *        reproducibility contract.
      * @return success.
      */
     bool writeJson(const std::string &path, const std::string &sweep_name,
-                   std::uint64_t base_seed, int jobs) const;
+                   std::uint64_t base_seed, int jobs,
+                   bool canonical = false) const;
 
     /** CSV of successful results via sim/report.hh. @return success. */
     bool writeCsv(const std::string &path) const;

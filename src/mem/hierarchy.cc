@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace necpt
@@ -40,7 +41,14 @@ MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
         return {cfg.l3.latency, MemLevel::L3};
     }
 
-    const Cycles dram_lat = dram_.access(addr, now + cfg.l3.latency);
+    Cycles dram_lat = dram_.access(addr, now + cfg.l3.latency);
+    // Injected latency spike: the access completes correctly, just
+    // late — a graceful degradation every walker must tolerate.
+    if (fault_plan) {
+        const Cycles spike = fault_plan->memSpikeCycles();
+        dram_lat += spike;
+        injected_spikes += spike;
+    }
     l3_->fill(addr);
     l2s[core]->fill(addr);
     if (demand)

@@ -30,6 +30,8 @@
 namespace necpt
 {
 
+class FaultPlan;
+
 /** Which level serviced an access. */
 enum class MemLevel : std::uint8_t { L1, L2, L3, Dram };
 
@@ -103,8 +105,18 @@ class MemoryHierarchy
     int numCores() const { return static_cast<int>(l1s.size()); }
     const MemHierarchyConfig &config() const { return cfg; }
 
+    /** Arm (or disarm, with nullptr) injected latency spikes —
+     *  modeling refresh storms, row conflicts, and contention bursts
+     *  the average-latency DRAM model smooths over. */
+    void setFaultPlan(FaultPlan *plan) { fault_plan = plan; }
+
+    /** Spike cycles injected so far (tests / audits). */
+    Cycles injectedSpikeCycles() const { return injected_spikes; }
+
   private:
     MemHierarchyConfig cfg;
+    FaultPlan *fault_plan = nullptr;
+    Cycles injected_spikes = 0;
     std::vector<std::unique_ptr<SetAssocCache>> l1s;
     std::vector<std::unique_ptr<SetAssocCache>> l2s;
     std::unique_ptr<SetAssocCache> l3_;

@@ -1,17 +1,34 @@
 #include "os/phys_pool.hh"
 
+#include <utility>
+
 #include "common/bitops.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace necpt
 {
 
-PhysMemPool::PhysMemPool(Addr base, std::uint64_t capacity_bytes)
-    : base_(base), capacity(capacity_bytes), bump(base)
+PhysMemPool::PhysMemPool(Addr base, std::uint64_t capacity_bytes,
+                         std::string pool_name)
+    : base_(base), capacity(capacity_bytes), bump(base),
+      name_(std::move(pool_name))
 {
     NECPT_ASSERT(pageOffset(base, PageSize::Page1G) == 0);
     region_bump = base + alignDown(capacity_bytes * 7 / 8,
                                    pageBytes(PageSize::Page1G));
+}
+
+void
+PhysMemPool::maybeInjectFailure(const char *what, std::uint64_t bytes)
+{
+    if (fault_plan && fault_plan->failPoolAlloc(fillFraction()))
+        throw ResourceExhausted(strfmt(
+            "pool '%s': injected %s failure for %llu bytes at fill "
+            "%.3f (%llu of %llu bytes used)", name_.c_str(), what,
+            (unsigned long long)bytes, fillFraction(),
+            (unsigned long long)used, (unsigned long long)capacity));
 }
 
 Addr
@@ -19,10 +36,11 @@ PhysMemPool::bumpAlloc(std::uint64_t bytes, std::uint64_t align)
 {
     const Addr aligned = alignUp(bump, align);
     if (aligned + bytes > base_ + capacity * 7 / 8)
-        fatal("physical pool frame zone exhausted "
-              "(%llu of %llu bytes used)",
-              static_cast<unsigned long long>(used),
-              static_cast<unsigned long long>(capacity));
+        throw ResourceExhausted(strfmt(
+            "pool '%s': frame zone exhausted allocating %llu bytes "
+            "(%llu of %llu bytes used)", name_.c_str(),
+            (unsigned long long)bytes, (unsigned long long)used,
+            (unsigned long long)capacity));
     bump = aligned + bytes;
     return aligned;
 }
@@ -32,10 +50,11 @@ PhysMemPool::bumpAllocRegion(std::uint64_t bytes, std::uint64_t align)
 {
     const Addr aligned = alignUp(region_bump, align);
     if (aligned + bytes > base_ + capacity)
-        fatal("physical pool region zone exhausted "
-              "(%llu of %llu bytes used)",
-              static_cast<unsigned long long>(used),
-              static_cast<unsigned long long>(capacity));
+        throw ResourceExhausted(strfmt(
+            "pool '%s': region zone exhausted allocating %llu bytes "
+            "(%llu of %llu bytes used)", name_.c_str(),
+            (unsigned long long)bytes, (unsigned long long)used,
+            (unsigned long long)capacity));
     region_bump = aligned + bytes;
     return aligned;
 }
@@ -43,15 +62,22 @@ PhysMemPool::bumpAllocRegion(std::uint64_t bytes, std::uint64_t align)
 Addr
 PhysMemPool::allocFrame(PageSize size)
 {
-    auto &list = free_frames[static_cast<int>(size)];
     const auto bytes = pageBytes(size);
-    used += bytes;
+    maybeInjectFailure("frame allocation", bytes);
+    auto &list = free_frames[static_cast<int>(size)];
     if (!list.empty()) {
         const Addr frame = list.back();
         list.pop_back();
+        used += bytes;
         return frame;
     }
-    return bumpAlloc(bytes, bytes);
+    // Account only after the bump succeeds: a ResourceExhausted from
+    // a full zone must leave usedBytes() consistent, since the sweep
+    // engine may retry the job against a fresh machine but tests
+    // assert accounting on the surviving pool.
+    const Addr frame = bumpAlloc(bytes, bytes);
+    used += bytes;
+    return frame;
 }
 
 void
@@ -66,11 +92,12 @@ Addr
 PhysMemPool::allocRegion(std::uint64_t bytes)
 {
     bytes = alignUp(bytes, 4096);
+    maybeInjectFailure("region allocation", bytes);
     auto it = free_regions.find(bytes);
-    used += bytes;
     if (it != free_regions.end() && !it->second.empty()) {
         const Addr region = it->second.back();
         it->second.pop_back();
+        used += bytes;
         return region;
     }
     // Natural alignment (capped at 2MB) keeps a table region within as
@@ -79,7 +106,9 @@ PhysMemPool::allocRegion(std::uint64_t bytes)
     std::uint64_t align = 4096;
     while (align < bytes && align < (2ULL << 20))
         align <<= 1;
-    return bumpAllocRegion(bytes, align);
+    const Addr region = bumpAllocRegion(bytes, align);
+    used += bytes;
+    return region;
 }
 
 void
@@ -111,6 +140,76 @@ PtRegionRegistry::contains(Addr addr) const
         return false;
     --it;
     return addr < it->first + it->second;
+}
+
+Addr
+ScatteredPtAllocator::allocRegion(std::uint64_t bytes)
+{
+    if (bytes <= 4096) {
+        const Addr base = pool.allocFrame(PageSize::Page4K);
+        registry.add(base, bytes);
+        return base;
+    }
+
+    // Multi-page request: try to assemble it from successive 4KB
+    // frames. The bump allocator usually hands these out contiguously,
+    // but that is NOT guaranteed — freelist recycling returns
+    // arbitrary frames — and any allocFrame call may throw. Both ways
+    // out of the loop must return every frame already taken.
+    const std::uint64_t frames =
+        alignUp(bytes, 4096) / 4096;
+    std::vector<Addr> taken;
+    taken.reserve(frames);
+    bool contiguous = true;
+    try {
+        for (std::uint64_t i = 0; i < frames; ++i) {
+            const Addr frame = pool.allocFrame(PageSize::Page4K);
+            if (!taken.empty() && frame != taken.back() + 4096) {
+                pool.freeFrame(frame, PageSize::Page4K);
+                contiguous = false;
+                break;
+            }
+            taken.push_back(frame);
+        }
+    } catch (const ResourceExhausted &) {
+        for (const Addr frame : taken)
+            pool.freeFrame(frame, PageSize::Page4K);
+        throw;
+    }
+
+    if (contiguous) {
+        const Addr base = taken.front();
+        from_frames[base] = frames * 4096;
+        registry.add(base, bytes);
+        return base;
+    }
+
+    // A frame broke the run: give the partial run back and take one
+    // contiguous region reservation instead.
+    for (const Addr frame : taken)
+        pool.freeFrame(frame, PageSize::Page4K);
+    const Addr base = pool.allocRegion(bytes);
+    registry.add(base, bytes);
+    return base;
+}
+
+void
+ScatteredPtAllocator::freeRegion(Addr base, std::uint64_t bytes)
+{
+    registry.remove(base, bytes);
+    if (bytes <= 4096) {
+        pool.freeFrame(base, PageSize::Page4K);
+        return;
+    }
+    const auto it = from_frames.find(base);
+    if (it != from_frames.end()) {
+        for (Addr frame = base; frame < base + it->second;
+             frame += 4096)
+            pool.freeFrame(frame, PageSize::Page4K);
+        from_frames.erase(it);
+        return;
+    }
+    pool.freeRegion(base, bytes);
 }
 
 } // namespace necpt

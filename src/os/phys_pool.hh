@@ -8,6 +8,11 @@
  * frames and regions are recycled from size-indexed free lists. Table
  * regions (ECPT ways, CWTs, radix nodes, flat arrays) are carved
  * contiguously — matching how the real OS reserves them.
+ *
+ * Exhaustion (real or injected via a FaultPlan) throws
+ * ResourceExhausted naming the owning pool; callers up the stack
+ * either absorb it (elastic resize retries) or let the sweep engine
+ * record it as a typed job failure.
  */
 
 #ifndef NECPT_OS_PHYS_POOL_HH
@@ -15,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -22,6 +28,8 @@
 
 namespace necpt
 {
+
+class FaultPlan;
 
 /**
  * A bump-plus-freelist allocator over one physical address space.
@@ -32,8 +40,10 @@ class PhysMemPool : public RegionAllocator
     /**
      * @param base lowest address of the pool
      * @param capacity_bytes pool size (the Table-2 machine has 80GB)
+     * @param pool_name owning-structure name used in error messages
      */
-    PhysMemPool(Addr base, std::uint64_t capacity_bytes);
+    PhysMemPool(Addr base, std::uint64_t capacity_bytes,
+                std::string pool_name = "phys");
 
     /** Allocate one naturally-aligned frame of @p size. */
     Addr allocFrame(PageSize size);
@@ -50,11 +60,23 @@ class PhysMemPool : public RegionAllocator
     std::uint64_t usedBytes() const { return used; }
     std::uint64_t capacityBytes() const { return capacity; }
     Addr baseAddr() const { return base_; }
+    double
+    fillFraction() const
+    {
+        return capacity ? static_cast<double>(used) / capacity : 1.0;
+    }
     /// @}
+
+    const std::string &name() const { return name_; }
+
+    /** Arm (or disarm, with nullptr) injected allocation failures.
+     *  The plan must outlive the pool's use of it. */
+    void setFaultPlan(FaultPlan *plan) { fault_plan = plan; }
 
   private:
     Addr bumpAlloc(std::uint64_t bytes, std::uint64_t align);
     Addr bumpAllocRegion(std::uint64_t bytes, std::uint64_t align);
+    void maybeInjectFailure(const char *what, std::uint64_t bytes);
 
     Addr base_;
     std::uint64_t capacity;
@@ -67,6 +89,8 @@ class PhysMemPool : public RegionAllocator
      */
     Addr region_bump;
     std::uint64_t used = 0;
+    std::string name_;
+    FaultPlan *fault_plan = nullptr;
 
     /** Freed frames per size class. */
     std::vector<Addr> free_frames[num_page_sizes];
@@ -130,6 +154,14 @@ class PtRegionAllocator : public RegionAllocator
  * allocate the 4KB nodes from the general page allocator, scattered
  * among data frames (they get no contiguity guarantee). Nodes are
  * still registered so the hypervisor backs them with 4KB pages.
+ *
+ * Multi-page requests are assembled from individual 4KB frames when
+ * the frame allocator happens to hand them out contiguously (the
+ * common bump-allocation case); the moment a frame breaks the run —
+ * freelist recycling, or an allocation failure partway through — the
+ * frames taken so far are returned to the pool and the request falls
+ * back to one contiguous region reservation. Nothing leaks on either
+ * path.
  */
 class ScatteredPtAllocator : public RegionAllocator
 {
@@ -139,32 +171,19 @@ class ScatteredPtAllocator : public RegionAllocator
         : pool(pool_ref), registry(registry_ref)
     {}
 
-    Addr
-    allocRegion(std::uint64_t bytes) override
-    {
-        Addr base;
-        if (bytes <= 4096) {
-            base = pool.allocFrame(PageSize::Page4K);
-        } else {
-            base = pool.allocRegion(bytes);
-        }
-        registry.add(base, bytes);
-        return base;
-    }
+    Addr allocRegion(std::uint64_t bytes) override;
+    void freeRegion(Addr base, std::uint64_t bytes) override;
 
-    void
-    freeRegion(Addr base, std::uint64_t bytes) override
-    {
-        registry.remove(base, bytes);
-        if (bytes <= 4096)
-            pool.freeFrame(base, PageSize::Page4K);
-        else
-            pool.freeRegion(base, bytes);
-    }
+    /** Regions currently assembled from individual 4KB frames (rather
+     *  than one pool region); exposed for tests. */
+    std::size_t frameBackedRegions() const { return from_frames.size(); }
 
   private:
     PhysMemPool &pool;
     PtRegionRegistry &registry;
+    /** base -> byte length of regions built from per-4KB frames, so
+     *  freeRegion returns them the way they were taken. */
+    std::map<Addr, std::uint64_t> from_frames;
 };
 
 } // namespace necpt

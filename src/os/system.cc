@@ -1,5 +1,7 @@
 #include "os/system.hh"
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace necpt
@@ -8,9 +10,11 @@ namespace necpt
 NestedSystem::NestedSystem(const SystemConfig &config)
     : cfg(config), mmap_cursor(config.mmap_base)
 {
-    host_pool = std::make_unique<PhysMemPool>(0, cfg.host_phys_bytes);
+    host_pool =
+        std::make_unique<PhysMemPool>(0, cfg.host_phys_bytes, "host-phys");
     if (cfg.virtualized)
-        guest_pool = std::make_unique<PhysMemPool>(0, cfg.guest_phys_bytes);
+        guest_pool = std::make_unique<PhysMemPool>(0, cfg.guest_phys_bytes,
+                                                   "guest-phys");
 
     // Guest page tables live in guest-physical space (or directly in
     // host-physical space when native). Their regions are registered so
@@ -36,7 +40,7 @@ NestedSystem::NestedSystem(const SystemConfig &config)
         break;
       }
       case PtKind::Flat:
-        fatal("flat page tables are host-side only");
+        throw ConfigError("flat page tables are host-side only");
       case PtKind::Hpt: {
         // Classic single HPT (Section 2.2): one table, 4KB pages only,
         // sized up front to keep the load factor moderate.
@@ -74,6 +78,36 @@ NestedSystem::NestedSystem(const SystemConfig &config)
             break;
           }
         }
+    }
+
+    // Arm fault injection only after the machine is built: start-up
+    // allocations (initial ways, CWT chunks) are not interesting
+    // corner cases — pressure during operation is.
+    if (cfg.fault_plan) {
+        host_pool->setFaultPlan(cfg.fault_plan);
+        if (guest_pool)
+            guest_pool->setFaultPlan(cfg.fault_plan);
+        if (guest_ecpt)
+            guest_ecpt->setFaultPlan(cfg.fault_plan);
+        if (host_ecpt)
+            host_ecpt->setFaultPlan(cfg.fault_plan);
+    }
+}
+
+void
+NestedSystem::auditInvariants() const
+{
+    if (guest_ecpt)
+        guest_ecpt->auditCwtConsistency("guest");
+    if (host_ecpt)
+        host_ecpt->auditCwtConsistency("host");
+    for (const PhysMemPool *pool : {host_pool.get(), guest_pool.get()}) {
+        if (pool && pool->usedBytes() > pool->capacityBytes())
+            throw InvariantViolation(strfmt(
+                "pool '%s': accounting says %llu bytes used of %llu "
+                "capacity", pool->name().c_str(),
+                (unsigned long long)pool->usedBytes(),
+                (unsigned long long)pool->capacityBytes()));
     }
 }
 
@@ -250,8 +284,9 @@ NestedSystem::ensureResident(Addr gva)
     if (!g.valid) {
         const Vma *vma = vmaOf(gva);
         if (!vma)
-            fatal("access to unmapped guest VA 0x%llx",
-                  static_cast<unsigned long long>(gva));
+            throw ConfigError(strfmt(
+                "access to unmapped guest VA 0x%llx",
+                static_cast<unsigned long long>(gva)));
         guestFaultIn(gva, *vma);
         g = guestTranslate(gva);
         NECPT_ASSERT(g.valid);

@@ -78,6 +78,13 @@ struct SystemConfig
 
     Addr mmap_base = 0x10'0000'0000ULL;
     std::uint64_t seed = 0xA11CE;
+
+    /**
+     * Optional fault-injection plan, threaded down to the physical
+     * pools and ECPT cuckoo tables. Not owned; must outlive the
+     * system (the Simulator owns it).
+     */
+    FaultPlan *fault_plan = nullptr;
 };
 
 /**
@@ -162,6 +169,13 @@ class NestedSystem
     /** Is @p gpa inside a guest page-table structure? (Section 4.3) */
     bool isPtRegion(Addr gpa) const { return pt_registry.contains(gpa); }
     /// @}
+
+    /**
+     * Cross-structure consistency audit: ECPT/CWT coherence on both
+     * sides plus pool accounting. Run after injected faults to prove
+     * the design absorbed them; throws InvariantViolation otherwise.
+     */
+    void auditInvariants() const;
 
     /// @name Accounting (Section 9.5)
     /// @{

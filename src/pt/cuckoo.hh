@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/hash.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -91,6 +92,10 @@ class ElasticCuckooTable
     /** Register the OS callback for way updates (CWT maintenance). */
     void setMoveCallback(MoveCallback cb) { on_move = std::move(cb); }
 
+    /** Arm (or disarm, with nullptr) fault injection: forced kick
+     *  exhaustion and forced mid-probe resize windows. */
+    void setFaultPlan(FaultPlan *plan) { fault_plan = plan; }
+
     /**
      * Insert or update @p key with @p value. Displaced entries are
      * cuckoo-rehashed; the table resizes itself when needed.
@@ -98,6 +103,12 @@ class ElasticCuckooTable
     void
     insert(std::uint64_t key, const ValueT &value)
     {
+        // Injected resize window: open a fresh two-generation phase so
+        // this insert (and the probes that follow) run mid-resize.
+        if (fault_plan && !old && fault_plan->forceResizeWindow()) {
+            ++injected_resizes;
+            startResize();
+        }
         if (FindResult hit = find(key)) {
             *hit.value = value;
         } else {
@@ -189,6 +200,16 @@ class ElasticCuckooTable
     /** Completed resize starts. */
     std::uint64_t resizeCount() const { return resizes; }
 
+    /** Injected-fault accounting (tests / audits). */
+    std::uint64_t injectedKickFailures() const { return injected_kicks; }
+    std::uint64_t injectedResizes() const { return injected_resizes; }
+
+    /** Entries currently parked off-table. Zero between inserts: the
+     *  settle() loop always re-places (growing as needed) before
+     *  insert() returns — the homeless-entry bound the fault tests
+     *  assert under forced kick exhaustion. */
+    std::size_t homelessCount() const { return homeless.size(); }
+
     std::uint64_t slotsPerWay() const { return live.slots; }
     int numWays() const { return cfg.ways; }
     std::uint64_t slotBytes() const { return cfg.slot_bytes; }
@@ -203,6 +224,23 @@ class ElasticCuckooTable
     {
         while (old)
             migrateSome();
+    }
+
+    /** Visit every resident entry: fn(key, value, way, in_old_gen).
+     *  Used by invariant audits to cross-check CWT consistency. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (int w = 0; w < cfg.ways; ++w)
+            for (const Slot &slot : live.way_slots[w])
+                if (slot.valid)
+                    fn(slot.key, slot.value, w, false);
+        if (old)
+            for (int w = 0; w < cfg.ways; ++w)
+                for (const Slot &slot : old->way_slots[w])
+                    if (slot.valid)
+                        fn(slot.key, slot.value, w, true);
     }
 
   private:
@@ -289,6 +327,17 @@ class ElasticCuckooTable
     bool
     tryPlace(std::uint64_t key, const ValueT &value)
     {
+        // Injected kick exhaustion: park the entry as if the bounded
+        // random walk ran out. The caller must NOT double the table
+        // for it (a probabilistic site would compound doublings into
+        // unbounded growth); the plan never fires twice in a row, so
+        // the immediate retry placement is genuine.
+        if (fault_plan && fault_plan->forceKickExhaustion()) {
+            ++injected_kicks;
+            kick_injected = true;
+            homeless.emplace_back(key, value);
+            return false;
+        }
         std::uint64_t cur_key = key;
         ValueT cur_value = value;
         int last_way = -1;
@@ -326,6 +375,14 @@ class ElasticCuckooTable
             auto [key, value] = homeless.back();
             homeless.pop_back();
             if (!tryPlace(key, value)) {
+                if (kick_injected) {
+                    // Injected exhaustion: the entry is parked, but
+                    // growing for it would let the fault rate compound
+                    // into runaway doubling. Retry instead — the next
+                    // placement is guaranteed genuine.
+                    kick_injected = false;
+                    continue;
+                }
                 // tryPlace parked the carried entry again; grow so the
                 // next round has double the space. Termination: capacity
                 // doubles every failure while |homeless| is bounded.
@@ -393,6 +450,13 @@ class ElasticCuckooTable
                 ++resize_moves;
                 ++moved;
                 if (!tryPlace(key, value)) {
+                    if (kick_injected) {
+                        // Injected exhaustion mid-migration: re-place
+                        // without growing (see settle()).
+                        kick_injected = false;
+                        settle();
+                        return;
+                    }
                     // Parked; grow and settle synchronously. startResize
                     // drains what is left of the current old generation,
                     // so the loop below terminates via the reset old.
@@ -418,9 +482,16 @@ class ElasticCuckooTable
     MoveCallback on_move;
     std::vector<std::pair<std::uint64_t, ValueT>> homeless;
 
+    FaultPlan *fault_plan = nullptr;
+    /** Set by tryPlace when its failure was injected, so the caller
+     *  retries instead of doubling the table. */
+    bool kick_injected = false;
+
     std::uint64_t rehash_moves = 0;
     std::uint64_t resize_moves = 0;
     std::uint64_t resizes = 0;
+    std::uint64_t injected_kicks = 0;
+    std::uint64_t injected_resizes = 0;
 };
 
 } // namespace necpt

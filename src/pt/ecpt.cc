@@ -1,5 +1,8 @@
 #include "pt/ecpt.hh"
 
+#include <unordered_set>
+
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace necpt
@@ -143,6 +146,64 @@ EcptPageTable::lookup(Addr va) const
             return r.translation;
     }
     return {};
+}
+
+void
+EcptPageTable::setFaultPlan(FaultPlan *plan)
+{
+    for (int s = 0; s < num_page_sizes; ++s)
+        tables[s]->setFaultPlan(plan);
+}
+
+void
+EcptPageTable::auditCwtConsistency(const std::string &who) const
+{
+    for (int s = 0; s < num_page_sizes; ++s) {
+        const auto size = all_page_sizes[s];
+        const auto &table = *tables[s];
+        if (table.homelessCount())
+            throw InvariantViolation(strfmt(
+                "%s %s-ECPT: %zu homeless entries survived settle()",
+                who.c_str(), pageSizeName(size),
+                table.homelessCount()));
+
+        const CuckooWalkTable *cwt = cwts[s].get();
+        std::unordered_set<std::uint64_t> live_keys;
+        table.forEach([&](std::uint64_t key, const PteBlock &block,
+                          int way, bool in_old) {
+            if (!in_old) {
+                live_keys.insert(key);
+            } else if (live_keys.count(key)) {
+                throw InvariantViolation(strfmt(
+                    "%s %s-ECPT: key 0x%llx resident in both "
+                    "generations", who.c_str(), pageSizeName(size),
+                    (unsigned long long)key));
+            }
+            if (!cwt)
+                return;
+            const Addr block_base = (key << 3) << pageShift(size);
+            for (int j = 0; j < PteBlock::entries; ++j) {
+                if (!block.pte[j].present())
+                    continue;
+                const Addr va = block_base
+                    + (static_cast<Addr>(j) << pageShift(size));
+                const auto d = cwt->query(va);
+                if (!d || !d->present)
+                    throw InvariantViolation(strfmt(
+                        "%s %s-CWT: stale descriptor — VA 0x%llx is "
+                        "mapped (key 0x%llx way %d) but the CWT has "
+                        "no present bit", who.c_str(),
+                        pageSizeName(size), (unsigned long long)va,
+                        (unsigned long long)key, way));
+                if (d->way != way)
+                    throw InvariantViolation(strfmt(
+                        "%s %s-CWT: stale way bits — VA 0x%llx lives "
+                        "in way %d but the CWT says way %d",
+                        who.c_str(), pageSizeName(size),
+                        (unsigned long long)va, way, (int)d->way));
+            }
+        });
+    }
 }
 
 std::uint64_t

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "pt/cuckoo.hh"
@@ -139,6 +140,21 @@ class EcptPageTable
 
     /** Does this table maintain a PTE-level CWT? */
     bool hasPteCwt() const { return cfg.has_pte_cwt; }
+
+    /** Arm (or disarm, with nullptr) fault injection in every
+     *  underlying cuckoo table. */
+    void setFaultPlan(FaultPlan *plan);
+
+    /**
+     * Cross-check ECPT/CWT consistency — the Section 4.4 staleness
+     * argument made executable. For every resident block (both
+     * generations of every table) the matching CWT descriptor must be
+     * present and name the way that actually holds the block, and no
+     * table may have parked (homeless) entries or a key resident in
+     * both generations. Throws InvariantViolation naming @p who and
+     * the first offending block.
+     */
+    void auditCwtConsistency(const std::string &who) const;
 
     /**
      * Complete all in-flight elastic resizes (tables and CWTs) — what

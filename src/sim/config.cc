@@ -1,5 +1,6 @@
 #include "sim/config.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace necpt
@@ -113,7 +114,7 @@ makeConfig(ConfigId id)
         return cfg;
       }
     }
-    panic("unknown ConfigId");
+    throw ConfigError("unknown ConfigId");
 }
 
 ExperimentConfig

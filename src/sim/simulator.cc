@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "walk/baselines.hh"
 #include "walk/hybrid.hh"
@@ -19,7 +20,9 @@ Simulator::Simulator(const ExperimentConfig &config,
                      const SimParams &params_in)
     : cfg(config), params(params_in)
 {
-    NECPT_ASSERT(params.cores >= 1 && params.cores <= 8);
+    if (params.cores < 1 || params.cores > 8)
+        throw ConfigError(strfmt("cores must be in [1, 8], got %d",
+                                 params.cores));
 }
 
 std::unique_ptr<Walker>
@@ -58,6 +61,12 @@ Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
 {
     SystemConfig scfg = cfg.system;
     scfg.seed = params.seed;
+    if (params.faults.enabled()) {
+        const std::uint64_t fs =
+            params.fault_seed ? params.fault_seed : params.seed;
+        fault_plan = std::make_unique<FaultPlan>(params.faults, fs);
+        scfg.fault_plan = fault_plan.get();
+    }
     // Size the physical pools to the workload (the Table-2 machine has
     // 80GB; we only model what the scaled footprint needs). Multi-core
     // mode runs one instance per core.
@@ -75,6 +84,8 @@ Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
 
     sys = std::make_unique<NestedSystem>(scfg);
     mem = std::make_unique<MemoryHierarchy>(cfg.memory, params.cores);
+    if (fault_plan)
+        mem->setFaultPlan(fault_plan.get());
     tlb.clear();
     walkers.clear();
     for (int core = 0; core < params.cores; ++core) {
@@ -220,6 +231,12 @@ Simulator::runWith(const std::string &label,
         static_cast<Cycles>(cycles_sum / params.cores);
     result.instructions = instr_sum;
     fillResult(result);
+
+    // Under injection, prove the design absorbed every fault: the
+    // ECPT/CWT cross-check is the Section 4.4 staleness argument run
+    // against the final state (throws InvariantViolation otherwise).
+    if (fault_plan)
+        sys->auditInvariants();
     return result;
 }
 

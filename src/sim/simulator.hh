@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "mem/hierarchy.hh"
 #include "mmu/pom_tlb.hh"
 #include "mmu/tlb.hh"
@@ -53,6 +54,16 @@ struct SimParams
      * state after the region of interest is reached).
      */
     bool prefault = true;
+
+    /**
+     * Fault injection (off by default). When any site is armed the
+     * Simulator builds a FaultPlan seeded by @ref fault_seed (falling
+     * back to @ref seed when zero) and threads it through the pools,
+     * cuckoo tables, and memory hierarchy; the run ends with an
+     * ECPT/CWT invariant audit.
+     */
+    FaultSpec faults{};
+    std::uint64_t fault_seed = 0;
 };
 
 /** Everything a bench needs to regenerate the paper's numbers. */
@@ -138,6 +149,7 @@ class Simulator
     MemoryHierarchy &memory() { return *mem; }
     TlbHierarchy &tlbs(int core = 0) { return *tlb[core]; }
     int numCores() const { return static_cast<int>(walkers.size()); }
+    FaultPlan *faultPlan() { return fault_plan.get(); }
     /// @}
 
   private:
@@ -150,6 +162,10 @@ class Simulator
 
     ExperimentConfig cfg;
     SimParams params;
+
+    /** Declared before the structures that poll it: members destruct
+     *  in reverse order, so the plan outlives every injection site. */
+    std::unique_ptr<FaultPlan> fault_plan;
 
     std::unique_ptr<NestedSystem> sys;
     std::unique_ptr<MemoryHierarchy> mem;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workloads/trace.hh"
@@ -69,10 +70,8 @@ usage(const char *prog)
         prog, prog);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string config_name, app_name, trace_path, record_path,
         csv_path;
@@ -164,9 +163,9 @@ main(int argc, char **argv)
 
     SimResult result;
     if (!trace_path.empty()) {
+        // The constructor throws a TraceError (file + byte offset) on
+        // any corrupt input; main() renders it at the exit boundary.
         TraceWorkload probe(trace_path);
-        if (!probe.valid())
-            fatal("trace '%s' failed to load", trace_path.c_str());
         const std::uint64_t footprint = probe.info().footprint_bytes;
         Simulator sim(config, params);
         result = sim.runWith(
@@ -218,4 +217,18 @@ main(int argc, char **argv)
     if (json)
         std::printf("%s\n", toJson(result).c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The library throws typed SimErrors; the process boundary is the
+    // one place that turns them into an exit code.
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        fatal("%s error: %s", e.kindName(), e.what());
+    }
 }

@@ -18,12 +18,22 @@
  * value produces identical records. Environment knobs (NECPT_WARMUP,
  * NECPT_MEASURE, NECPT_SCALE, NECPT_APPS, NECPT_FULL, NECPT_JOBS)
  * are honored exactly as the bench binaries honor them.
+ *
+ * Fault campaigns (`--faults SPEC`) replicate the grid under
+ * --fault-seeds independent fault streams with the spec's injection
+ * sites armed; surfaced faults become typed `failed` records (the
+ * campaign's product, so the exit code stays 0), retryable ones
+ * consume --retries engine retries, and the JSON is written in
+ * canonical form so a fixed --seed reproduces it byte-identically at
+ * any --jobs value.
  */
 
 #include <cstdio>
 #include <string>
 
+#include "common/error.hh"
 #include "common/log.hh"
+#include "exec/fault_campaign.hh"
 #include "exec/registry.hh"
 
 using namespace necpt;
@@ -44,20 +54,29 @@ usage(const char *prog)
         "  --timeout SEC   per-job wall-clock budget (default: none)\n"
         "  --seed N        sweep base seed (per-job seeds derive\n"
         "                  from it and the job key)\n"
-        "  --json FILE     results JSON (default: sweep_GRID.json)\n"
+        "  --json FILE     results JSON (default: sweep_GRID.json,\n"
+        "                  faults_GRID.json in campaign mode)\n"
         "  --no-json       skip the JSON results file\n"
         "  --csv FILE      also write successful results as CSV\n"
-        "  --quiet         no per-job progress on stderr\n",
+        "  --quiet         no per-job progress on stderr\n"
+        "  --retries N     re-run attempts that fail with a retryable\n"
+        "                  error, with exponential backoff (default 0)\n"
+        "  --backoff-ms N  base retry backoff (default 100)\n\n"
+        "fault campaigns:\n"
+        "  --faults SPEC   run the grid as a fault campaign; SPEC is\n"
+        "                  comma-separated sites: pool:FRAC kicks:PROB\n"
+        "                  resize:PROB mem:PROB[:CYCLES] trace, or\n"
+        "                  'all' (see EXPERIMENTS.md)\n"
+        "  --fault-seeds N campaign replications (default 20)\n",
         prog, prog);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
-    std::string grid_name, json_path, csv_path;
+    std::string grid_name, json_path, csv_path, fault_spec_str;
     bool list = false, no_json = false;
+    int fault_seeds = 20;
     SweepOptions options;
     SimParams params = paramsFromEnv();
     options.base_seed = params.seed;
@@ -80,6 +99,12 @@ main(int argc, char **argv)
         else if (arg == "--no-json") no_json = true;
         else if (arg == "--csv") csv_path = value();
         else if (arg == "--quiet") options.progress = nullptr;
+        else if (arg == "--faults") fault_spec_str = value();
+        else if (arg == "--fault-seeds")
+            fault_seeds = std::stoi(value());
+        else if (arg == "--retries") options.retries = std::stoi(value());
+        else if (arg == "--backoff-ms")
+            options.backoff_ms = std::stoull(value());
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -109,6 +134,34 @@ main(int argc, char **argv)
         fatal("unknown sweep grid '%s' (see --list)",
               grid_name.c_str());
 
+    if (!fault_spec_str.empty()) {
+        FaultCampaignOptions copts;
+        copts.spec = parseFaultSpec(fault_spec_str);
+        copts.fault_seeds = fault_seeds;
+        std::printf("# Fault campaign: grid '%s', spec %s, "
+                    "%d fault seeds, %d retries\n",
+                    grid->name.c_str(),
+                    faultSpecToString(copts.spec).c_str(),
+                    copts.fault_seeds, options.retries);
+        const SweepEngine engine(options);
+        const ResultSink sink =
+            engine.run(makeFaultCampaignJobs(*grid, params, copts));
+        printFaultCampaignSummary(sink, copts);
+        if (!no_json) {
+            if (json_path.empty())
+                json_path = "faults_" + grid->name + ".json";
+            if (!sink.writeJson(json_path, "faults/" + grid->name,
+                                options.base_seed, engine.jobs(),
+                                /*canonical=*/true))
+                fatal("cannot write '%s'", json_path.c_str());
+            std::fprintf(stderr, "campaign JSON: %s\n",
+                         json_path.c_str());
+        }
+        // Surfaced faults are the campaign's product, not a sweep
+        // failure: exit 0 as long as the process survived the grid.
+        return 0;
+    }
+
     const ResultSink sink = runSweepGrid(*grid, params, options);
 
     if (!no_json) {
@@ -131,4 +184,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%zu/%zu jobs failed\n", failed,
                      sink.size());
     return failed ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The library throws typed SimErrors; the process boundary is the
+    // one place that turns them into an exit code.
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        fatal("%s error: %s", e.kindName(), e.what());
+    }
 }

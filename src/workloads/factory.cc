@@ -1,5 +1,6 @@
 #include "workloads/workload.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "workloads/graph.hh"
 #include "workloads/others.hh"
@@ -56,7 +57,7 @@ makeWorkload(const std::string &name, std::uint64_t scale_denominator,
         if (name == entry.name)
             paper_bytes = entry.paper_mb * MB;
     if (paper_bytes == 0)
-        fatal("unknown workload '%s'", name.c_str());
+        throw ConfigError(strfmt("unknown workload '%s'", name.c_str()));
 
     // Keep every scaled footprint large enough that the *translation*
     // working set (roughly footprint/256: one table line per 8 pages)

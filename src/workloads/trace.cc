@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace necpt
@@ -12,7 +13,7 @@ namespace necpt
 namespace
 {
 
-constexpr std::uint64_t trace_magic = 0x4352'5454'5043'454EULL; // NECPTTRC
+constexpr std::uint64_t trace_magic = trace_file_magic;
 
 struct Record
 {
@@ -70,33 +71,79 @@ TraceWorkload::TraceWorkload(const std::string &path)
 {
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        return;
+        throw TraceError(path, 0, "cannot open file");
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{file};
+
+    std::fseek(file, 0, SEEK_END);
+    const long end = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    const std::uint64_t file_bytes =
+        end < 0 ? 0 : static_cast<std::uint64_t>(end);
+
     std::uint64_t header[3];
-    if (std::fread(header, sizeof(header), 1, file) != 1
-        || header[0] != trace_magic) {
-        std::fclose(file);
-        return;
-    }
+    if (file_bytes < sizeof(header)
+        || std::fread(header, sizeof(header), 1, file) != 1)
+        throw TraceError(path, file_bytes, strfmt(
+            "truncated header (%zu bytes needed)", sizeof(header)));
+    if (header[0] != trace_magic)
+        throw TraceError(path, 0, strfmt(
+            "bad magic 0x%016llx (not a NECPTTRC trace)",
+            (unsigned long long)header[0]));
     const std::uint64_t count = header[1];
     const std::uint64_t num_vmas = header[2];
+    if (count == 0)
+        throw TraceError(path, 8, "trace holds zero records");
+
+    const std::uint64_t vma_end =
+        sizeof(header) + num_vmas * 3 * sizeof(std::uint64_t);
+    if (num_vmas > file_bytes || file_bytes < vma_end)
+        throw TraceError(path, file_bytes, strfmt(
+            "truncated VMA table (%llu descriptors promised, table "
+            "ends at byte %llu)", (unsigned long long)num_vmas,
+            (unsigned long long)vma_end));
     for (std::uint64_t i = 0; i < num_vmas; ++i) {
         std::uint64_t vma[3];
-        if (std::fread(vma, sizeof(vma), 1, file) != 1) {
-            std::fclose(file);
-            return;
-        }
+        if (std::fread(vma, sizeof(vma), 1, file) != 1)
+            throw TraceError(path, sizeof(header) + i * sizeof(vma),
+                             "unreadable VMA descriptor");
         vmas.push_back({vma[0], vma[1], vma[2] != 0});
         footprint += vma[1];
     }
+
+    // The record region must hold exactly the promised records: a
+    // byte count that is not a multiple of sizeof(Record) means the
+    // capture was cut mid-record, and a whole-record shortfall or
+    // surplus means the header lies — both are corruption, reported
+    // at the byte where the file stops matching its own header.
+    const std::uint64_t payload = file_bytes - vma_end;
+    if (payload % sizeof(Record) != 0)
+        throw TraceError(path, file_bytes - payload % sizeof(Record),
+                         strfmt("partial trailing record (%llu stray "
+                                "bytes; records are %zu bytes)",
+                                (unsigned long long)(payload
+                                                     % sizeof(Record)),
+                                sizeof(Record)));
+    if (payload / sizeof(Record) != count)
+        throw TraceError(path, vma_end + count * sizeof(Record),
+                         strfmt("header promises %llu records but the "
+                                "file holds %llu",
+                                (unsigned long long)count,
+                                (unsigned long long)(payload
+                                                     / sizeof(Record))));
+
     records.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         Record r;
         if (std::fread(&r, sizeof(r), 1, file) != 1)
-            break;
+            throw TraceError(path, vma_end + i * sizeof(Record),
+                             "unreadable record");
         records.push_back({r.vaddr, r.write != 0, r.inst_gap});
     }
-    std::fclose(file);
-    loaded = records.size() == count;
+    loaded = true;
 }
 
 Workload::Info
@@ -109,8 +156,7 @@ TraceWorkload::info() const
 void
 TraceWorkload::setup(NestedSystem &sys)
 {
-    if (!loaded)
-        fatal("trace '%s' failed to load", path_.c_str());
+    NECPT_ASSERT(loaded); // the constructor throws on any parse failure
     vma_bias.clear();
     for (const TraceVma &vma : vmas) {
         const Addr base = sys.mmapRegion(vma.bytes, vma.thp_eligible);

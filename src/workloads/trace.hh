@@ -26,6 +26,10 @@
 namespace necpt
 {
 
+/** Trace file magic ("NECPTTRC" little-endian). Exposed so fault
+ *  campaigns and tests can forge deliberately corrupt traces. */
+constexpr std::uint64_t trace_file_magic = 0x4352'5454'5043'454EULL;
+
 /** One VMA a trace needs mapped before replay. */
 struct TraceVma
 {
@@ -55,7 +59,9 @@ class TraceWorkload : public Workload
   public:
     explicit TraceWorkload(const std::string &path);
 
-    /** Did the file parse? (next()/setup() fatal when not.) */
+    /** Always true once constructed: the constructor throws a
+     *  TraceError (naming the file and byte offset) on any missing,
+     *  truncated, or corrupt input. Kept for API compatibility. */
     bool valid() const { return loaded; }
 
     Info info() const override;

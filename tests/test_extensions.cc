@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "sim/simulator.hh"
 #include "walk/native_radix.hh"
@@ -296,10 +297,10 @@ TEST(Trace, ReplayedStreamMatchesSource)
     std::remove(path.c_str());
 }
 
-TEST(Trace, MissingFileInvalid)
+TEST(Trace, MissingFileThrowsTraceError)
 {
-    TraceWorkload replay("/tmp/necpt_no_such_trace.bin");
-    EXPECT_FALSE(replay.valid());
+    EXPECT_THROW(TraceWorkload("/tmp/necpt_no_such_trace.bin"),
+                 TraceError);
 }
 
 } // namespace necpt

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "common/error.hh"
 #include "workloads/workload.hh"
 
 namespace necpt
@@ -130,10 +131,9 @@ TEST(Workloads, GraphReadsDominatePr)
     EXPECT_EQ(writes, 0);
 }
 
-TEST(Workloads, UnknownNameFatals)
+TEST(Workloads, UnknownNameThrowsConfigError)
 {
-    EXPECT_EXIT(makeWorkload("NoSuchApp"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_THROW(makeWorkload("NoSuchApp"), ConfigError);
 }
 
 TEST(Workloads, InstructionGapsReasonable)
