@@ -27,19 +27,22 @@ main()
     std::printf("%-10s %14s %14s %s\n", "App", "PTE hit rate",
                 "PMD hit rate", "PTE caching");
     for (const auto &app : apps) {
-        const SimResult &r = grid.at("Nested ECPTs THP", app);
-        if (r.hcwc_pte_step3_accesses < 16) {
+        // Read through the unified metric names (SimResult::metrics
+        // aliases the legacy scalar fields byte-for-byte).
+        const auto &m = grid.at("Nested ECPTs THP", app).metrics;
+        const double pte_rate = m.at("adaptive.pte.rate");
+        const double pmd_rate = m.at("adaptive.pmd.rate");
+        if (m.at("cwc.hcwc_step3.pte.accesses") < 16) {
             // All of this app's measured data was huge-page backed:
             // Step 3 never reached the PTE level.
             std::printf("%-10s %14s %14.3f %s\n", app.c_str(), "n/a",
-                        r.adaptive_pmd_rate,
+                        pmd_rate,
                         "unused (no 4KB-backed data touched)");
             continue;
         }
-        const bool would_disable = r.adaptive_pte_rate >= 0
-            && r.adaptive_pte_rate < 0.5;
-        std::printf("%-10s %14.3f %14.3f %s\n", app.c_str(),
-                    r.adaptive_pte_rate, r.adaptive_pmd_rate,
+        const bool would_disable = pte_rate >= 0 && pte_rate < 0.5;
+        std::printf("%-10s %14.3f %14.3f %s\n", app.c_str(), pte_rate,
+                    pmd_rate,
                     would_disable ? "disabled (rate < 0.5)"
                                   : "enabled");
     }

@@ -32,19 +32,27 @@ main()
     std::printf("%-10s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "App",
                 "direct", "size", "partial", "complete", "direct",
                 "size", "partial", "complete");
+    // Read through the unified metric names (SimResult::metrics
+    // aliases the legacy scalar fields byte-for-byte).
+    static const char *const kind_names[4] = {"direct", "size",
+                                              "partial", "complete"};
     double havg[4] = {0, 0, 0, 0}, gavg[4] = {0, 0, 0, 0};
     for (const auto &app : apps) {
-        const SimResult &r = grid.at("Nested ECPTs THP", app);
+        const auto &m = grid.at("Nested ECPTs THP", app).metrics;
+        double h[4], g[4];
+        for (int k = 0; k < 4; ++k) {
+            h[k] = m.at(std::string("walk.kind.host.") + kind_names[k]
+                        + ".frac");
+            g[k] = m.at(std::string("walk.kind.guest.") + kind_names[k]
+                        + ".frac");
+        }
         std::printf("%-10s | %8.3f %8.3f %8.3f %8.3f "
                     "| %8.3f %8.3f %8.3f %8.3f\n",
-                    app.c_str(), r.host_kind_frac[0],
-                    r.host_kind_frac[1], r.host_kind_frac[2],
-                    r.host_kind_frac[3], r.guest_kind_frac[0],
-                    r.guest_kind_frac[1], r.guest_kind_frac[2],
-                    r.guest_kind_frac[3]);
+                    app.c_str(), h[0], h[1], h[2], h[3], g[0], g[1],
+                    g[2], g[3]);
         for (int k = 0; k < 4; ++k) {
-            havg[k] += r.host_kind_frac[k] / apps.size();
-            gavg[k] += r.guest_kind_frac[k] / apps.size();
+            havg[k] += h[k] / apps.size();
+            gavg[k] += g[k] / apps.size();
         }
     }
     std::printf("%-10s | %8.3f %8.3f %8.3f %8.3f "
@@ -57,7 +65,9 @@ main()
     double steps[3] = {0, 0, 0};
     for (const auto &app : apps)
         for (int s = 0; s < 3; ++s)
-            steps[s] += grid.at("Nested ECPTs THP", app).step_avg[s]
+            steps[s] += grid.at("Nested ECPTs THP", app)
+                            .metrics.at("walk.step" + std::to_string(s + 1)
+                                        + ".avg_probes")
                 / apps.size();
     std::printf("Step 1: %.1f   Step 2: %.1f   Step 3: %.1f\n",
                 steps[0], steps[1], steps[2]);
@@ -65,14 +75,14 @@ main()
     printHeader("MMU cache hit rates (Section 9.4)");
     double stc = 0, gp = 0, gm = 0, hp = 0, hm = 0, h1 = 0, h3 = 0;
     for (const auto &app : apps) {
-        const SimResult &r = grid.at("Nested ECPTs THP", app);
-        stc += r.stc_hit_rate / apps.size();
-        gp += r.gcwc_pud_hit / apps.size();
-        gm += r.gcwc_pmd_hit / apps.size();
-        hp += r.hcwc_pud_hit / apps.size();
-        hm += r.hcwc_pmd_hit / apps.size();
-        h1 += r.hcwc_pte_step1_hit / apps.size();
-        h3 += r.hcwc_pte_step3_hit / apps.size();
+        const auto &m = grid.at("Nested ECPTs THP", app).metrics;
+        stc += m.at("stc.hitrate") / apps.size();
+        gp += m.at("cwc.gcwc.pud.hitrate") / apps.size();
+        gm += m.at("cwc.gcwc.pmd.hitrate") / apps.size();
+        hp += m.at("cwc.hcwc_step3.pud.hitrate") / apps.size();
+        hm += m.at("cwc.hcwc_step3.pmd.hitrate") / apps.size();
+        h1 += m.at("cwc.hcwc_step1.pte.hitrate") / apps.size();
+        h3 += m.at("cwc.hcwc_step3.pte.hitrate") / apps.size();
     }
     std::printf("STC %.2f (paper 0.99) | gCWC PUD %.2f (0.99) PMD %.2f "
                 "(0.86) | hCWC PUD %.2f (0.99) PMD %.2f (0.80) "

@@ -149,6 +149,8 @@ FaultPlan::failPoolAlloc(double fill)
     if (!pool_rng.chance(0.5))
         return false;
     ++_counters.pool_failures;
+    traceFire("fault.pool_alloc",
+              static_cast<std::int64_t>(fill * 1000));
     return true;
 }
 
@@ -165,8 +167,11 @@ FaultPlan::forceKickExhaustion()
         return false;
     }
     last_kick_forced = kick_rng.chance(_spec.kick_prob);
-    if (last_kick_forced)
+    if (last_kick_forced) {
         ++_counters.forced_kicks;
+        traceFire("fault.kick_exhaustion",
+                  static_cast<std::int64_t>(_counters.forced_kicks));
+    }
     return last_kick_forced;
 }
 
@@ -179,6 +184,8 @@ FaultPlan::forceResizeWindow()
     if (!resize_rng.chance(_spec.resize_prob))
         return false;
     ++_counters.forced_resizes;
+    traceFire("fault.resize_window",
+              static_cast<std::int64_t>(_counters.forced_resizes));
     return true;
 }
 
@@ -188,6 +195,8 @@ FaultPlan::memSpikeCycles()
     if (_spec.mem_prob <= 0.0 || !mem_rng.chance(_spec.mem_prob))
         return 0;
     ++_counters.mem_spikes;
+    traceFire("fault.mem_spike",
+              static_cast<std::int64_t>(_spec.mem_spike_cycles));
     return _spec.mem_spike_cycles;
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "common/trace_events.hh"
 #include "common/types.hh"
 
 namespace necpt
@@ -105,6 +106,11 @@ class FaultPlan
     std::uint64_t seed() const { return _seed; }
     const Counters &counters() const { return _counters; }
 
+    /** Attach the event tracer: every firing site is recorded as a
+     *  fault.* instant at the tracer's ambient clock. Null detaches.
+     *  Tracing never perturbs the injection streams. */
+    void setTracer(TraceBuffer *tracer) { _tracer = tracer; }
+
     /** Pool site: should this allocation fail? `fill` is the pool's
      *  current fill fraction in [0, 1]. */
     bool failPoolAlloc(double fill);
@@ -129,6 +135,16 @@ class FaultPlan
 
     Rng pool_rng, kick_rng, resize_rng, mem_rng;
     bool last_kick_forced = false;
+    TraceBuffer *_tracer = nullptr;
+
+    /** One instant per fired site, on the page-table lane. */
+    void
+    traceFire(const char *site, std::int64_t detail)
+    {
+        if (_tracer)
+            _tracer->instant(site, TraceCat::Fault, trace_pt_tid,
+                             _tracer->now(), {{"detail", detail}});
+    }
 
     /** Hard cap on forced resizes per plan (see forceResizeWindow). */
     static constexpr std::uint64_t MAX_FORCED_RESIZES = 3;

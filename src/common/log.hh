@@ -4,6 +4,12 @@
  *
  * panic() flags a simulator bug (aborts); fatal() flags a user/config error
  * (clean exit(1)); warn()/inform() print and continue.
+ *
+ * warn()/inform() are routed through a pluggable, mutex-guarded sink
+ * and filtered by a verbosity level (`NECPT_LOG_LEVEL` / --quiet), so
+ * multi-job sweeps neither interleave half-lines on stderr nor bury
+ * the progress meter. panic()/fatal() bypass both: a dying process
+ * must always say why, immediately and unfiltered.
  */
 
 #ifndef NECPT_COMMON_LOG_HH
@@ -11,11 +17,39 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <utility>
 
 namespace necpt
 {
+
+/** Verbosity: each level includes everything below it. */
+enum class LogLevel : int
+{
+    Quiet = 0, //!< warn()/inform() both dropped
+    Warn = 1,  //!< warn() only
+    Info = 2,  //!< everything (the default)
+};
+
+/**
+ * Current level. First call reads NECPT_LOG_LEVEL ("quiet"/"warn"/
+ * "info" or 0/1/2); unset or unparsable means Info.
+ */
+LogLevel logLevel();
+
+/** Override the level (CLI --quiet). Wins over the environment. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Receives each formatted warn()/inform() line (no trailing newline).
+ * Called with the sink mutex held: implementations must not log.
+ */
+using LogSink =
+    std::function<void(LogLevel severity, const std::string &line)>;
+
+/** Replace the sink; an empty function restores the stderr default. */
+void setLogSink(LogSink sink);
 
 namespace log_detail
 {
@@ -31,6 +65,25 @@ emit(const char *tag, const char *fmt, Args &&...args)
         std::fprintf(stderr, fmt, std::forward<Args>(args)...);
     std::fputc('\n', stderr);
 }
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n <= 0)
+            return std::string(fmt);
+        std::string s(static_cast<std::size_t>(n), '\0');
+        std::snprintf(s.data(), s.size() + 1, fmt, args...);
+        return s;
+    }
+}
+
+/** Serialize through the sink (default: "tag: line" on stderr). */
+void dispatch(LogLevel severity, const char *tag, const std::string &line);
 
 } // namespace log_detail
 
@@ -57,7 +110,11 @@ template <typename... Args>
 void
 warn(const char *fmt, Args &&...args)
 {
-    log_detail::emit("warn", fmt, std::forward<Args>(args)...);
+    if (logLevel() < LogLevel::Warn)
+        return;
+    log_detail::dispatch(LogLevel::Warn, "warn",
+                         log_detail::format(fmt,
+                                            std::forward<Args>(args)...));
 }
 
 /** Normal status message. */
@@ -65,7 +122,11 @@ template <typename... Args>
 void
 inform(const char *fmt, Args &&...args)
 {
-    log_detail::emit("info", fmt, std::forward<Args>(args)...);
+    if (logLevel() < LogLevel::Info)
+        return;
+    log_detail::dispatch(LogLevel::Info, "info",
+                         log_detail::format(fmt,
+                                            std::forward<Args>(args)...));
 }
 
 /** panic() unless @p cond holds. */

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unified metrics registry (the observability layer's snapshot half).
+ *
+ * Components keep their existing Counter/HitMiss/Histogram/RateMonitor
+ * members and register *sources* under hierarchical dotted names
+ * ("walk.nested_ecpt.step1.probes", "cwc.pte.hitrate", "cuckoo.kicks",
+ * "dram.reads"). The registry owns no statistics — an entry is a
+ * callback or a pointer into the live component — so registration is
+ * free on the simulation hot path and a dump always reflects the
+ * moment it is taken.
+ *
+ * One gem5-style dump serializes every entry to canonical JSON
+ * (schema tag "necpt-stats-v1"): keys sorted, doubles printed with
+ * %.12g, no wall-clock or host detail — byte-identical across runs
+ * of the same (config, seed).
+ *
+ * Registering two sources under one name is a programming error and
+ * throws SimError(InvariantViolation).
+ */
+
+#ifndef NECPT_COMMON_METRICS_HH
+#define NECPT_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace necpt
+{
+
+class MetricsRegistry
+{
+  public:
+    /** Monotonic event count (dumped as an integer). */
+    void addCounter(const std::string &name,
+                    std::function<std::uint64_t()> source,
+                    const std::string &desc = "");
+
+    /** Derived scalar — a rate, fraction, or average. */
+    void addValue(const std::string &name, std::function<double()> source,
+                  const std::string &desc = "");
+
+    /** Full distribution; @p hist must outlive the registry. */
+    void addHistogram(const std::string &name, const Histogram *hist,
+                      const std::string &desc = "");
+
+    /** Windowed-rate history; @p mon must outlive the registry. */
+    void addRates(const std::string &name, const RateMonitor *mon,
+                  const std::string &desc = "");
+
+    /**
+     * Convenience: registers "<prefix>.hits", "<prefix>.misses" and
+     * "<prefix>.hitrate" for one HitMiss (which must outlive the
+     * registry).
+     */
+    void addHitMiss(const std::string &prefix, const HitMiss *hm,
+                    const std::string &desc = "");
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries.size(); }
+
+    /**
+     * Current value of one scalar entry (counter or value).
+     * @throws SimError(InvariantViolation) for unknown or
+     *         non-scalar names.
+     */
+    double scalar(const std::string &name) const;
+
+    /**
+     * Every scalar entry evaluated now, keyed by name. Histograms and
+     * rate histories are summarized as "<name>.mean"/"<name>.max" and
+     * "<name>.last" — the flat per-job stats columns the sweep sink
+     * exports.
+     */
+    std::map<std::string, double> scalarSnapshot() const;
+
+    /**
+     * The full dump as one canonical JSON document:
+     * {"schema":"necpt-stats-v1","metrics":{<name>:{"kind":...}, ...}}
+     * with per-kind payloads (counter/value: "value"; histogram:
+     * "bin_width"/"total"/"mean"/"max"/"bins"; rates: "interval"/
+     * "last"/"history").
+     */
+    std::string toJson() const;
+
+    /** toJson() to @p path. @return success. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    enum class Kind { Counter, Value, Histogram, Rates };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string desc;
+        std::function<std::uint64_t()> counter;
+        std::function<double()> value;
+        const Histogram *hist = nullptr;
+        const RateMonitor *rates = nullptr;
+    };
+
+    Entry &claim(const std::string &name);
+
+    /** std::map keeps dumps sorted by name with no extra pass. */
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_METRICS_HH

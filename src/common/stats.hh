@@ -167,8 +167,14 @@ class RateMonitor
     void
     rollover(Cycles now)
     {
-        if (window_start == 0 && window_events == 0 && rates.empty())
-            window_start = now;
+        // Anchor the first window to the interval boundary containing
+        // the first event — not the event's own cycle — so windows fall
+        // on [0, I), [I, 2I), ... regardless of when traffic starts and
+        // Figure 12-style histories line up across configurations.
+        if (!started_) {
+            window_start = (now / interval) * interval;
+            started_ = true;
+        }
         while (now >= window_start + interval) {
             if (window_events > 0) {
                 last_rate =
@@ -183,6 +189,7 @@ class RateMonitor
 
     Cycles interval;
     Cycles window_start = 0;
+    bool started_ = false;
     std::uint64_t window_hits = 0;
     std::uint64_t window_events = 0;
     double last_rate = -1.0;

@@ -93,6 +93,19 @@ pageSizeName(PageSize size)
     return "?";
 }
 
+/** Table-level slug for the size class ("pte", "pmd", "pud") — the
+ *  radix level that maps it; used in metric names and trace args. */
+inline const char *
+pageLevelName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return "pte";
+      case PageSize::Page2M: return "pmd";
+      case PageSize::Page1G: return "pud";
+    }
+    return "?";
+}
+
 /** All page sizes, smallest first, for range-for iteration. */
 constexpr PageSize all_page_sizes[num_page_sizes] = {
     PageSize::Page4K, PageSize::Page2M, PageSize::Page1G,

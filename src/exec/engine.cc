@@ -26,6 +26,26 @@ msSince(Clock::time_point start)
         .count();
 }
 
+std::uint64_t
+usBetween(Clock::time_point from, Clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+            .count());
+}
+
+/** Error-kind tag as a string literal: trace args store raw pointers,
+ *  so the per-record std::string cannot be handed to the buffer. */
+const char *
+internedErrorKind(const std::string &kind)
+{
+    for (const char *k : {"config", "resource_exhausted", "trace",
+                          "invariant", "timeout"})
+        if (kind == k)
+            return k;
+    return "exception";
+}
+
 /** Shared between a job's runner thread and its supervising worker. */
 struct Isolated
 {
@@ -47,7 +67,8 @@ SweepEngine::SweepEngine(const SweepOptions &options) : opts(options)
 }
 
 JobRecord
-SweepEngine::runIsolated(const JobSpec &spec) const
+SweepEngine::runIsolated(const JobSpec &spec, std::uint32_t pid,
+                         Clock::time_point epoch) const
 {
     JobRecord record;
     record.key = spec.key;
@@ -57,8 +78,49 @@ SweepEngine::runIsolated(const JobSpec &spec) const
     const std::uint64_t budget_ms =
         spec.timeout_ms ? spec.timeout_ms : opts.timeout_ms;
 
+    // Engine-lane bookkeeping for the trace: which kinds the retried
+    // attempts failed with (interned so TraceArg can hold them), and
+    // the final attempt's buffer.
+    std::vector<const char *> retry_kinds;
+    std::shared_ptr<TraceBuffer> tracer;
+
+    // Emits the engine spans into the final attempt's buffer and
+    // publishes it on the record. The job/retry/audit events carry
+    // simulated-cycle timestamps and survive canonical export; the
+    // queue/run wall spans are tagged non-deterministic.
+    auto finalize = [&] {
+        if (!tracer)
+            return;
+        record.trace = tracer;
+        TraceBuffer *t = tracer.get();
+        const Cycles cycles = record.status == JobStatus::Ok
+            ? record.out.sim.cycles : 0;
+        t->span("job", TraceCat::Engine, trace_engine_tid, 0, cycles,
+                {{"attempts", record.attempts}});
+        for (std::size_t a = 0; a < retry_kinds.size(); ++a)
+            t->instant("job.retry", TraceCat::Engine, trace_engine_tid,
+                       0, {{"attempt", static_cast<std::int64_t>(a)},
+                           {"kind", 0, retry_kinds[a]}});
+        if (spec.audit && record.status == JobStatus::Ok)
+            t->instant("job.audit", TraceCat::Engine, trace_engine_tid,
+                       cycles);
+        const std::uint64_t queue_us = usBetween(epoch, start);
+        t->wallSpan("job.queue", 0, queue_us);
+        t->wallSpan("job.run", queue_us,
+                    static_cast<std::uint64_t>(record.wall_ms * 1000),
+                    {{"attempts", record.attempts}});
+    };
+
     for (int attempt = 0;; ++attempt) {
-        const JobContext ctx{record.seed, attempt};
+        // A fresh ring per attempt: a retried job's trace holds only
+        // the attempt that produced the record.
+        if (opts.trace_capacity) {
+            tracer = std::make_shared<TraceBuffer>(opts.trace_capacity,
+                                                   opts.trace_sample);
+            tracer->setPid(pid);
+        }
+        JobContext ctx{record.seed, attempt};
+        ctx.tracer = tracer.get();
         record.attempts = attempt + 1;
 
         // Heap-shared so a detached (timed-out) runner can still
@@ -66,8 +128,10 @@ SweepEngine::runIsolated(const JobSpec &spec) const
         // moved on. fn/audit are captured by value: a detached runner
         // may outlive the caller's JobSpec vector.
         auto state = std::make_shared<Isolated>();
+        // The runner co-owns the tracer: a detached (timed-out) runner
+        // keeps emitting into a live buffer that only it references.
         std::thread runner(
-            [state, fn = spec.fn, audit = spec.audit, ctx] {
+            [state, fn = spec.fn, audit = spec.audit, ctx, tracer] {
                 JobStatus status = JobStatus::Failed;
                 std::string error, error_kind;
                 bool retryable = false;
@@ -116,7 +180,10 @@ SweepEngine::runIsolated(const JobSpec &spec) const
         if (!finished) {
             // A timed-out job is never retried: the detached runner
             // still owns the machine it was building, and a rerun
-            // would almost certainly time out again anyway.
+            // would almost certainly time out again anyway. The trace
+            // buffer stays with the runner — reading it here would
+            // race a simulation that is still emitting.
+            tracer.reset();
             record.wall_ms = msSince(start);
             record.status = JobStatus::TimedOut;
             record.error = "timed out after "
@@ -137,13 +204,16 @@ SweepEngine::runIsolated(const JobSpec &spec) const
         }
         if (record.status == JobStatus::Ok) {
             record.wall_ms = msSince(start);
+            finalize();
             return record;
         }
         record.error_chain.push_back(record.error);
         if (!retryable || attempt >= opts.retries) {
             record.wall_ms = msSince(start);
+            finalize();
             return record;
         }
+        retry_kinds.push_back(internedErrorKind(record.error_kind));
         // Exponential backoff before the retry — transient pressure
         // (the reason ResourceExhausted is retryable) needs time to
         // drain on a loaded machine.
@@ -165,11 +235,13 @@ SweepEngine::run(const std::vector<JobSpec> &specs) const
     std::atomic<std::size_t> completed{0};
     const int workers =
         std::min<int>(n_jobs, static_cast<int>(specs.size()));
+    const auto epoch = Clock::now();
     ThreadPool pool(workers);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        pool.submit([this, i, &specs, &sink, &completed] {
+        pool.submit([this, i, &specs, &sink, &completed, epoch] {
             const JobSpec &spec = specs[i];
-            JobRecord record = runIsolated(spec);
+            JobRecord record =
+                runIsolated(spec, static_cast<std::uint32_t>(i), epoch);
             const std::size_t n = completed.fetch_add(1) + 1;
             if (opts.progress)
                 std::fprintf(opts.progress,

@@ -23,6 +23,7 @@
 #ifndef NECPT_EXEC_ENGINE_HH
 #define NECPT_EXEC_ENGINE_HH
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -51,6 +52,15 @@ struct SweepOptions
     int retries = 0;
     /** Base backoff before retry r: backoff_ms << r, capped at 2s. */
     std::uint64_t backoff_ms = 100;
+    /**
+     * Per-job trace ring capacity in events; 0 (default) = tracing
+     * off. When on, every job runs with a private TraceBuffer whose
+     * pid is the submission index, and its record keeps the buffer
+     * for ResultSink::writeTrace().
+     */
+    std::size_t trace_capacity = 0;
+    /** Trace every Nth walk (1 = all); see TraceBuffer sampling. */
+    std::uint64_t trace_sample = 1;
 };
 
 class SweepEngine
@@ -68,7 +78,9 @@ class SweepEngine
     const SweepOptions &options() const { return opts; }
 
   private:
-    JobRecord runIsolated(const JobSpec &spec) const;
+    JobRecord runIsolated(const JobSpec &spec, std::uint32_t pid,
+                          std::chrono::steady_clock::time_point epoch)
+        const;
 
     SweepOptions opts;
     int n_jobs;

@@ -60,8 +60,12 @@ simJob(const std::string &key, const ExperimentConfig &config,
         // Fault draws are seeded per attempt so a retried job redraws
         // its injected faults; a no-fault sweep never reads this.
         p.fault_seed = ctx.faultSeed();
+        p.tracer = ctx.tracer;
         JobOutput out;
         out.sim = runSim(config, p, app);
+        // Publish the unified dotted-name scalars as this job's stats
+        // columns in the sweep JSON.
+        out.metrics = out.sim.metrics;
         return out;
     };
     return spec;

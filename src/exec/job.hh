@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct JobContext
      * point of retrying a ResourceExhausted — while any --jobs value
      * still reproduces the identical attempt sequence.
      */
+    /**
+     * Per-job event tracer (null = tracing off). Owned by the engine;
+     * jobs thread it into SimParams::tracer so walk events land in
+     * this job's private ring (pid = submission index).
+     */
+    TraceBuffer *tracer = nullptr;
+
     std::uint64_t
     faultSeed() const
     {
@@ -112,6 +120,13 @@ struct JobRecord
     /** Error message of every failed attempt, oldest first (the final
      *  one equals @ref error). Empty when the first attempt passed. */
     std::vector<std::string> error_chain;
+
+    /**
+     * The job's trace ring (final attempt), when the sweep ran with
+     * tracing on. Null on timeout: the detached runner still owns its
+     * buffer, so the record drops its reference instead of racing.
+     */
+    std::shared_ptr<TraceBuffer> trace;
 };
 
 /** Printable status name ("ok" / "failed" / "timeout"). */

@@ -200,4 +200,16 @@ ResultSink::writeCsv(const std::string &path) const
     return writeCsvFile(path, okResults());
 }
 
+bool
+ResultSink::writeTrace(const std::string &path, bool canonical) const
+{
+    std::vector<TraceLane> lanes;
+    for (const JobRecord &r : slots)
+        if (r.trace)
+            lanes.push_back({r.trace.get(), r.key});
+    if (lanes.empty())
+        return false;
+    return writeChromeTrace(path, lanes, canonical);
+}
+
 } // namespace necpt

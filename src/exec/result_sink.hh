@@ -79,6 +79,17 @@ class ResultSink
     /** CSV of successful results via sim/report.hh. @return success. */
     bool writeCsv(const std::string &path) const;
 
+    /**
+     * Write every job's trace ring as one Chrome trace-event JSON
+     * file: one lane per job, pid = submission index, lanes in
+     * submission order (worker count never reorders the bytes).
+     * @param canonical drop the engine's wall-clock spans so equal
+     *        seeds compare byte-identical at any --jobs value.
+     * @return success (false also when no job carried a trace).
+     */
+    bool writeTrace(const std::string &path,
+                    bool canonical = false) const;
+
   private:
     std::vector<JobRecord> slots;
     mutable std::mutex mtx;

@@ -20,6 +20,23 @@ MemoryHierarchy::MemoryHierarchy(const MemHierarchyConfig &config, int cores)
     l3_ = std::make_unique<SetAssocCache>(cfg.l3);
 }
 
+namespace
+{
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+    case MemLevel::L1: return "l1";
+    case MemLevel::L2: return "l2";
+    case MemLevel::L3: return "l3";
+    case MemLevel::Dram: return "dram";
+    }
+    return "?";
+}
+
+} // namespace
+
 AccessResult
 MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
                         int core)
@@ -48,6 +65,11 @@ MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
         const Cycles spike = fault_plan->memSpikeCycles();
         dram_lat += spike;
         injected_spikes += spike;
+        if (spike > 0 && tracer_)
+            tracer_->instant(
+                "fault.mem_spike", TraceCat::Fault, trace_pt_tid, now,
+                {{"cycles", static_cast<std::int64_t>(spike)},
+                 {"addr", static_cast<std::int64_t>(addr)}});
     }
     l3_->fill(addr);
     l2s[core]->fill(addr);
@@ -104,6 +126,16 @@ MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
         const Cycles done = issue + r.latency;
         finish = std::max(finish, done);
 
+        // Per-request resolution events for traced walks only: the
+        // walker has already marked this walk via its sampling gate.
+        if (tracer_ && tracer_->walkActive())
+            tracer_->span("mem.req", TraceCat::Mem,
+                          static_cast<std::uint32_t>(core), issue,
+                          r.latency,
+                          {{"level", 0, memLevelName(r.level)},
+                           {"line", static_cast<std::int64_t>(
+                                        lines[i])}});
+
         if (r.level != MemLevel::L2) {
             ++result.l2_misses;
             outstanding.push_back(done);
@@ -130,6 +162,39 @@ MemoryHierarchy::avgMshrsInUse() const
     return mshr_samples
         ? static_cast<double>(mshr_sum) / static_cast<double>(mshr_samples)
         : 0.0;
+}
+
+void
+MemoryHierarchy::registerMetrics(MetricsRegistry &reg,
+                                 const std::string &prefix) const
+{
+    const int cores = numCores();
+    for (int c = 0; c < cores; ++c) {
+        const std::string core_part =
+            cores > 1 ? ".core" + std::to_string(c) : "";
+        reg.addHitMiss(prefix + "mem.l1" + core_part + ".demand",
+                       &l1(c).stats(Requester::Core));
+        reg.addHitMiss(prefix + "mem.l2" + core_part + ".demand",
+                       &l2(c).stats(Requester::Core));
+        reg.addHitMiss(prefix + "mem.l2" + core_part + ".mmu",
+                       &l2(c).stats(Requester::Mmu));
+    }
+    reg.addHitMiss(prefix + "mem.l3.demand",
+                   &l3().stats(Requester::Core));
+    reg.addHitMiss(prefix + "mem.l3.mmu", &l3().stats(Requester::Mmu));
+
+    const DramModel *d = &dram_;
+    reg.addCounter(prefix + "dram.reads",
+                   [d] { return d->numAccesses(); },
+                   "DRAM line fetches (demand + MMU)");
+    reg.addValue(prefix + "dram.row_hitrate",
+                 [d] { return d->rowHitRate(); });
+
+    reg.addValue(prefix + "mem.mshr.avg_peak",
+                 [this] { return avgMshrsInUse(); },
+                 "mean per-batch MSHR occupancy peak (Section 9.3)");
+    reg.addCounter(prefix + "mem.mshr.max",
+                   [this] { return maxMshrsInUse(); });
 }
 
 void

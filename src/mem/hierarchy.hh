@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hh"
+#include "common/trace_events.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 
@@ -110,12 +112,28 @@ class MemoryHierarchy
      *  the average-latency DRAM model smooths over. */
     void setFaultPlan(FaultPlan *plan) { fault_plan = plan; }
 
+    /** Attach the event tracer: MMU requests of traced walks are
+     *  recorded with the level that serviced them; injected latency
+     *  spikes are recorded unconditionally. Null detaches. */
+    void setTracer(TraceBuffer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Register cache and DRAM statistics: "<prefix>mem.l{1,2}.coreN.*"
+     * (the core index is dropped for single-core machines),
+     * "<prefix>mem.l3.*" — each split by demand/mmu requester — plus
+     * "<prefix>dram.reads" / "<prefix>dram.row_hitrate" and the MSHR
+     * characterization.
+     */
+    void registerMetrics(MetricsRegistry &reg,
+                         const std::string &prefix) const;
+
     /** Spike cycles injected so far (tests / audits). */
     Cycles injectedSpikeCycles() const { return injected_spikes; }
 
   private:
     MemHierarchyConfig cfg;
     FaultPlan *fault_plan = nullptr;
+    TraceBuffer *tracer_ = nullptr;
     Cycles injected_spikes = 0;
     std::vector<std::unique_ptr<SetAssocCache>> l1s;
     std::vector<std::unique_ptr<SetAssocCache>> l2s;

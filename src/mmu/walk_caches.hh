@@ -78,6 +78,8 @@ class PageWalkCache
     }
 
     Cycles latency() const { return latency_; }
+    int minLevel() const { return min_lvl; }
+    int maxLevel() const { return max_lvl; }
 
     const HitMiss &
     stats(int level) const

@@ -30,6 +30,7 @@
 #include "common/hash.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/trace_events.hh"
 #include "pt/pte.hh"
 
 namespace necpt
@@ -96,6 +97,11 @@ class ElasticCuckooTable
      *  exhaustion and forced mid-probe resize windows. */
     void setFaultPlan(FaultPlan *plan) { fault_plan = plan; }
 
+    /** Attach the event tracer: kick chains and resize windows are
+     *  recorded (aggregated per insert) at the tracer's ambient clock.
+     *  Null detaches (the default). */
+    void setTracer(TraceBuffer *t) { tracer = t; }
+
     /**
      * Insert or update @p key with @p value. Displaced entries are
      * cuckoo-rehashed; the table resizes itself when needed.
@@ -109,6 +115,7 @@ class ElasticCuckooTable
             ++injected_resizes;
             startResize();
         }
+        const std::uint64_t kicks_before = rehash_moves;
         if (FindResult hit = find(key)) {
             *hit.value = value;
         } else {
@@ -118,6 +125,15 @@ class ElasticCuckooTable
         migrateSome();
         if (!old && loadFactor() > cfg.resize_threshold)
             startResize();
+        // One aggregated event per displacing insert (never one per
+        // kick: prefault storms would flush the whole ring).
+        if (tracer && rehash_moves > kicks_before)
+            tracer->instant(
+                "cuckoo.kicks", TraceCat::Cuckoo, trace_pt_tid,
+                tracer->now(),
+                {{"kicks", static_cast<std::int64_t>(rehash_moves
+                                                     - kicks_before)},
+                 {"key", static_cast<std::int64_t>(key)}});
     }
 
     /** Look up @p key. */
@@ -426,6 +442,12 @@ class ElasticCuckooTable
         old.emplace(std::move(live));
         live = std::move(bigger);
         ++resizes;
+        if (tracer)
+            tracer->instant(
+                "cuckoo.resize.begin", TraceCat::Cuckoo, trace_pt_tid,
+                tracer->now(),
+                {{"live_slots", static_cast<std::int64_t>(live.slots)},
+                 {"resizes", static_cast<std::int64_t>(resizes)}});
     }
 
     /** Move a few entries from the retiring generation (gradual). */
@@ -470,6 +492,12 @@ class ElasticCuckooTable
             NECPT_ASSERT(old->used == 0);
             releaseGeneration(*old);
             old.reset();
+            if (tracer)
+                tracer->instant(
+                    "cuckoo.resize.end", TraceCat::Cuckoo, trace_pt_tid,
+                    tracer->now(),
+                    {{"moves",
+                      static_cast<std::int64_t>(resize_moves)}});
         }
     }
 
@@ -483,6 +511,7 @@ class ElasticCuckooTable
     std::vector<std::pair<std::uint64_t, ValueT>> homeless;
 
     FaultPlan *fault_plan = nullptr;
+    TraceBuffer *tracer = nullptr;
     /** Set by tryPlace when its failure was injected, so the caller
      *  retries instead of doubling the table. */
     bool kick_injected = false;

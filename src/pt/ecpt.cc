@@ -156,6 +156,38 @@ EcptPageTable::setFaultPlan(FaultPlan *plan)
 }
 
 void
+EcptPageTable::setTracer(TraceBuffer *tracer)
+{
+    for (int s = 0; s < num_page_sizes; ++s)
+        tables[s]->setTracer(tracer);
+}
+
+void
+EcptPageTable::registerMetrics(MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    for (PageSize size : all_page_sizes) {
+        const ElasticCuckooTable<PteBlock> *t = &tableOf(size);
+        const std::string p =
+            prefix + "cuckoo." + pageLevelName(size) + ".";
+        reg.addCounter(p + "kicks", [t] { return t->rehashMoves(); },
+                       "cuckoo displacements (Section 4.4)");
+        reg.addCounter(p + "resizes", [t] { return t->resizeCount(); });
+        reg.addCounter(p + "resize_moves",
+                       [t] { return t->resizeMoves(); });
+        reg.addCounter(p + "entries", [t] { return t->size(); });
+        reg.addValue(p + "load_factor",
+                     [t] { return t->loadFactor(); });
+    }
+    reg.addCounter(prefix + "cuckoo.kicks", [this] {
+        std::uint64_t total = 0;
+        for (PageSize size : all_page_sizes)
+            total += tableOf(size).rehashMoves();
+        return total;
+    }, "total cuckoo displacements across the per-size tables");
+}
+
+void
 EcptPageTable::auditCwtConsistency(const std::string &who) const
 {
     for (int s = 0; s < num_page_sizes; ++s) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "pt/cuckoo.hh"
 #include "pt/cwt.hh"
 #include "pt/pte.hh"
@@ -144,6 +145,17 @@ class EcptPageTable
     /** Arm (or disarm, with nullptr) fault injection in every
      *  underlying cuckoo table. */
     void setFaultPlan(FaultPlan *plan);
+
+    /** Attach the event tracer to every underlying cuckoo table. */
+    void setTracer(TraceBuffer *tracer);
+
+    /**
+     * Register per-size cuckoo accounting under
+     * "<prefix>cuckoo.<pte|pmd|pud>.*" plus the "<prefix>cuckoo.kicks"
+     * aggregate (total displacements across the three tables).
+     */
+    void registerMetrics(MetricsRegistry &reg,
+                         const std::string &prefix) const;
 
     /**
      * Cross-check ECPT/CWT consistency — the Section 4.4 staleness

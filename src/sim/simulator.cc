@@ -92,6 +92,18 @@ Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
         tlb.push_back(std::make_unique<TlbHierarchy>(cfg.tlb));
         walkers.push_back(makeWalker(core));
     }
+
+    if (params.tracer) {
+        for (auto &w : walkers)
+            w->setTracer(params.tracer);
+        mem->setTracer(params.tracer);
+        if (EcptPageTable *g = sys->guestEcpt())
+            g->setTracer(params.tracer);
+        if (EcptPageTable *h = sys->hostEcpt())
+            h->setTracer(params.tracer);
+        if (fault_plan)
+            fault_plan->setTracer(params.tracer);
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -172,6 +184,10 @@ Simulator::runWith(const std::string &label,
         }
         NECPT_ASSERT(core >= 0);
         CoreState &cs = core_state[core];
+        // Events emitted outside a timed walk phase (cuckoo inserts,
+        // fault sites) are stamped with the leading core's clock.
+        if (params.tracer)
+            params.tracer->setNow(static_cast<Cycles>(min_cycle));
 
         if (cs.accesses == params.warmup_accesses && !stats_reset) {
             // Warm-up fault-ins may have left elastic resizes in
@@ -360,6 +376,79 @@ Simulator::fillResult(SimResult &result)
     result.pte_bytes_total = sys->guestPteBytes() + sys->hostPteBytes();
     result.guest_faults = sys->guestFaults();
     result.host_faults = sys->hostFaults();
+    // Re-publish the scalars under the unified dotted names (the
+    // expressions above are the single source; the map just aliases
+    // them, so bench output stays byte-identical either way).
+    auto &m = result.metrics;
+    for (int k = 0; k < 4; ++k) {
+        const std::string kn = walkKindName(static_cast<WalkKind>(k));
+        m["walk.kind.guest." + kn + ".frac"] = result.guest_kind_frac[k];
+        m["walk.kind.host." + kn + ".frac"] = result.host_kind_frac[k];
+    }
+    for (int s = 0; s < 3; ++s)
+        m["walk.step" + std::to_string(s + 1) + ".avg_probes"] =
+            result.step_avg[s];
+    m["stc.hitrate"] = result.stc_hit_rate;
+    m["cwc.gcwc.pud.hitrate"] = result.gcwc_pud_hit;
+    m["cwc.gcwc.pmd.hitrate"] = result.gcwc_pmd_hit;
+    m["cwc.hcwc_step3.pud.hitrate"] = result.hcwc_pud_hit;
+    m["cwc.hcwc_step3.pmd.hitrate"] = result.hcwc_pmd_hit;
+    m["cwc.hcwc_step1.pte.hitrate"] = result.hcwc_pte_step1_hit;
+    m["cwc.hcwc_step3.pte.hitrate"] = result.hcwc_pte_step3_hit;
+    m["cwc.hcwc_step3.pte.accesses"] =
+        static_cast<double>(result.hcwc_pte_step3_accesses);
+    m["adaptive.pte.rate"] = result.adaptive_pte_rate;
+    m["adaptive.pmd.rate"] = result.adaptive_pmd_rate;
+}
+
+
+void
+Simulator::exportMetrics(MetricsRegistry &reg, const std::string &prefix)
+{
+    NECPT_ASSERT(sys && mem && !walkers.empty());
+    const int n = static_cast<int>(walkers.size());
+    for (int c = 0; c < n; ++c) {
+        // Multi-core machines get a per-core prefix; the common case
+        // keeps the short names (walk.nested_ecpt.step1.probes).
+        const std::string p =
+            n > 1 ? prefix + "core" + std::to_string(c) + "." : prefix;
+        walkers[c]->registerMetrics(reg, p);
+        reg.addHitMiss(p + "tlb.l1", &tlb[c]->l1Stats());
+        reg.addHitMiss(p + "tlb.l2", &tlb[c]->l2Stats());
+    }
+    if (pom)
+        reg.addHitMiss(prefix + "tlb.pom", &pom->stats());
+    mem->registerMetrics(reg, prefix);
+
+    const EcptPageTable *g = sys->guestEcpt();
+    const EcptPageTable *h = sys->hostEcpt();
+    if (g)
+        g->registerMetrics(reg, prefix + "guest.");
+    if (h)
+        h->registerMetrics(reg, prefix + "host.");
+    if (g || h) {
+        reg.addCounter(prefix + "cuckoo.kicks", [g, h] {
+            std::uint64_t total = 0;
+            for (PageSize size : all_page_sizes) {
+                if (g)
+                    total += g->tableOf(size).rehashMoves();
+                if (h)
+                    total += h->tableOf(size).rehashMoves();
+            }
+            return total;
+        }, "total cuckoo displacements across address spaces");
+    }
+
+    const NestedSystem *s = sys.get();
+    reg.addCounter(prefix + "pt.guest.bytes",
+                   [s] { return s->guestStructureBytes(); },
+                   "guest translation-structure footprint (Section 9.5)");
+    reg.addCounter(prefix + "pt.host.bytes",
+                   [s] { return s->hostStructureBytes(); });
+    reg.addCounter(prefix + "pt.guest.faults",
+                   [s] { return s->guestFaults(); });
+    reg.addCounter(prefix + "pt.host.faults",
+                   [s] { return s->hostFaults(); });
 }
 
 SimResult

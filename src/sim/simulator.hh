@@ -23,11 +23,14 @@
 #define NECPT_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/fault.hh"
+#include "common/metrics.hh"
+#include "common/trace_events.hh"
 #include "mem/hierarchy.hh"
 #include "mmu/pom_tlb.hh"
 #include "mmu/tlb.hh"
@@ -64,6 +67,14 @@ struct SimParams
      */
     FaultSpec faults{};
     std::uint64_t fault_seed = 0;
+
+    /**
+     * Walk-level event tracer (null = tracing off, the default). The
+     * Simulator threads it through the walkers, both page tables, the
+     * memory hierarchy, and the fault plan, and keeps its ambient
+     * clock in step with the leading core.
+     */
+    TraceBuffer *tracer = nullptr;
 };
 
 /** Everything a bench needs to regenerate the paper's numbers. */
@@ -112,6 +123,14 @@ struct SimResult
 
     std::uint64_t guest_faults = 0;
     std::uint64_t host_faults = 0;
+
+    /**
+     * The scalar fields above, re-published under the unified dotted
+     * metric names (walk.kind.guest.direct.frac, stc.hitrate,
+     * adaptive.pte.rate, ...). Values are the very same doubles, so
+     * consumers that switch to the map stay byte-identical.
+     */
+    std::map<std::string, double> metrics;
 };
 
 /**
@@ -151,6 +170,15 @@ class Simulator
     int numCores() const { return static_cast<int>(walkers.size()); }
     FaultPlan *faultPlan() { return fault_plan.get(); }
     /// @}
+
+    /**
+     * Register every live component's statistics (walkers, TLBs,
+     * caches, DRAM, cuckoo tables) with @p reg under @p prefix. Valid
+     * once the machine is built, i.e. after run()/runWith(); entries
+     * read the components live, so a later resetStats() is reflected.
+     */
+    void exportMetrics(MetricsRegistry &reg,
+                       const std::string &prefix = "");
 
   private:
     /** Build system/memory/TLBs/walkers for @p footprint_bytes. */

@@ -15,10 +15,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
+#include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/trace_events.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workloads/trace.hh"
@@ -66,7 +70,14 @@ usage(const char *prog)
         "  --seed N            simulation seed\n"
         "  --radix-levels N    4 or 5 (LA57)\n"
         "  --csv FILE          append a CSV row (header if new file)\n"
-        "  --json              print the result as JSON\n",
+        "  --json              print the result as JSON\n"
+        "  --stats-json FILE   dump the unified metrics registry\n"
+        "                      (every component counter) as JSON\n"
+        "  --trace-walks[=N]   record walk-level trace events, every\n"
+        "                      Nth walk (default all)\n"
+        "  --trace-out FILE    Chrome trace-event output file\n"
+        "                      (default necpt_trace.json)\n"
+        "  --quiet             suppress warn/info log output\n",
         prog, prog);
 }
 
@@ -74,8 +85,9 @@ int
 run(int argc, char **argv)
 {
     std::string config_name, app_name, trace_path, record_path,
-        csv_path;
+        csv_path, stats_json_path, trace_out_path;
     bool list = false, json = false;
+    std::uint64_t trace_walks = 0; //!< sample interval; 0 = tracing off
     SimParams params = paramsFromEnv();
     int radix_levels = 0;
 
@@ -103,6 +115,12 @@ run(int argc, char **argv)
             radix_levels = std::stoi(value());
         else if (arg == "--csv") csv_path = value();
         else if (arg == "--json") json = true;
+        else if (arg == "--stats-json") stats_json_path = value();
+        else if (arg == "--trace-walks") trace_walks = 1;
+        else if (arg.rfind("--trace-walks=", 0) == 0)
+            trace_walks = std::stoull(arg.substr(14));
+        else if (arg == "--trace-out") trace_out_path = value();
+        else if (arg == "--quiet") setLogLevel(LogLevel::Quiet);
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -161,13 +179,22 @@ run(int argc, char **argv)
     if (radix_levels)
         config.system.radix_levels = radix_levels;
 
+    // The tracer must outlive the Simulator (components keep a raw
+    // pointer to it until they are torn down).
+    std::unique_ptr<TraceBuffer> tracer;
+    if (trace_walks) {
+        tracer = std::make_unique<TraceBuffer>(
+            TraceBuffer::default_capacity, trace_walks);
+        params.tracer = tracer.get();
+    }
+
+    Simulator sim(config, params);
     SimResult result;
     if (!trace_path.empty()) {
         // The constructor throws a TraceError (file + byte offset) on
         // any corrupt input; main() renders it at the exit boundary.
         TraceWorkload probe(trace_path);
         const std::uint64_t footprint = probe.info().footprint_bytes;
-        Simulator sim(config, params);
         result = sim.runWith(
             "trace:" + trace_path,
             [&](std::uint64_t) {
@@ -175,7 +202,7 @@ run(int argc, char **argv)
             },
             footprint);
     } else {
-        result = runSim(config, params, app_name);
+        result = sim.run(app_name);
     }
 
     std::printf("%-22s %-10s\n", result.config.c_str(),
@@ -216,6 +243,26 @@ run(int argc, char **argv)
     }
     if (json)
         std::printf("%s\n", toJson(result).c_str());
+
+    if (!stats_json_path.empty()) {
+        MetricsRegistry registry;
+        sim.exportMetrics(registry);
+        if (!registry.writeJson(stats_json_path))
+            fatal("cannot write '%s'", stats_json_path.c_str());
+        std::fprintf(stderr, "stats JSON: %s\n",
+                     stats_json_path.c_str());
+    }
+    if (tracer) {
+        if (trace_out_path.empty())
+            trace_out_path = "necpt_trace.json";
+        if (!writeChromeTrace(trace_out_path, *tracer,
+                              result.config + "/" + result.app))
+            fatal("cannot write '%s'", trace_out_path.c_str());
+        std::fprintf(stderr,
+                     "trace: %s (%zu events, %llu walks sampled)\n",
+                     trace_out_path.c_str(), tracer->size(),
+                     (unsigned long long)tracer->walksSampled());
+    }
     return 0;
 }
 

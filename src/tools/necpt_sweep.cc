@@ -33,6 +33,7 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "common/trace_events.hh"
 #include "exec/fault_campaign.hh"
 #include "exec/registry.hh"
 
@@ -58,7 +59,16 @@ usage(const char *prog)
         "                  faults_GRID.json in campaign mode)\n"
         "  --no-json       skip the JSON results file\n"
         "  --csv FILE      also write successful results as CSV\n"
-        "  --quiet         no per-job progress on stderr\n"
+        "  --quiet         no per-job progress on stderr, and\n"
+        "                  suppress warn/info log output\n"
+        "  --trace FILE    record walk-level trace events per job and\n"
+        "                  write one Chrome trace-event file (lanes in\n"
+        "                  submission order)\n"
+        "  --trace-walks[=N] with --trace: trace every Nth walk\n"
+        "                  (default all)\n"
+        "  --trace-canonical drop the engine's wall-clock spans so\n"
+        "                  equal seeds compare byte-identical at any\n"
+        "                  --jobs value\n"
         "  --retries N     re-run attempts that fail with a retryable\n"
         "                  error, with exponential backoff (default 0)\n"
         "  --backoff-ms N  base retry backoff (default 100)\n\n"
@@ -74,8 +84,10 @@ usage(const char *prog)
 int
 run(int argc, char **argv)
 {
-    std::string grid_name, json_path, csv_path, fault_spec_str;
-    bool list = false, no_json = false;
+    std::string grid_name, json_path, csv_path, fault_spec_str,
+        sweep_trace_path;
+    bool list = false, no_json = false, trace_canonical = false;
+    std::uint64_t trace_walks = 1;
     int fault_seeds = 20;
     SweepOptions options;
     SimParams params = paramsFromEnv();
@@ -98,7 +110,15 @@ run(int argc, char **argv)
         } else if (arg == "--json") json_path = value();
         else if (arg == "--no-json") no_json = true;
         else if (arg == "--csv") csv_path = value();
-        else if (arg == "--quiet") options.progress = nullptr;
+        else if (arg == "--quiet") {
+            options.progress = nullptr;
+            setLogLevel(LogLevel::Quiet);
+        }
+        else if (arg == "--trace") sweep_trace_path = value();
+        else if (arg == "--trace-walks") trace_walks = 1;
+        else if (arg.rfind("--trace-walks=", 0) == 0)
+            trace_walks = std::stoull(arg.substr(14));
+        else if (arg == "--trace-canonical") trace_canonical = true;
         else if (arg == "--faults") fault_spec_str = value();
         else if (arg == "--fault-seeds")
             fault_seeds = std::stoi(value());
@@ -134,6 +154,20 @@ run(int argc, char **argv)
         fatal("unknown sweep grid '%s' (see --list)",
               grid_name.c_str());
 
+    if (!sweep_trace_path.empty()) {
+        options.trace_capacity = TraceBuffer::default_capacity;
+        options.trace_sample = trace_walks;
+    }
+
+    auto writeTraceFile = [&](const ResultSink &sink) {
+        if (sweep_trace_path.empty())
+            return;
+        if (!sink.writeTrace(sweep_trace_path, trace_canonical))
+            fatal("cannot write '%s'", sweep_trace_path.c_str());
+        std::fprintf(stderr, "trace JSON:   %s\n",
+                     sweep_trace_path.c_str());
+    };
+
     if (!fault_spec_str.empty()) {
         FaultCampaignOptions copts;
         copts.spec = parseFaultSpec(fault_spec_str);
@@ -157,6 +191,7 @@ run(int argc, char **argv)
             std::fprintf(stderr, "campaign JSON: %s\n",
                          json_path.c_str());
         }
+        writeTraceFile(sink);
         // Surfaced faults are the campaign's product, not a sweep
         // failure: exit 0 as long as the process survived the grid.
         return 0;
@@ -178,6 +213,7 @@ run(int argc, char **argv)
             fatal("cannot write '%s'", csv_path.c_str());
         std::fprintf(stderr, "results CSV:  %s\n", csv_path.c_str());
     }
+    writeTraceFile(sink);
 
     const std::size_t failed = sink.failedCount();
     if (failed)

@@ -8,6 +8,7 @@ namespace necpt
 WalkResult
 NativeEcptWalker::translate(Addr gva, Cycles now)
 {
+    const bool tracing = traceBegin();
     WalkResult result;
     EcptPageTable *table = sys.guestEcpt();
     NECPT_ASSERT(table != nullptr);
@@ -19,6 +20,20 @@ NativeEcptWalker::translate(Addr gva, Cycles now)
     options.now = t;
     const EcptProbePlan plan = planEcptWalk(*table, cwc, gva, options);
     stats_.guest_kind[static_cast<int>(plan.kind)].inc();
+    if (tracing) {
+        for (int s = 0; s < num_page_sizes; ++s) {
+            if (!cwc.caches(all_page_sizes[s]))
+                continue;
+            tracer_->instant(plan.cwc_missed[s] ? "cwc.miss"
+                                                : "cwc.hit",
+                             TraceCat::Cwc,
+                             static_cast<std::uint32_t>(core), t,
+                             {{"cache", 0, "gcwc"},
+                              {"level", 0,
+                               pageLevelName(all_page_sizes[s])},
+                              {"kind", 0, walkKindName(plan.kind)}});
+        }
+    }
 
     // One parallel probe phase over the selected (size, way) slots —
     // addresses are final physical in a native system.
@@ -28,10 +43,22 @@ NativeEcptWalker::translate(Addr gva, Cycles now)
             table->probeAddrs(gva, all_page_sizes[s], plan.way_mask[s],
                               probe_buf);
     }
+    const Cycles t1 = t;
     const BatchResult br = batchAccess(probe_buf, t);
     t += br.latency;
     stats_.step_sum[0] += static_cast<std::uint64_t>(br.requests);
     stats_.step_cnt[0] += 1;
+    if (tracing) {
+        const auto core_id = static_cast<std::uint32_t>(core);
+        for (std::size_t i = 0; i < probe_buf.size(); ++i)
+            tracer_->instant("probe", TraceCat::Probe, core_id, t1,
+                             {{"step", 1},
+                              {"way", static_cast<std::int64_t>(i)},
+                              {"addr", static_cast<std::int64_t>(
+                                           probe_buf[i])}});
+        tracer_->span("walk.probe", TraceCat::Walk, core_id, t1,
+                      br.latency, {{"probes", br.requests}});
+    }
 
     // Background CWT refills for the CWC levels that missed.
     refill_buf.clear();

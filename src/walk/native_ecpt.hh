@@ -32,6 +32,21 @@ class NativeEcptWalker : public Walker
 
     std::string name() const override { return "ECPT"; }
 
+    const char *metricsSlug() const override { return "ecpt"; }
+
+    void
+    registerMetrics(MetricsRegistry &reg,
+                    const std::string &prefix) override
+    {
+        Walker::registerMetrics(reg, prefix);
+        for (PageSize size : all_page_sizes) {
+            if (!cwc.caches(size))
+                continue;
+            reg.addHitMiss(prefix + "cwc.gcwc." + pageLevelName(size),
+                           &cwc.stats(size));
+        }
+    }
+
     CuckooWalkCache &walkCache() { return cwc; }
 
   private:

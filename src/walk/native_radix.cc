@@ -8,6 +8,7 @@ namespace necpt
 WalkResult
 NativeRadixWalker::translate(Addr gva, Cycles now)
 {
+    const bool tracing = traceBegin();
     WalkResult result;
     std::vector<RadixStep> steps;
     RadixPageTable *table = sys.guestRadix();
@@ -22,8 +23,15 @@ NativeRadixWalker::translate(Addr gva, Cycles now)
     for (const RadixStep &step : steps) {
         if (step.level >= skip_through)
             continue;
+        const Cycles t0 = t;
         t += seqAccess(step.entry_addr, t);
         ++accesses;
+        if (tracing)
+            tracer_->span("radix.level", TraceCat::Walk,
+                          static_cast<std::uint32_t>(core), t0, t - t0,
+                          {{"level", step.level},
+                           {"addr", static_cast<std::int64_t>(
+                                        step.entry_addr)}});
         // Only non-leaf entries belong in the PWC; completed leaf
         // translations go to the TLB instead.
         if (step.level >= 2 && !step.leaf)

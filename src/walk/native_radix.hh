@@ -30,6 +30,18 @@ class NativeRadixWalker : public Walker
 
     std::string name() const override { return "Radix"; }
 
+    const char *metricsSlug() const override { return "radix"; }
+
+    void
+    registerMetrics(MetricsRegistry &reg,
+                    const std::string &prefix) override
+    {
+        Walker::registerMetrics(reg, prefix);
+        for (int l = pwc.minLevel(); l <= pwc.maxLevel(); ++l)
+            reg.addHitMiss(prefix + "pwc.l" + std::to_string(l),
+                           &pwc.stats(l));
+    }
+
     PageWalkCache &walkCache() { return pwc; }
 
   private:

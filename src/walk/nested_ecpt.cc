@@ -40,6 +40,77 @@ NestedEcptWalker::NestedEcptWalker(NestedSystem &system,
     NECPT_ASSERT(sys.guestEcpt() && sys.hostEcpt());
 }
 
+void
+NestedEcptWalker::registerMetrics(MetricsRegistry &reg,
+                                  const std::string &prefix)
+{
+    Walker::registerMetrics(reg, prefix);
+
+    reg.addHitMiss(prefix + "stc", &stc.stats(),
+                   "shortcut translation cache (Section 4.1)");
+
+    const struct
+    {
+        const char *slug;
+        const CuckooWalkCache *cwc;
+    } cwcs[] = {
+        {"cwc.gcwc", &gcwc},
+        {"cwc.hcwc_step1", &hcwc_step1},
+        {"cwc.hcwc_step3", &hcwc_step3},
+    };
+    for (const auto &c : cwcs) {
+        for (PageSize size : all_page_sizes) {
+            if (!c.cwc->caches(size))
+                continue;
+            reg.addHitMiss(prefix + c.slug + "." + pageLevelName(size),
+                           &c.cwc->stats(size));
+        }
+    }
+
+    reg.addCounter(prefix + "adaptive.transitions",
+                   [this] { return adaptive.transitions(); },
+                   "PTE-hCWT enable<->disable flips (Section 4.2)");
+    reg.addValue(prefix + "adaptive.pte_enabled", [this] {
+        return adaptive.pteCachingEnabled() ? 1.0 : 0.0;
+    });
+    reg.addRates(prefix + "adaptive.pte.window_rates",
+                 &adaptive.pteMonitor(),
+                 "Step-3 PTE hCWC windowed hit rates (Figure 12)");
+    reg.addRates(prefix + "adaptive.pmd.window_rates",
+                 &adaptive.pmdMonitor(),
+                 "Step-3 PMD hCWC windowed hit rates (Figure 12)");
+}
+
+void
+NestedEcptWalker::tracePlan(const char *cache, const CuckooWalkCache &cwc,
+                            const EcptProbePlan &plan, Cycles t)
+{
+    const auto core_id = static_cast<std::uint32_t>(core);
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (!cwc.caches(all_page_sizes[s]))
+            continue;
+        tracer()->instant(plan.cwc_missed[s] ? "cwc.miss" : "cwc.hit",
+                          TraceCat::Cwc, core_id, t,
+                          {{"cache", 0, cache},
+                           {"level", 0, pageLevelName(all_page_sizes[s])},
+                           {"kind", 0, walkKindName(plan.kind)}});
+    }
+}
+
+void
+NestedEcptWalker::traceProbes(int step, const std::vector<Addr> &addrs,
+                              Cycles t)
+{
+    const auto core_id = static_cast<std::uint32_t>(core);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        tracer()->instant("probe", TraceCat::Probe, core_id, t,
+                          {{"step", step},
+                           {"way", static_cast<std::int64_t>(i)},
+                           {"addr",
+                            static_cast<std::int64_t>(addrs[i])}});
+    }
+}
+
 EcptProbePlan
 NestedEcptWalker::planStep1Host(Addr gpa, Cycles t)
 {
@@ -78,7 +149,6 @@ void
 NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
                                  Cycles t)
 {
-    (void)t;
     EcptPageTable &guest = *sys.guestEcpt();
     EcptPageTable &host = *sys.hostEcpt();
 
@@ -97,6 +167,12 @@ NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
         for (Addr gcwt_gpa : gcwt_probes) {
             Addr hpa;
             Addr *cached = feat.stc ? stc.lookup(gcwt_gpa) : nullptr;
+            if (feat.stc && traceActive())
+                tracer_->instant(cached ? "stc.hit" : "stc.miss",
+                                 TraceCat::Cwc,
+                                 static_cast<std::uint32_t>(core), t,
+                                 {{"gpa",
+                                   static_cast<std::int64_t>(gcwt_gpa)}});
             if (cached) {
                 hpa = *cached + pageOffset(gcwt_gpa, PageSize::Page4K);
             } else {
@@ -119,6 +195,7 @@ NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
 WalkResult
 NestedEcptWalker::translate(Addr gva, Cycles now)
 {
+    const bool tracing = traceBegin();
     WalkResult result;
     EcptPageTable &guest = *sys.guestEcpt();
     EcptPageTable &host = *sys.hostEcpt();
@@ -132,6 +209,8 @@ NestedEcptWalker::translate(Addr gva, Cycles now)
     goptions.now = t;
     const EcptProbePlan gplan = planEcptWalk(guest, gcwc, gva, goptions);
     stats_.guest_kind[static_cast<int>(gplan.kind)].inc();
+    if (tracing)
+        tracePlan("gcwc", gcwc, gplan, t);
 
     guest_slots.clear();
     for (int s = 0; s < num_page_sizes; ++s) {
@@ -147,6 +226,8 @@ NestedEcptWalker::translate(Addr gva, Cycles now)
     for (Addr slot_gpa : guest_slots) {
         const EcptProbePlan hplan = planStep1Host(slot_gpa, t);
         stats_.host_kind[static_cast<int>(hplan.kind)].inc();
+        if (tracing)
+            tracePlan("hcwc_step1", hcwc_step1, hplan, t);
         appendHostProbes(slot_gpa, hplan, probe_buf);
 
         // Background refill of missed Step-1 hCWC levels (deferred
@@ -157,11 +238,20 @@ NestedEcptWalker::translate(Addr gva, Cycles now)
         collectCwcRefills(host, hcwc_step1, slot_gpa, hplan, hopts,
                           background_buf);
     }
+    const Cycles t1 = t;
     const BatchResult br1 = batchAccess(probe_buf, t);
     t += br1.latency;
     stats_.step_sum[0] += static_cast<std::uint64_t>(br1.requests);
     stats_.step_cnt[0] += 1;
     stats_.step_lat[0] += br1.latency;
+    if (tracing) {
+        traceProbes(1, probe_buf, t1);
+        tracer_->span("walk.step1", TraceCat::Walk,
+                      static_cast<std::uint32_t>(core), t1, br1.latency,
+                      {{"probes", br1.requests},
+                       {"gecpt_slots",
+                        static_cast<std::int64_t>(guest_slots.size())}});
+    }
 
     // Background: refill missed gCWC levels (the STC's reason to be).
     refillGuestCwc(gva, gplan, t);
@@ -172,11 +262,18 @@ NestedEcptWalker::translate(Addr gva, Cycles now)
         const Translation h = sys.hostTranslate(slot_gpa);
         probe_buf.push_back(h.apply(slot_gpa));
     }
+    const Cycles t2 = t;
     const BatchResult br2 = batchAccess(probe_buf, t);
     t += br2.latency;
     stats_.step_sum[1] += static_cast<std::uint64_t>(br2.requests);
     stats_.step_cnt[1] += 1;
     stats_.step_lat[1] += br2.latency;
+    if (tracing) {
+        traceProbes(2, probe_buf, t2);
+        tracer_->span("walk.step2", TraceCat::Walk,
+                      static_cast<std::uint32_t>(core), t2, br2.latency,
+                      {{"probes", br2.requests}});
+    }
 
     // ---- Step 3: translate the data page's gPA ----
     const Translation g = sys.guestTranslate(gva);
@@ -194,14 +291,24 @@ NestedEcptWalker::translate(Addr gva, Cycles now)
     const EcptProbePlan h3plan =
         planEcptWalk(host, hcwc_step3, gpa_data, h3opts);
     stats_.host_kind[static_cast<int>(h3plan.kind)].inc();
+    if (tracing)
+        tracePlan("hcwc_step3", hcwc_step3, h3plan, t);
 
     probe_buf.clear();
     appendHostProbes(gpa_data, h3plan, probe_buf);
+    const Cycles t3 = t;
     const BatchResult br3 = batchAccess(probe_buf, t);
     t += br3.latency;
     stats_.step_sum[2] += static_cast<std::uint64_t>(br3.requests);
     stats_.step_cnt[2] += 1;
     stats_.step_lat[2] += br3.latency;
+    if (tracing) {
+        traceProbes(3, probe_buf, t3);
+        tracer_->span("walk.step3", TraceCat::Walk,
+                      static_cast<std::uint32_t>(core), t3, br3.latency,
+                      {{"probes", br3.requests},
+                       {"pte_hcwt_on", use_pte3 ? 1 : 0}});
+    }
 
     collectCwcRefills(host, hcwc_step3, gpa_data, h3plan, h3opts,
                       background_buf);

@@ -72,6 +72,11 @@ class NestedEcptWalker : public Walker
         return plainDesign() ? "PlainNestedECPT" : "NestedECPT";
     }
 
+    const char *metricsSlug() const override { return "nested_ecpt"; }
+
+    void registerMetrics(MetricsRegistry &reg,
+                         const std::string &prefix) override;
+
     bool
     plainDesign() const
     {
@@ -109,6 +114,13 @@ class NestedEcptWalker : public Walker
      * Plain design) and fetch them — all in the background.
      */
     void refillGuestCwc(Addr gva, const EcptProbePlan &gplan, Cycles t);
+
+    /** Per-level CWC hit/miss instants for a traced walk's plan. */
+    void tracePlan(const char *cache, const CuckooWalkCache &cwc,
+                   const EcptProbePlan &plan, Cycles t);
+
+    /** Per-way probe-issue instants for one step's probe group. */
+    void traceProbes(int step, const std::vector<Addr> &addrs, Cycles t);
 
     NestedEcptFeatures feat;
     CuckooWalkCache gcwc;

@@ -31,6 +31,7 @@ NestedRadixWalker::hostWalk(Addr gpa, Cycles &t, int &accesses)
 WalkResult
 NestedRadixWalker::translate(Addr gva, Cycles now)
 {
+    const bool tracing = traceBegin();
     WalkResult result;
     std::vector<RadixStep> gsteps;
     RadixPageTable *gtable = sys.guestRadix();
@@ -51,11 +52,24 @@ NestedRadixWalker::translate(Addr gva, Cycles now)
             continue;
         const Addr entry_gpa = step.entry_addr;
         Translation host;
-        if (Addr *hpa_frame = ntlb.lookup(entry_gpa)) {
+        Addr *hpa_frame = ntlb.lookup(entry_gpa);
+        if (tracing)
+            tracer_->instant(hpa_frame ? "ntlb.hit" : "ntlb.miss",
+                             TraceCat::Cwc,
+                             static_cast<std::uint32_t>(core), t,
+                             {{"level", step.level},
+                              {"gpa", static_cast<std::int64_t>(
+                                          entry_gpa)}});
+        if (hpa_frame) {
             host = {*hpa_frame, PageSize::Page4K, true};
             t += ntlb.latency();
         } else {
+            const Cycles t0 = t;
             host = hostWalk(entry_gpa, t, accesses);
+            if (tracing)
+                tracer_->span("nested.host_walk", TraceCat::Walk,
+                              static_cast<std::uint32_t>(core), t0,
+                              t - t0, {{"level", step.level}});
             ntlb.fill(entry_gpa,
                       host.apply(entry_gpa) & ~mask(12));
         }
@@ -68,7 +82,12 @@ NestedRadixWalker::translate(Addr gva, Cycles now)
 
     // Final host dimension for the data page (Figure 2 steps 21-24).
     const Addr gpa_data = guest.apply(gva);
+    const Cycles tf = t;
     hostWalk(gpa_data, t, accesses);
+    if (tracing)
+        tracer_->span("nested.host_walk", TraceCat::Walk,
+                      static_cast<std::uint32_t>(core), tf, t - tf,
+                      {{"level", 0}});
 
     result.translation = sys.fullTranslate(gva);
     finishWalk(result, now, t, accesses);

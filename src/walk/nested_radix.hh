@@ -33,6 +33,23 @@ class NestedRadixWalker : public Walker
 
     std::string name() const override { return "NestedRadix"; }
 
+    const char *metricsSlug() const override { return "nested_radix"; }
+
+    void
+    registerMetrics(MetricsRegistry &reg,
+                    const std::string &prefix) override
+    {
+        Walker::registerMetrics(reg, prefix);
+        for (int l = gpwc.minLevel(); l <= gpwc.maxLevel(); ++l)
+            reg.addHitMiss(prefix + "pwc.guest.l" + std::to_string(l),
+                           &gpwc.stats(l));
+        for (int l = npwc.minLevel(); l <= npwc.maxLevel(); ++l)
+            reg.addHitMiss(prefix + "pwc.nested.l" + std::to_string(l),
+                           &npwc.stats(l));
+        reg.addHitMiss(prefix + "ntlb", &ntlb.stats(),
+                       "nested TLB (gPA->hPA of guest PT pages)");
+    }
+
     NestedTlb &nestedTlb() { return ntlb; }
     PageWalkCache &guestPwc() { return gpwc; }
     PageWalkCache &nestedPwc() { return npwc; }

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace_events.hh"
 #include "mem/hierarchy.hh"
 #include "mmu/walk_caches.hh"
 #include "os/system.hh"
@@ -121,6 +123,51 @@ class Walker
     WalkerStats &stats() { return stats_; }
     const WalkerStats &stats() const { return stats_; }
 
+    /** Attach the walk-level event tracer (null detaches; default). */
+    void setTracer(TraceBuffer *tracer) { tracer_ = tracer; }
+    TraceBuffer *tracer() const { return tracer_; }
+
+    /** Dotted-name component for this walker's registry entries. */
+    virtual const char *metricsSlug() const { return "walker"; }
+
+    /**
+     * Register this walker's statistics under "<prefix>walk.<slug>.*".
+     * Subclasses call the base version then add their own caches.
+     */
+    virtual void
+    registerMetrics(MetricsRegistry &reg, const std::string &prefix)
+    {
+        const std::string p = prefix + "walk." + metricsSlug() + ".";
+        WalkerStats *s = &stats_;
+        reg.addCounter(p + "walks", [s] { return s->walks.value(); });
+        reg.addCounter(p + "mmu_requests",
+                       [s] { return s->mmu_requests.value(); });
+        reg.addCounter(p + "busy_cycles", [s] {
+            return static_cast<std::uint64_t>(s->busy_cycles);
+        });
+        reg.addHistogram(p + "latency", &s->walk_latency,
+                         "walk latency distribution (Figure 11 bins)");
+        for (int k = 0; k < 4; ++k) {
+            const char *kn = walkKindName(static_cast<WalkKind>(k));
+            reg.addCounter(p + "kind.guest." + kn,
+                           [s, k] { return s->guest_kind[k].value(); });
+            reg.addCounter(p + "kind.host." + kn,
+                           [s, k] { return s->host_kind[k].value(); });
+        }
+        for (int i = 0; i < 3; ++i) {
+            const std::string sp = p + "step" + std::to_string(i + 1)
+                                 + ".";
+            reg.addCounter(sp + "probes",
+                           [s, i] { return s->step_sum[i]; });
+            reg.addCounter(sp + "phases",
+                           [s, i] { return s->step_cnt[i]; });
+            reg.addCounter(sp + "cycles",
+                           [s, i] { return s->step_lat[i]; });
+            reg.addValue(sp + "avg_probes",
+                         [s, i] { return s->avgStepAccesses(i); });
+        }
+    }
+
     /** MMU structure lookup latency (Table 2: 4 cycles RT). */
     static constexpr Cycles mmu_cache_latency = 4;
     /** Hash unit latency (Table 2: 2 cycles). */
@@ -173,6 +220,15 @@ class Walker
         return skip_through;
     }
 
+    /**
+     * Sampling gate, called at the top of translate(): decides whether
+     * this walk's events are recorded (see TraceBuffer::beginWalk).
+     */
+    bool traceBegin() { return tracer_ && tracer_->beginWalk(); }
+
+    /** Is the current walk being traced? The hot-path check. */
+    bool traceActive() const { return tracer_ && tracer_->walkActive(); }
+
     /** Record a finished walk in the common statistics. */
     void
     finishWalk(WalkResult &result, Cycles start, Cycles end,
@@ -183,12 +239,20 @@ class Walker
         ++stats_.walks;
         stats_.busy_cycles += result.latency;
         stats_.walk_latency.sample(result.latency);
+        if (traceActive()) {
+            tracer_->span("walk", TraceCat::Walk,
+                          static_cast<std::uint32_t>(core), start,
+                          result.latency,
+                          {{"accesses", foreground_accesses}});
+            tracer_->endWalk();
+        }
     }
 
     NestedSystem &sys;
     MemoryHierarchy &mem;
     int core;
     WalkerStats stats_;
+    TraceBuffer *tracer_ = nullptr;
 };
 
 } // namespace necpt

@@ -1,0 +1,118 @@
+/** @file Unit tests for the unified metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/metrics.hh"
+
+namespace necpt
+{
+
+TEST(MetricsRegistry, ScalarSources)
+{
+    MetricsRegistry reg;
+    std::uint64_t walks = 0;
+    reg.addCounter("walk.walks", [&] { return walks; });
+    reg.addValue("walk.rate", [&] { return walks * 0.5; });
+
+    EXPECT_TRUE(reg.has("walk.walks"));
+    EXPECT_FALSE(reg.has("walk.nope"));
+    EXPECT_DOUBLE_EQ(reg.scalar("walk.walks"), 0.0);
+    walks = 8;
+    // Entries read the live source: no re-registration needed.
+    EXPECT_DOUBLE_EQ(reg.scalar("walk.walks"), 8.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("walk.rate"), 4.0);
+}
+
+TEST(MetricsRegistry, HitMissConvenience)
+{
+    MetricsRegistry reg;
+    HitMiss hm;
+    hm.hit(3);
+    hm.miss();
+    reg.addHitMiss("cwc.pte", &hm);
+    EXPECT_DOUBLE_EQ(reg.scalar("cwc.pte.hits"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("cwc.pte.misses"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("cwc.pte.hitrate"), 0.75);
+}
+
+TEST(MetricsRegistry, DuplicateNameThrows)
+{
+    MetricsRegistry reg;
+    reg.addCounter("cuckoo.kicks", [] { return 0ULL; });
+    EXPECT_THROW(reg.addCounter("cuckoo.kicks", [] { return 1ULL; }),
+                 InvariantViolation);
+    EXPECT_THROW(reg.addValue("cuckoo.kicks", [] { return 1.0; }),
+                 InvariantViolation);
+    // A HitMiss prefix colliding with an existing leaf throws too.
+    HitMiss hm;
+    reg.addCounter("stc.hits", [] { return 0ULL; });
+    EXPECT_THROW(reg.addHitMiss("stc", &hm), InvariantViolation);
+}
+
+TEST(MetricsRegistry, ScalarErrors)
+{
+    MetricsRegistry reg;
+    Histogram hist(10, 4);
+    reg.addHistogram("walk.latency", &hist);
+    EXPECT_THROW(reg.scalar("unknown.name"), InvariantViolation);
+    EXPECT_THROW(reg.scalar("walk.latency"), InvariantViolation);
+}
+
+TEST(MetricsRegistry, ScalarSnapshotSummarizesDistributions)
+{
+    MetricsRegistry reg;
+    Histogram hist(10, 4);
+    hist.sample(5);
+    hist.sample(15);
+    RateMonitor mon(100);
+    mon.record(0, true);
+    mon.record(150, false); // completes window [0,100) at rate 1.0
+    reg.addCounter("dram.reads", [] { return 7ULL; });
+    reg.addHistogram("walk.latency", &hist);
+    reg.addRates("adaptive.pte.window_rates", &mon);
+
+    const auto snap = reg.scalarSnapshot();
+    EXPECT_DOUBLE_EQ(snap.at("dram.reads"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.at("walk.latency.mean"), 10.0);
+    EXPECT_DOUBLE_EQ(snap.at("walk.latency.max"), 15.0);
+    EXPECT_DOUBLE_EQ(snap.at("adaptive.pte.window_rates.last"), 1.0);
+}
+
+TEST(MetricsRegistry, JsonIsCanonicalAndSorted)
+{
+    MetricsRegistry reg;
+    reg.addCounter("b.count", [] { return 2ULL; });
+    reg.addValue("a.rate", [] { return 0.25; }, "a doc line");
+    const std::string json = reg.toJson();
+
+    EXPECT_NE(json.find("\"schema\":\"necpt-stats-v1\""),
+              std::string::npos);
+    // std::map ordering: "a.rate" must precede "b.count".
+    EXPECT_LT(json.find("\"a.rate\""), json.find("\"b.count\""));
+    EXPECT_NE(json.find("\"desc\":\"a doc line\""), std::string::npos);
+    // Identical registries dump identical bytes.
+    EXPECT_EQ(json, reg.toJson());
+}
+
+TEST(MetricsRegistry, WriteJsonRoundTrip)
+{
+    MetricsRegistry reg;
+    Histogram hist(20, 3);
+    hist.sample(25);
+    reg.addHistogram("walk.latency", &hist,
+                     "walk latency distribution");
+    const std::string path = "test_metrics_dump.json";
+    ASSERT_TRUE(reg.writeJson(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), reg.toJson());
+    std::remove(path.c_str());
+}
+
+} // namespace necpt

@@ -86,6 +86,45 @@ TEST(RateMonitor, WindowRollover)
     EXPECT_DOUBLE_EQ(monitor.lastRate(), 0.75);
 }
 
+TEST(RateMonitor, FirstWindowAnchorsToIntervalBoundary)
+{
+    // Windows must fall on [0,I), [I,2I), ... regardless of when the
+    // first event arrives, so Figure 12-style histories line up
+    // across configurations whose traffic starts at different cycles.
+    RateMonitor monitor(100);
+    monitor.record(250, true);
+    monitor.record(260, true);
+    monitor.record(299, false);
+    EXPECT_FALSE(monitor.hasSample());
+    // Cycle 300 starts the next window: [200,300) completes at 2/3.
+    monitor.record(300, false);
+    ASSERT_TRUE(monitor.hasSample());
+    EXPECT_DOUBLE_EQ(monitor.lastRate(), 2.0 / 3.0);
+    // A long gap: empty windows contribute no history entries.
+    monitor.record(1050, true);
+    EXPECT_EQ(monitor.history().size(), 2u);
+    EXPECT_DOUBLE_EQ(monitor.history()[1], 0.0);
+}
+
+TEST(Histogram, PercentileOverflowBinReportsMax)
+{
+    // When the target percentile lands in the overflow bin, the
+    // mid-bin interpolation is meaningless; the maximum is reported.
+    Histogram h(10, 5); // bins up to 50, then overflow
+    h.sample(1000);
+    h.sample(2000);
+    EXPECT_EQ(h.percentile(50), 2000u);
+    EXPECT_EQ(h.percentile(100), 2000u);
+    // Mixed case: the median sits in a real bin, the tail overflows.
+    Histogram m(10, 5);
+    m.sample(5);
+    m.sample(15);
+    m.sample(25);
+    m.sample(9999);
+    EXPECT_EQ(m.percentile(50), 15u);
+    EXPECT_EQ(m.percentile(99), 9999u);
+}
+
 TEST(RateMonitor, HistoryAccumulates)
 {
     RateMonitor monitor(100);

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a minimal schema (no third-party deps).
+
+Supports the subset of JSON Schema this repo's checked-in schemas use:
+  type, properties, required, additionalProperties (bool),
+  items, enum, const, minimum, patternProperties (as a single ".*" rule).
+
+Usage: check_schema.py SCHEMA.json DOCUMENT.json
+Exit 0 when the document validates, 1 with a path-qualified message
+otherwise.
+"""
+
+import json
+import re
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def fail(path, message):
+    raise SystemExit(f"schema violation at {path or '$'}: {message}")
+
+
+def check(node, schema, path="$"):
+    if "const" in schema and node != schema["const"]:
+        fail(path, f"expected const {schema['const']!r}, got {node!r}")
+    if "enum" in schema and node not in schema["enum"]:
+        fail(path, f"{node!r} not one of {schema['enum']}")
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(
+            isinstance(node, TYPES[t])
+            # bool is an int subclass in Python; keep them distinct.
+            and not (t in ("number", "integer") and isinstance(node, bool))
+            for t in allowed
+        ):
+            fail(path, f"expected type {expected}, got {type(node).__name__}")
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        if "minimum" in schema and node < schema["minimum"]:
+            fail(path, f"{node} below minimum {schema['minimum']}")
+    if isinstance(node, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in node:
+                fail(path, f"missing required property '{key}'")
+        patterns = {
+            re.compile(p): s
+            for p, s in schema.get("patternProperties", {}).items()
+        }
+        for key, value in node.items():
+            if key in props:
+                check(value, props[key], f"{path}.{key}")
+                continue
+            matched = False
+            for pattern, sub in patterns.items():
+                if pattern.search(key):
+                    check(value, sub, f"{path}.{key}")
+                    matched = True
+                    break
+            if matched:
+                continue
+            if schema.get("additionalProperties", True) is False:
+                fail(path, f"unexpected property '{key}'")
+    if isinstance(node, list) and "items" in schema:
+        for i, item in enumerate(node):
+            check(item, schema["items"], f"{path}[{i}]")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        document = json.load(f)
+    check(document, schema)
+    print(f"{argv[2]}: valid against {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
