@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulator throughput harness: wall-clock simulated accesses per
+ * second through the event-driven timing core. Three points span the
+ * engine's regimes — single-core serialized (the byte-identical
+ * legacy path), 8-core serialized (event interleaving + shared
+ * resources), and 8-core with overlapped walks (walk machines, the
+ * memory pump, completion events). Emits BENCH_throughput.json so CI
+ * can archive the numbers; a regression in the hot loop shows up in
+ * the artifact series long before it shows up in review.
+ *
+ * Run length follows the NECPT_WARMUP / NECPT_MEASURE / NECPT_SCALE
+ * environment knobs (sim/experiment.hh).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/simulator.hh"
+
+using namespace necpt;
+
+namespace
+{
+
+struct Sample
+{
+    std::string name;
+    int cores;
+    int mlp;
+    std::uint64_t accesses;
+    double seconds;
+    double rate;
+};
+
+Sample
+measure(const std::string &name, int cores, int mlp)
+{
+    SimParams params = paramsFromEnv();
+    params.cores = cores;
+    params.max_outstanding_walks = mlp;
+    ExperimentConfig config = makeConfig(ConfigId::NestedEcpt);
+    if (cores > 1)
+        configureSharedResources(config, cores);
+
+    const auto begin = std::chrono::steady_clock::now();
+    const SimResult result = runSim(config, params, "GUPS");
+    const auto end = std::chrono::steady_clock::now();
+
+    Sample s;
+    s.name = name;
+    s.cores = cores;
+    s.mlp = mlp;
+    // Total simulated workload accesses driven through the engine
+    // (every core runs the full warm-up + measured trace).
+    s.accesses = (params.warmup_accesses + params.measure_accesses)
+        * static_cast<std::uint64_t>(cores);
+    s.seconds = std::chrono::duration<double>(end - begin).count();
+    s.rate = s.seconds > 0 ? static_cast<double>(s.accesses) / s.seconds
+                           : 0.0;
+    std::printf("%-28s %10llu accesses  %8.3f s  %12.0f acc/s  "
+                "(sim cycles %llu)\n",
+                name.c_str(), (unsigned long long)s.accesses, s.seconds,
+                s.rate, (unsigned long long)result.cycles);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchBanner("Timing-core throughput (wall clock)",
+                "engineering harness; not a paper figure");
+
+    std::vector<Sample> samples;
+    samples.push_back(measure("1-core GUPS", 1, 1));
+    samples.push_back(measure("8-core GUPS", 8, 1));
+    samples.push_back(measure("8-core GUPS mlp=4", 8, 4));
+
+    const char *path = "BENCH_throughput.json";
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"sim_throughput\",\n"
+                      "  \"unit\": \"accesses_per_sec\",\n"
+                      "  \"results\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"cores\": %d, "
+                     "\"max_outstanding_walks\": %d, "
+                     "\"accesses\": %llu, \"seconds\": %.6f, "
+                     "\"accesses_per_sec\": %.1f}%s\n",
+                     s.name.c_str(), s.cores, s.mlp,
+                     (unsigned long long)s.accesses, s.seconds, s.rate,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path);
+    return 0;
+}

@@ -85,6 +85,25 @@ MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
     BatchResult result;
     if (addrs.empty())
         return result;
+    issueBatch(addrs, now, core,
+               [&result](const BatchResult &batch, Cycles) {
+                   result = batch;
+               });
+    drainAll();
+    return result;
+}
+
+TxnId
+MemoryHierarchy::issueBatch(const std::vector<Addr> &addrs, Cycles now,
+                            int core, TxnCallback cb)
+{
+    PendingTxn txn;
+    txn.id = next_txn_id++;
+    txn.core = core;
+    txn.issued = now;
+    txn.completes = now;
+    txn.cb = std::move(cb);
+    BatchResult &result = txn.batch;
 
     // Deduplicate by cache line: parallel probes of nearby table slots
     // often share a line (eight PTEs per tagged entry, Section 2.3).
@@ -98,11 +117,21 @@ MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
 
     result.requests = static_cast<int>(lines.size());
 
-    // Outstanding-miss completion times, bounded by L2 MSHRs.
+    // Outstanding-miss completion times, bounded by L2 MSHRs. Seeded
+    // with the miss intervals still held by this core's in-flight
+    // transactions: a batch issued while another is pending queues
+    // behind the MSHRs it occupies. (The synchronous batchAccess()
+    // path drains between batches, so its seed is always empty and
+    // the legacy single-batch timing is reproduced exactly.)
     std::vector<Cycles> outstanding;
+    for (const PendingTxn &p : pending) {
+        if (p.core != core)
+            continue;
+        for (Cycles d : p.miss_done)
+            outstanding.push_back(d);
+    }
     const int mshrs = cfg.l2.mshrs;
     Cycles finish = now;
-    int occupancy_peak = 0;
 
     for (std::size_t i = 0; i < lines.size(); ++i) {
         // Issue in waves of mmu_issue_width, one cycle per wave.
@@ -139,29 +168,85 @@ MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
         if (r.level != MemLevel::L2) {
             ++result.l2_misses;
             outstanding.push_back(done);
-            occupancy_peak = std::max(
-                occupancy_peak, static_cast<int>(outstanding.size()));
+            txn.miss_done.push_back(done);
+            mshr_max = std::max(
+                mshr_max,
+                static_cast<std::uint64_t>(outstanding.size()));
+
+            // Time-weighted MSHR characterization (Section 9.3): this
+            // line holds an MSHR for [issue, done).
+            mshr_busy_cycles += done - issue;
+            if (!mshr_window_open) {
+                mshr_window_first = issue;
+                mshr_window_open = true;
+            } else {
+                mshr_window_first = std::min(mshr_window_first, issue);
+            }
+            mshr_window_last = std::max(mshr_window_last, done);
         }
         if (r.level == MemLevel::Dram)
             ++result.l3_misses;
     }
 
-    // MSHR occupancy characterization (Section 9.3).
-    mshr_samples++;
-    mshr_sum += static_cast<std::uint64_t>(occupancy_peak);
-    mshr_max = std::max(mshr_max,
-                        static_cast<std::uint64_t>(occupancy_peak));
-
     result.latency = finish - now;
-    return result;
+    txn.completes = finish;
+    const TxnId id = txn.id;
+    pending.push_back(std::move(txn));
+    return id;
+}
+
+Cycles
+MemoryHierarchy::nextCompletionCycle() const
+{
+    NECPT_ASSERT(!pending.empty());
+    Cycles best = pending.front().completes;
+    for (const PendingTxn &p : pending)
+        best = std::min(best, p.completes);
+    return best;
+}
+
+void
+MemoryHierarchy::drainUntil(Cycles upto)
+{
+    for (;;) {
+        // Earliest (completes, id) pending transaction due by @p upto.
+        std::size_t best = pending.size();
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (pending[i].completes > upto)
+                continue;
+            if (best == pending.size()
+                || pending[i].completes < pending[best].completes
+                || (pending[i].completes == pending[best].completes
+                    && pending[i].id < pending[best].id)) {
+                best = i;
+            }
+        }
+        if (best == pending.size())
+            return;
+        // Remove before invoking: the callback may issue follow-up
+        // transactions that must not see this one as live.
+        PendingTxn txn = std::move(pending[best]);
+        pending.erase(pending.begin()
+                      + static_cast<std::ptrdiff_t>(best));
+        if (txn.cb)
+            txn.cb(txn.batch, txn.completes);
+    }
+}
+
+void
+MemoryHierarchy::drainAll()
+{
+    while (!pending.empty())
+        drainUntil(nextCompletionCycle());
 }
 
 double
 MemoryHierarchy::avgMshrsInUse() const
 {
-    return mshr_samples
-        ? static_cast<double>(mshr_sum) / static_cast<double>(mshr_samples)
-        : 0.0;
+    if (!mshr_window_open || mshr_window_last <= mshr_window_first)
+        return 0.0;
+    return static_cast<double>(mshr_busy_cycles)
+        / static_cast<double>(mshr_window_last - mshr_window_first);
 }
 
 void
@@ -192,9 +277,12 @@ MemoryHierarchy::registerMetrics(MetricsRegistry &reg,
 
     reg.addValue(prefix + "mem.mshr.avg_peak",
                  [this] { return avgMshrsInUse(); },
-                 "mean per-batch MSHR occupancy peak (Section 9.3)");
+                 "time-weighted MSHR occupancy (Section 9.3)");
     reg.addCounter(prefix + "mem.mshr.max",
                    [this] { return maxMshrsInUse(); });
+    reg.addCounter(prefix + "mem.mshr.busy_cycles",
+                   [this] { return mshrBusyCycles(); },
+                   "MSHR occupancy integrated over time (miss-cycles)");
 }
 
 void
@@ -206,8 +294,10 @@ MemoryHierarchy::resetStats()
         c->resetStats();
     l3_->resetStats();
     dram_.resetStats();
-    mshr_samples = 0;
-    mshr_sum = 0;
+    mshr_busy_cycles = 0;
+    mshr_window_first = 0;
+    mshr_window_last = 0;
+    mshr_window_open = false;
     mshr_max = 0;
 }
 

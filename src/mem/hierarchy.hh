@@ -10,11 +10,18 @@
  *    competes with demand data for cache capacity, which is the cache-
  *    pollution effect behind Figure 13.
  *
- * batchAccess() models a *parallel* group of MMU requests: requests are
- * issued in waves bounded by the walker issue width, and misses are
- * bounded by the L2 MSHR count; the batch completes when the slowest
- * member returns. This is how the simulator charges wide nested-ECPT
- * probe groups for bandwidth (Section 3/4).
+ * MMU traffic is transactional: issueBatch() models a *parallel* group
+ * of MMU requests — issued in waves bounded by the walker issue width,
+ * misses bounded by the L2 MSHR count, the batch complete when the
+ * slowest member returns — and registers a completion that fires when
+ * the simulation reaches that cycle (drainUntil()/drainAll()). MSHR
+ * occupancy and DRAM bank busy-intervals persist across transactions,
+ * so a batch issued while another is still in flight queues behind the
+ * resources the earlier one holds. This is how the simulator charges
+ * wide nested-ECPT probe groups for bandwidth (Section 3/4) and how
+ * overlapped walks contend with each other over simulated time.
+ * batchAccess() is the synchronous wrapper: issue, drain, return — a
+ * lone transaction against quiesced resources, the legacy timing.
  */
 
 #ifndef NECPT_MEM_HIERARCHY_HH
@@ -28,6 +35,7 @@
 #include "common/trace_events.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/txn.hh"
 
 namespace necpt
 {
@@ -81,7 +89,10 @@ class MemoryHierarchy
                         int core);
 
     /**
-     * A group of parallel MMU requests (one walk phase).
+     * A group of parallel MMU requests (one walk phase), synchronous:
+     * issues the transaction and immediately drains every pending
+     * completion, so the caller observes the legacy call-and-return
+     * timing (the batch runs against quiesced MSHRs).
      *
      * @param addrs   byte addresses to fetch (deduplicated by line here)
      * @param now     issue cycle
@@ -90,14 +101,53 @@ class MemoryHierarchy
     BatchResult batchAccess(const std::vector<Addr> &addrs, Cycles now,
                             int core);
 
+    /// @name Transactional (event-driven) interface
+    /// @{
+
+    /**
+     * Issue a parallel MMU request group asynchronously. Every member
+     * access is scheduled now (waves of mmu_issue_width per cycle,
+     * misses bounded by the L2 MSHRs *still held by in-flight
+     * transactions of this core*, DRAM bank busy-intervals shared with
+     * everything issued earlier); @p cb fires when the simulation
+     * drains past the completion cycle. An empty @p addrs completes at
+     * @p now with a zero result.
+     *
+     * @return the transaction id (also passed back through @p cb's
+     *         BatchResult bookkeeping if needed by the caller).
+     */
+    TxnId issueBatch(const std::vector<Addr> &addrs, Cycles now,
+                     int core, TxnCallback cb = nullptr);
+
+    /** Any transactions issued but not yet drained? */
+    bool hasPending() const { return !pending.empty(); }
+
+    /** Earliest completion cycle among pending transactions. */
+    Cycles nextCompletionCycle() const;
+
+    /** Fire (in completion order) every transaction that completes at
+     *  or before @p upto — including ones its callbacks issue. */
+    void drainUntil(Cycles upto);
+
+    /** Drain every pending transaction regardless of cycle. */
+    void drainAll();
+
+    /// @}
+
     /// @name Statistics accessors (Figure 13 and MSHR characterization)
     /// @{
     const SetAssocCache &l1(int core) const { return *l1s[core]; }
     const SetAssocCache &l2(int core) const { return *l2s[core]; }
     const SetAssocCache &l3() const { return *l3_; }
     const DramModel &dram() const { return dram_; }
+    /** Time-weighted mean MSHR occupancy: miss-interval cycles
+     *  integrated over the span between the first issue and the last
+     *  completion observed since resetStats(). */
     double avgMshrsInUse() const;
+    /** Peak concurrent MSHR occupancy (across in-flight txns too). */
     std::uint64_t maxMshrsInUse() const { return mshr_max; }
+    /** Integral of MSHR occupancy over time (miss-cycles). */
+    std::uint64_t mshrBusyCycles() const { return mshr_busy_cycles; }
     /// @}
 
     SetAssocCache &l3Mut() { return *l3_; }
@@ -131,6 +181,20 @@ class MemoryHierarchy
     Cycles injectedSpikeCycles() const { return injected_spikes; }
 
   private:
+    /** One issued-but-not-drained transaction. */
+    struct PendingTxn
+    {
+        TxnId id = invalid_txn;
+        int core = 0;
+        Cycles issued = 0;
+        Cycles completes = 0;
+        BatchResult batch;
+        /** Completion cycles of this txn's L2-miss lines: the MSHR
+         *  busy-intervals later transactions queue behind. */
+        std::vector<Cycles> miss_done;
+        TxnCallback cb;
+    };
+
     MemHierarchyConfig cfg;
     FaultPlan *fault_plan = nullptr;
     TraceBuffer *tracer_ = nullptr;
@@ -140,8 +204,16 @@ class MemoryHierarchy
     std::unique_ptr<SetAssocCache> l3_;
     DramModel dram_;
 
-    std::uint64_t mshr_samples = 0;
-    std::uint64_t mshr_sum = 0;
+    std::vector<PendingTxn> pending;
+    TxnId next_txn_id = 1;
+
+    /** Time-weighted MSHR characterization (Section 9.3): occupancy
+     *  integrated over miss intervals, and the observed activity span
+     *  it is averaged over. */
+    std::uint64_t mshr_busy_cycles = 0;
+    Cycles mshr_window_first = 0;
+    Cycles mshr_window_last = 0;
+    bool mshr_window_open = false;
     std::uint64_t mshr_max = 0;
 };
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Asynchronous memory-transaction types shared by the hierarchy and the
+ * walk state machines.
+ *
+ * A transaction is one parallel group of MMU requests (a walk phase or
+ * a background refill burst). The hierarchy schedules every member
+ * access at issue time — the wave/MSHR/DRAM-bank math is deterministic
+ * — and records the completion cycle; callers either drain completions
+ * synchronously (the legacy batchAccess() path) or let the simulator's
+ * event loop pump them at the right simulated time, which is what lets
+ * independent walks overlap and contend for MSHRs and DRAM banks.
+ */
+
+#ifndef NECPT_MEM_TXN_HH
+#define NECPT_MEM_TXN_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+struct BatchResult;
+
+/** Handle for an issued (possibly still in-flight) transaction. */
+using TxnId = std::uint64_t;
+
+/** Sentinel: no transaction. */
+constexpr TxnId invalid_txn = 0;
+
+/**
+ * Invoked exactly once when the transaction's slowest member returns.
+ * @param batch  the per-batch outcome (size, misses, latency)
+ * @param done   absolute completion cycle (issue + batch.latency)
+ */
+using TxnCallback = std::function<void(const BatchResult &batch,
+                                       Cycles done)>;
+
+} // namespace necpt
+
+#endif // NECPT_MEM_TXN_HH

@@ -7,6 +7,15 @@
  * per-page-size sub-caches whose capacities come straight from Table 2:
  * the gCWC has 16 PMD + 2 PUD entries; the Step-1 hCWC has 4 PTE
  * entries; the Step-3 hCWC has 16 PTE + 4 PMD + 2 PUD entries.
+ *
+ * Refill timing: a CWC miss during a walk does not stall the walk —
+ * the walker collects the CWT line addresses (collectCwcRefills) and
+ * issues them as a background memory transaction after the walk's
+ * last foreground batch. The refill traffic competes for the same L2
+ * MSHRs and DRAM banks as foreground probes over simulated time, but
+ * its latency is off the walk's critical path; the entries are
+ * installed architecturally at collection time, so a subsequent walk
+ * hits regardless of when the refill transaction completes.
  */
 
 #ifndef NECPT_MMU_CWC_HH

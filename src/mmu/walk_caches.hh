@@ -13,6 +13,12 @@
  *  - ShortcutTranslationCache (STC): the paper's new structure
  *    (Section 4.1) — caches the gPA -> hPA translation of guest Cuckoo
  *    Walk Table entries so gCWC refills need no host walk.
+ *
+ * Like the CWCs, these structures refill off the walk's critical
+ * path: the walker batches the backing page-table lines into a
+ * background memory transaction that contends for MSHRs and DRAM
+ * banks alongside foreground probe traffic, while the cached entries
+ * themselves are installed at lookup-miss time.
  */
 
 #ifndef NECPT_MMU_WALK_CACHES_HH

@@ -36,6 +36,8 @@ paramsFromEnv()
     params.measure_accesses =
         envU64("NECPT_MEASURE", full ? 4'000'000 : 1'000'000);
     params.scale_denominator = envU64("NECPT_SCALE", full ? 8 : 16);
+    params.max_outstanding_walks = static_cast<int>(
+        std::max<std::uint64_t>(1, envU64("NECPT_MLP", 1)));
     return params;
 }
 

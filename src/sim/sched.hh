@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic event scheduler for the timing core.
+ *
+ * Events are ordered by (cycle, priority, submission sequence): cycle
+ * is the simulated time (a double, matching the cores' fractional
+ * clocks), priority breaks same-cycle ties between event classes
+ * (memory-completion pumps run at -1, core steps at their core index —
+ * reproducing the legacy "advance the lowest-indexed earliest core"
+ * rule), and the monotonically increasing sequence number makes the
+ * remaining ties deterministic regardless of heap internals. No
+ * wall-clock or randomness is involved, so a run's event stream is a
+ * pure function of its inputs — the property the sweep engine's
+ * byte-identical-at-any---jobs contract rests on.
+ */
+
+#ifndef NECPT_SIM_SCHED_HH
+#define NECPT_SIM_SCHED_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+/**
+ * A (cycle, priority, sequence)-ordered run queue of closures.
+ */
+class EventScheduler
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Enqueue @p fn at @p cycle with tie-break priority @p prio. */
+    void
+    at(double cycle, std::int64_t prio, Handler fn)
+    {
+        heap.push_back(Event{cycle, prio, next_seq++, std::move(fn)});
+        std::push_heap(heap.begin(), heap.end(), After{});
+    }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+    /** Cycle of the next event to run; only valid when !empty(). */
+    double
+    nextCycle() const
+    {
+        NECPT_ASSERT(!heap.empty());
+        return heap.front().cycle;
+    }
+
+    /**
+     * Pop and run the earliest event. The handler may enqueue further
+     * events (including at the current cycle — they run after every
+     * already-queued same-cycle event of equal priority).
+     */
+    void
+    runNext()
+    {
+        NECPT_ASSERT(!heap.empty());
+        std::pop_heap(heap.begin(), heap.end(), After{});
+        Event ev = std::move(heap.back());
+        heap.pop_back();
+        ev.fn();
+    }
+
+  private:
+    struct Event
+    {
+        double cycle;
+        std::int64_t prio;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    /** Strict weak ordering: does @p a run after @p b? */
+    struct After
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Event> heap;
+    std::uint64_t next_seq = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_SIM_SCHED_HH

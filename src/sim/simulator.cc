@@ -1,9 +1,12 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "sim/sched.hh"
+#include "walk/machine.hh"
 #include "walk/baselines.hh"
 #include "walk/hybrid.hh"
 #include "walk/native_ecpt.hh"
@@ -23,6 +26,11 @@ Simulator::Simulator(const ExperimentConfig &config,
     if (params.cores < 1 || params.cores > 8)
         throw ConfigError(strfmt("cores must be in [1, 8], got %d",
                                  params.cores));
+    if (params.max_outstanding_walks < 1
+        || params.max_outstanding_walks > 64)
+        throw ConfigError(
+            strfmt("max_outstanding_walks must be in [1, 64], got %d",
+                   params.max_outstanding_walks));
 }
 
 std::unique_ptr<Walker>
@@ -147,9 +155,15 @@ Simulator::runWith(const std::string &label,
         std::unique_ptr<Workload> workload;
         double cycle = 0.0;
         std::uint64_t instructions = 0;
-        std::uint64_t accesses = 0;
+        std::uint64_t accesses = 0; //!< issued (walk may still fly)
         double measure_start_cycle = 0.0;
         std::uint64_t measure_start_instr = 0;
+        /** Overlap mode: in-flight walk machines and the completion
+         *  watermark their data accesses have pushed the core to. */
+        std::vector<std::unique_ptr<WalkMachine>> machines;
+        int inflight = 0;
+        bool parked = false;
+        double watermark = 0.0;
     };
 
     std::vector<CoreState> core_state(params.cores);
@@ -163,31 +177,45 @@ Simulator::runWith(const std::string &label,
 
     const std::uint64_t total =
         params.warmup_accesses + params.measure_accesses;
-    std::uint64_t remaining =
-        total * static_cast<std::uint64_t>(params.cores);
+    const bool overlap = params.max_outstanding_walks > 1;
     bool stats_reset = params.warmup_accesses == 0;
     if (stats_reset)
         sys->quiesce();
 
-    while (remaining > 0) {
-        // Advance the core with the smallest local clock (keeps the
-        // shared L3/DRAM access stream causally ordered).
-        int core = -1;
-        double min_cycle = 0;
-        for (int c = 0; c < params.cores; ++c) {
-            if (core_state[c].accesses >= total)
-                continue;
-            if (core < 0 || core_state[c].cycle < min_cycle) {
-                core = c;
-                min_cycle = core_state[c].cycle;
-            }
-        }
-        NECPT_ASSERT(core >= 0);
+    EventScheduler sched;
+    std::uint64_t inflight_peak = 0;
+
+    // Memory-completion pump (overlap mode): after any event that
+    // leaves transactions pending, one pump event sits at the earliest
+    // completion cycle (priority -1, so walks resume before any core
+    // steps at the same cycle). Stale pumps — armed before an earlier
+    // completion appeared — drain nothing and re-arm; harmless.
+    double pump_armed_at = std::numeric_limits<double>::infinity();
+    std::function<void()> arm_pump = [&] {
+        if (!mem->hasPending())
+            return;
+        const double next =
+            static_cast<double>(mem->nextCompletionCycle());
+        if (next >= pump_armed_at)
+            return;
+        pump_armed_at = next;
+        sched.at(next, -1, [&, next] {
+            if (pump_armed_at >= next)
+                pump_armed_at =
+                    std::numeric_limits<double>::infinity();
+            mem->drainUntil(static_cast<Cycles>(next));
+            arm_pump();
+        });
+    };
+
+    // One step = one workload access on one core. Declared as a
+    // std::function so the step can re-schedule itself.
+    std::function<void(int)> step = [&](int core) {
         CoreState &cs = core_state[core];
         // Events emitted outside a timed walk phase (cuckoo inserts,
         // fault sites) are stamped with the leading core's clock.
         if (params.tracer)
-            params.tracer->setNow(static_cast<Cycles>(min_cycle));
+            params.tracer->setNow(static_cast<Cycles>(cs.cycle));
 
         if (cs.accesses == params.warmup_accesses && !stats_reset) {
             // Warm-up fault-ins may have left elastic resizes in
@@ -208,45 +236,139 @@ Simulator::runWith(const std::string &label,
 
         cs.cycle += params.base_cpi * access.inst_gap;
         cs.instructions += access.inst_gap + 1;
+        ++cs.accesses;
 
-        // Address translation (serializes the access).
+        // Address translation (serializes the access in the legacy
+        // model; overlapped walks only park the core at the cap).
         auto tlb_result = tlb[core]->lookup(access.vaddr);
         Translation translation = tlb_result.translation;
         cs.cycle += static_cast<double>(tlb_result.latency);
-        if (!tlb_result.hit) {
-            const WalkResult walk = walkers[core]->translate(
-                access.vaddr, static_cast<Cycles>(cs.cycle));
-            cs.cycle += static_cast<double>(walk.latency);
-            translation = walk.translation;
-            tlb[core]->install(access.vaddr, translation);
+
+        if (tlb_result.hit || !overlap) {
+            if (!tlb_result.hit) {
+                const WalkResult walk = walkers[core]->translate(
+                    access.vaddr, static_cast<Cycles>(cs.cycle));
+                cs.cycle += static_cast<double>(walk.latency);
+                translation = walk.translation;
+                tlb[core]->install(access.vaddr, translation);
+                inflight_peak = std::max<std::uint64_t>(
+                    inflight_peak, 1);
+            }
+
+            // The data access itself; OoO hides most of its latency.
+            const Addr hpa = translation.apply(access.vaddr);
+            const AccessResult data =
+                mem->access(hpa, static_cast<Cycles>(cs.cycle),
+                            Requester::Core, core);
+            cs.cycle += static_cast<double>(data.latency)
+                * params.data_exposure;
+
+            if (cs.accesses < total)
+                sched.at(cs.cycle, core, [&step, core] { step(core); });
+            return;
         }
 
-        // The data access itself; OoO hides most of its latency.
-        const Addr hpa = translation.apply(access.vaddr);
-        const AccessResult data = mem->access(
-            hpa, static_cast<Cycles>(cs.cycle), Requester::Core, core);
-        cs.cycle += static_cast<double>(data.latency)
-            * params.data_exposure;
+        // Overlap mode, L2-TLB miss: issue a resumable walk and keep
+        // going. The access's data fetch rides on the completion.
+        auto m = walkers[core]->startWalk(
+            access.vaddr, static_cast<Cycles>(cs.cycle));
+        ++cs.inflight;
+        inflight_peak = std::max(
+            inflight_peak, static_cast<std::uint64_t>(cs.inflight));
+        WalkMachine &machine = *m;
+        cs.machines.push_back(std::move(m));
 
-        ++cs.accesses;
-        --remaining;
-    }
+        // Completion is a scheduled event at the walk's end cycle (not
+        // run inline from machine code): the TLB install, the access's
+        // data fetch, and the slot release all happen at the simulated
+        // time the walk finished, and the machine can be retired there
+        // because its own frames are long off the stack.
+        machine.onDone([&, core](WalkMachine &done) {
+            WalkMachine *mp = &done;
+            const double end = static_cast<double>(done.endCycle());
+            sched.at(end, core, [&, core, mp, end] {
+                CoreState &owner = core_state[core];
+                const Translation tr = mp->result().translation;
+                tlb[core]->install(mp->va(), tr);
+                const Addr hpa = tr.apply(mp->va());
+                const AccessResult data = mem->access(
+                    hpa, static_cast<Cycles>(end), Requester::Core,
+                    core);
+                owner.watermark = std::max(
+                    owner.watermark,
+                    end + static_cast<double>(data.latency)
+                              * params.data_exposure);
+                --owner.inflight;
+                std::erase_if(owner.machines,
+                              [mp](const auto &wm) {
+                                  return wm.get() == mp;
+                              });
+                if (owner.parked) {
+                    owner.parked = false;
+                    owner.cycle = std::max(owner.cycle, end);
+                    sched.at(owner.cycle, core,
+                             [&step, core] { step(core); });
+                }
+            });
+        });
+
+        if (cs.accesses < total) {
+            if (cs.inflight < params.max_outstanding_walks)
+                sched.at(cs.cycle, core, [&step, core] { step(core); });
+            else
+                cs.parked = true;
+        }
+        arm_pump();
+    };
+
+    // All cores start at cycle 0; the (cycle, priority=core, seq)
+    // order advances the earliest core, lowest index first on ties —
+    // the legacy interleaving.
+    for (int core = 0; core < params.cores; ++core)
+        sched.at(0.0, core, [&step, core] { step(core); });
+
+    while (!sched.empty())
+        sched.runNext();
+    // Defensive: any transaction the pump chain did not cover (e.g.
+    // background refills issued by the very last completion).
+    mem->drainAll();
+    for (auto &cs : core_state)
+        NECPT_ASSERT(cs.inflight == 0 && cs.machines.empty());
 
     SimResult result;
     result.config = cfg.name;
     result.app = label;
     // Execution time: the mean measured-core interval (cores run the
-    // same length of trace; the mean is robust to tail skew).
+    // same length of trace; the mean is robust to tail skew). In
+    // overlap mode a core's clock may trail its last walk's data
+    // access — the watermark covers the difference.
     double cycles_sum = 0;
     std::uint64_t instr_sum = 0;
     for (const CoreState &cs : core_state) {
-        cycles_sum += cs.cycle - cs.measure_start_cycle;
+        cycles_sum += std::max(cs.cycle, cs.watermark)
+            - cs.measure_start_cycle;
         instr_sum += cs.instructions - cs.measure_start_instr;
     }
     result.cycles =
         static_cast<Cycles>(cycles_sum / params.cores);
     result.instructions = instr_sum;
     fillResult(result);
+
+    // Walk-overlap characterization: total walker busy-cycles spread
+    // over the measured interval and core count. Serialized walks
+    // (the default) keep this at or below 1; overlapped walks push
+    // it above.
+    result.walk_inflight_max =
+        overlap ? inflight_peak : (result.walks ? 1 : 0);
+    result.walk_inflight_avg =
+        result.cycles
+            ? static_cast<double>(result.mmu_busy_cycles)
+                  / (static_cast<double>(result.cycles)
+                     * static_cast<double>(params.cores))
+            : 0.0;
+    result.metrics["walk.inflight"] = result.walk_inflight_avg;
+    result.metrics["walk.inflight.max"] =
+        static_cast<double>(result.walk_inflight_max);
 
     // Under injection, prove the design absorbed every fault: the
     // ECPT/CWT cross-check is the Section 4.4 staleness argument run

@@ -16,7 +16,17 @@
  * Multi-core mode (SimParams::cores > 1) runs one workload instance
  * per core, multi-programmed, with private L1/L2/TLBs/walkers and a
  * shared L3 + DRAM — the contention regime of the paper's 8-core
- * machine. Cores advance in cycle order.
+ * machine.
+ *
+ * Execution is event-driven: a deterministic (cycle, priority,
+ * sequence)-ordered scheduler interleaves per-core step events with
+ * memory-completion pumps. With max_outstanding_walks == 1 (default)
+ * each L2-TLB miss runs its walk synchronously inside the core's step
+ * — the legacy serialized timing, reproduced cycle- and byte-exactly.
+ * With max_outstanding_walks > 1 a miss issues a resumable WalkMachine
+ * and the core keeps retiring independent work while up to that many
+ * walks are in flight, contending for MSHRs and DRAM banks over
+ * simulated time (the paper's parallelism argument, Section 3).
  */
 
 #ifndef NECPT_SIM_SIMULATOR_HH
@@ -57,6 +67,17 @@ struct SimParams
      * state after the region of interest is reached).
      */
     bool prefault = true;
+
+    /**
+     * Per-core cap on concurrently in-flight page walks (memory-level
+     * parallelism of the translation machinery). 1 — the default —
+     * serializes walks on the core exactly like the legacy timing
+     * model; higher values let independent L2-TLB misses overlap:
+     * each miss issues a resumable walk machine and the core parks
+     * only when the cap is reached. Concurrent walks for the same
+     * page are not coalesced (each models its own probe traffic).
+     */
+    int max_outstanding_walks = 1;
 
     /**
      * Fault injection (off by default). When any site is armed the
@@ -123,6 +144,12 @@ struct SimResult
 
     std::uint64_t guest_faults = 0;
     std::uint64_t host_faults = 0;
+
+    /** Walk-overlap characterization ("walk.inflight" metrics): mean
+     *  in-flight walks per core over the measured interval, and the
+     *  peak on any single core. */
+    double walk_inflight_avg = 0;
+    std::uint64_t walk_inflight_max = 0;
 
     /**
      * The scalar fields above, re-published under the unified dotted

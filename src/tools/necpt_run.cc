@@ -67,6 +67,8 @@ usage(const char *prog)
         "  --warmup N          warm-up accesses    (default 200000)\n"
         "  --scale N           footprint divisor   (default 16)\n"
         "  --cores N           simulated cores     (default 1)\n"
+        "  --mlp N             max in-flight walks per core\n"
+        "                      (default 1 = serialized walks)\n"
         "  --seed N            simulation seed\n"
         "  --radix-levels N    4 or 5 (LA57)\n"
         "  --csv FILE          append a CSV row (header if new file)\n"
@@ -110,6 +112,8 @@ run(int argc, char **argv)
         else if (arg == "--scale")
             params.scale_denominator = std::stoull(value());
         else if (arg == "--cores") params.cores = std::stoi(value());
+        else if (arg == "--mlp")
+            params.max_outstanding_walks = std::stoi(value());
         else if (arg == "--seed") params.seed = std::stoull(value());
         else if (arg == "--radix-levels")
             radix_levels = std::stoi(value());
@@ -223,6 +227,10 @@ run(int argc, char **argv)
     std::printf("  MMU requests      %llu  (RPKI %.1f)\n",
                 (unsigned long long)result.mmu_requests,
                 result.mmu_rpki);
+    if (params.max_outstanding_walks > 1)
+        std::printf("  in-flight walks   %.2f avg, %llu peak\n",
+                    result.walk_inflight_avg,
+                    (unsigned long long)result.walk_inflight_max);
     if (result.step_avg[0] > 0)
         std::printf("  step accesses     %.1f / %.1f / %.1f\n",
                     result.step_avg[0], result.step_avg[1],

@@ -30,12 +30,11 @@ HybridWalker::hostProbe(Addr gpa, int row, Cycles &t, int &accesses)
     stats_.host_kind[static_cast<int>(plan.kind)].inc();
 
     probe_buf.clear();
-    for (int s = 0; s < num_page_sizes; ++s) {
-        if (plan.way_mask[s])
-            host.probeAddrs(gpa, all_page_sizes[s], plan.way_mask[s],
-                            probe_buf);
-    }
-    const BatchResult br = batchAccess(probe_buf, t);
+    appendPlannedProbes(host, gpa, plan, probe_buf);
+    // Hybrid walks have no fixed three-step structure: step -1 skips
+    // the per-step tallies.
+    const BatchResult br =
+        executeProbePhase(mem, core, stats_, -1, probe_buf, t);
     t += br.latency;
     accesses += br.requests;
 

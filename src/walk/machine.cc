@@ -1,0 +1,14 @@
+#include "walk/machine.hh"
+
+namespace necpt
+{
+
+std::unique_ptr<WalkMachine>
+Walker::startWalk(Addr gva, Cycles now)
+{
+    // Default adapter: run the synchronous walk to completion at issue.
+    return std::make_unique<ImmediateWalkMachine>(gva, now,
+                                                  translate(gva, now));
+}
+
+} // namespace necpt

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Resumable walk state machines.
+ *
+ * A WalkMachine is one in-flight page walk: Walker::startWalk() builds
+ * it, it issues asynchronous memory transactions through
+ * MemoryHierarchy::issueBatch(), parks until they complete, and calls
+ * finish() when the translation is known. The simulator keeps up to
+ * SimParams::max_outstanding_walks machines live per core, which is
+ * how independent walks overlap and contend for MSHRs and DRAM banks
+ * over simulated time.
+ *
+ * Walkers that still compute synchronously (radix, hybrid, native
+ * ECPT) are adapted by ImmediateWalkMachine: the walk runs to
+ * completion at issue and the machine is born done — correct timing
+ * for a lone walk, no intra-walk overlap modeled.
+ */
+
+#ifndef NECPT_WALK_MACHINE_HH
+#define NECPT_WALK_MACHINE_HH
+
+#include <functional>
+#include <utility>
+
+#include "common/log.hh"
+#include "walk/walker.hh"
+
+namespace necpt
+{
+
+/**
+ * One resumable, in-flight page walk.
+ */
+class WalkMachine
+{
+  public:
+    virtual ~WalkMachine() = default;
+
+    WalkMachine(const WalkMachine &) = delete;
+    WalkMachine &operator=(const WalkMachine &) = delete;
+
+    Addr va() const { return va_; }
+    Cycles startCycle() const { return start_; }
+    bool done() const { return done_; }
+
+    /** Completion cycle; only valid once done(). */
+    Cycles
+    endCycle() const
+    {
+        NECPT_ASSERT(done_);
+        return end_;
+    }
+
+    /** The finished walk's outcome; only valid once done(). */
+    const WalkResult &
+    result() const
+    {
+        NECPT_ASSERT(done_);
+        return result_;
+    }
+
+    /**
+     * Install the completion continuation. Fires exactly once — from
+     * inside finish(), or immediately here if the machine is already
+     * done (the ImmediateWalkMachine path). The callback must not
+     * destroy the machine: completion is usually delivered from a
+     * memory-transaction callback still executing machine code, so
+     * owners defer destruction until after the drain returns.
+     */
+    void
+    onDone(std::function<void(WalkMachine &)> cb)
+    {
+        if (done_) {
+            cb(*this);
+            return;
+        }
+        on_done = std::move(cb);
+    }
+
+  protected:
+    WalkMachine(Addr va, Cycles start) : va_(va), start_(start) {}
+
+    /** Mark the walk complete at @p end and deliver the continuation. */
+    void
+    finish(WalkResult result, Cycles end)
+    {
+        NECPT_ASSERT(!done_);
+        result_ = std::move(result);
+        end_ = end;
+        done_ = true;
+        if (on_done) {
+            auto cb = std::move(on_done);
+            on_done = nullptr;
+            cb(*this);
+        }
+    }
+
+  private:
+    Addr va_;
+    Cycles start_;
+    Cycles end_ = 0;
+    bool done_ = false;
+    WalkResult result_;
+    std::function<void(WalkMachine &)> on_done;
+};
+
+/**
+ * Adapter for walkers whose translate() is synchronous: the result is
+ * known at construction and the machine is born done.
+ */
+class ImmediateWalkMachine : public WalkMachine
+{
+  public:
+    ImmediateWalkMachine(Addr va, Cycles start, WalkResult result)
+        : WalkMachine(va, start)
+    {
+        const Cycles end = start + result.latency;
+        finish(std::move(result), end);
+    }
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_MACHINE_HH

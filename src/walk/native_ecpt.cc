@@ -38,16 +38,11 @@ NativeEcptWalker::translate(Addr gva, Cycles now)
     // One parallel probe phase over the selected (size, way) slots —
     // addresses are final physical in a native system.
     probe_buf.clear();
-    for (int s = 0; s < num_page_sizes; ++s) {
-        if (plan.way_mask[s])
-            table->probeAddrs(gva, all_page_sizes[s], plan.way_mask[s],
-                              probe_buf);
-    }
+    appendPlannedProbes(*table, gva, plan, probe_buf);
     const Cycles t1 = t;
-    const BatchResult br = batchAccess(probe_buf, t);
+    const BatchResult br =
+        executeProbePhase(mem, core, stats_, 0, probe_buf, t);
     t += br.latency;
-    stats_.step_sum[0] += static_cast<std::uint64_t>(br.requests);
-    stats_.step_cnt[0] += 1;
     if (tracing) {
         const auto core_id = static_cast<std::uint32_t>(core);
         for (std::size_t i = 0; i < probe_buf.size(); ++i)

@@ -1,6 +1,7 @@
 #include "walk/nested_ecpt.hh"
 
 #include "common/log.hh"
+#include "walk/machine.hh"
 
 namespace necpt
 {
@@ -134,20 +135,8 @@ NestedEcptWalker::planStep1Host(Addr gpa, Cycles t)
 }
 
 void
-NestedEcptWalker::appendHostProbes(Addr gpa, const EcptProbePlan &plan,
-                                   std::vector<Addr> &out) const
-{
-    const EcptPageTable &host = *sys.hostEcpt();
-    for (int s = 0; s < num_page_sizes; ++s) {
-        if (plan.way_mask[s])
-            host.probeAddrs(gpa, all_page_sizes[s], plan.way_mask[s],
-                            out);
-    }
-}
-
-void
 NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
-                                 Cycles t)
+                                 Cycles t, std::vector<Addr> &background)
 {
     EcptPageTable &guest = *sys.guestEcpt();
     EcptPageTable &host = *sys.hostEcpt();
@@ -179,151 +168,229 @@ NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
                 // Full background translation: probe the hECPTs for
                 // the gCWT page (it is a 4KB page-table allocation).
                 host.probeAddrs(gcwt_gpa, PageSize::Page4K,
-                                host.allWays(), background_buf);
+                                host.allWays(), background);
                 const Translation h = sys.hostTranslate(gcwt_gpa);
                 hpa = h.apply(gcwt_gpa);
                 if (feat.stc)
                     stc.fill(gcwt_gpa, hpa & ~mask(12));
             }
-            background_buf.push_back(hpa);
+            background.push_back(hpa);
         }
 
         gcwc.fill(level, cwt->entryKey(gva), 1);
     }
 }
 
+/**
+ * The resumable nested-ECPT walk. Each of Figure 6's three steps is a
+ * state: the machine plans the step, issues its probe group as one
+ * asynchronous memory transaction, and parks; the transaction's
+ * completion callback advances to the next step. Per-walk scratch
+ * (candidate slots, probe buffers, deferred refill traffic) lives here
+ * so multiple walks from one walker can be in flight at once.
+ */
+class NestedEcptWalker::Machine : public WalkMachine
+{
+  public:
+    Machine(NestedEcptWalker &walker, Addr gva, Cycles now)
+        : WalkMachine(gva, now), w(walker)
+    {}
+
+    /** Run Step 1's plan phase and issue its probe transaction. */
+    void
+    start()
+    {
+        tracing = w.traceBegin();
+        EcptPageTable &guest = *w.sys.guestEcpt();
+        EcptPageTable &host = *w.sys.hostEcpt();
+        const Addr gva = va();
+
+        // ---- Step 1: locate the gECPT entry (Figure 6, left) ----
+        t = startCycle() + w.gcwc.latency() + hash_latency;
+
+        PlanOptions goptions;
+        goptions.use_pte_info = false; // no PTE gCWT ever (Section 4.2)
+        goptions.now = t;
+        gplan = planEcptWalk(guest, w.gcwc, gva, goptions);
+        w.stats_.guest_kind[static_cast<int>(gplan.kind)].inc();
+        if (tracing)
+            w.tracePlan("gcwc", w.gcwc, gplan, t);
+
+        appendPlannedProbes(guest, gva, gplan, guest_slots);
+
+        // For each candidate gECPT slot (a gPA), translate through the
+        // hECPTs — the parallel Step-1 probe group.
+        t += w.hcwc_step1.latency();
+        for (Addr slot_gpa : guest_slots) {
+            const EcptProbePlan hplan = w.planStep1Host(slot_gpa, t);
+            w.stats_.host_kind[static_cast<int>(hplan.kind)].inc();
+            if (tracing)
+                w.tracePlan("hcwc_step1", w.hcwc_step1, hplan, t);
+            appendPlannedProbes(host, slot_gpa, hplan, probe_buf);
+
+            // Background refill of missed Step-1 hCWC levels (deferred
+            // to walk completion: refills never block the walk).
+            PlanOptions hopts;
+            hopts.use_pte_info = w.feat.step1_pte_hcwt;
+            hopts.now = t;
+            collectCwcRefills(host, w.hcwc_step1, slot_gpa, hplan,
+                              hopts, background_buf);
+        }
+        w.mem.issueBatch(probe_buf, t, w.core,
+                         [this](const BatchResult &br, Cycles done) {
+                             afterStep1(br, done);
+                         });
+    }
+
+  private:
+    void
+    afterStep1(const BatchResult &br1, Cycles done)
+    {
+        const Cycles t1 = t;
+        t = done;
+        chargeProbePhase(w.stats_, 0, br1);
+        fg_requests += br1.requests;
+        if (tracing) {
+            w.traceProbes(1, probe_buf, t1);
+            w.tracer_->span(
+                "walk.step1", TraceCat::Walk,
+                static_cast<std::uint32_t>(w.core), t1, br1.latency,
+                {{"probes", br1.requests},
+                 {"gecpt_slots",
+                  static_cast<std::int64_t>(guest_slots.size())}});
+        }
+
+        // Background: refill missed gCWC levels (the STC's reason to
+        // be).
+        w.refillGuestCwc(va(), gplan, t, background_buf);
+
+        // ---- Step 2: fetch the gECPT candidates at host addresses ----
+        probe_buf.clear();
+        for (Addr slot_gpa : guest_slots) {
+            const Translation h = w.sys.hostTranslate(slot_gpa);
+            probe_buf.push_back(h.apply(slot_gpa));
+        }
+        w.mem.issueBatch(probe_buf, t, w.core,
+                         [this](const BatchResult &br, Cycles d) {
+                             afterStep2(br, d);
+                         });
+    }
+
+    void
+    afterStep2(const BatchResult &br2, Cycles done)
+    {
+        const Cycles t2 = t;
+        t = done;
+        chargeProbePhase(w.stats_, 1, br2);
+        fg_requests += br2.requests;
+        if (tracing) {
+            w.traceProbes(2, probe_buf, t2);
+            w.tracer_->span("walk.step2", TraceCat::Walk,
+                            static_cast<std::uint32_t>(w.core), t2,
+                            br2.latency, {{"probes", br2.requests}});
+        }
+
+        // ---- Step 3: translate the data page's gPA ----
+        EcptPageTable &host = *w.sys.hostEcpt();
+        const Translation g = w.sys.guestTranslate(va());
+        NECPT_ASSERT(g.valid);
+        gpa_data = g.apply(va());
+
+        t += w.hcwc_step3.latency() + hash_latency;
+        use_pte3 = w.feat.step3_adaptive_pte
+                   && w.adaptive.pteCachingEnabled() && host.hasPteCwt();
+        PlanOptions h3opts;
+        h3opts.use_pte_info = use_pte3;
+        h3opts.adaptive =
+            w.feat.step3_adaptive_pte ? &w.adaptive : nullptr;
+        h3opts.now = t;
+        h3plan = planEcptWalk(host, w.hcwc_step3, gpa_data, h3opts);
+        w.stats_.host_kind[static_cast<int>(h3plan.kind)].inc();
+        if (tracing)
+            w.tracePlan("hcwc_step3", w.hcwc_step3, h3plan, t);
+
+        probe_buf.clear();
+        appendPlannedProbes(host, gpa_data, h3plan, probe_buf);
+        w.mem.issueBatch(probe_buf, t, w.core,
+                         [this](const BatchResult &br, Cycles d) {
+                             afterStep3(br, d);
+                         });
+    }
+
+    void
+    afterStep3(const BatchResult &br3, Cycles done)
+    {
+        const Cycles t3 = t;
+        t = done;
+        chargeProbePhase(w.stats_, 2, br3);
+        fg_requests += br3.requests;
+        if (tracing) {
+            w.traceProbes(3, probe_buf, t3);
+            w.tracer_->span("walk.step3", TraceCat::Walk,
+                            static_cast<std::uint32_t>(w.core), t3,
+                            br3.latency,
+                            {{"probes", br3.requests},
+                             {"pte_hcwt_on", use_pte3 ? 1 : 0}});
+        }
+
+        PlanOptions h3opts;
+        h3opts.use_pte_info = use_pte3;
+        collectCwcRefills(*w.sys.hostEcpt(), w.hcwc_step3, gpa_data,
+                          h3plan, h3opts, background_buf);
+
+        // All background traffic (CWT fetches, gCWT translations) is
+        // issued once the walk completes: it consumes bandwidth and
+        // cache space but never extends this walk (Sections 3.2/4.1).
+        // The transaction outlives the machine, so its completion only
+        // touches the walker.
+        if (!background_buf.empty()) {
+            NestedEcptWalker &walker = w;
+            walker.mem.issueBatch(
+                background_buf, t, walker.core,
+                [&walker](const BatchResult &br, Cycles) {
+                    walker.stats_.mmu_requests.inc(
+                        static_cast<std::uint64_t>(br.requests));
+                });
+        }
+
+        WalkResult result;
+        result.translation = w.sys.fullTranslate(va());
+        NECPT_ASSERT(result.translation.valid);
+        w.finishWalk(result, startCycle(), t, fg_requests);
+        finish(std::move(result), t);
+    }
+
+    NestedEcptWalker &w;
+    bool tracing = false;
+    Cycles t = 0;
+    int fg_requests = 0;
+    EcptProbePlan gplan;
+    EcptProbePlan h3plan;
+    Addr gpa_data = 0;
+    bool use_pte3 = false;
+    std::vector<Addr> guest_slots; //!< Step-1 candidate gECPT gPAs
+    std::vector<Addr> probe_buf;
+    std::vector<Addr> background_buf; //!< deferred refill traffic
+};
+
+std::unique_ptr<WalkMachine>
+NestedEcptWalker::startWalk(Addr gva, Cycles now)
+{
+    auto m = std::make_unique<Machine>(*this, gva, now);
+    m->start();
+    return m;
+}
+
 WalkResult
 NestedEcptWalker::translate(Addr gva, Cycles now)
 {
-    const bool tracing = traceBegin();
-    WalkResult result;
-    EcptPageTable &guest = *sys.guestEcpt();
-    EcptPageTable &host = *sys.hostEcpt();
-    background_buf.clear();
-
-    // ---- Step 1: locate the gECPT entry (Figure 6, left) ----
-    Cycles t = now + gcwc.latency() + hash_latency;
-
-    PlanOptions goptions;
-    goptions.use_pte_info = false; // no PTE gCWT ever (Section 4.2)
-    goptions.now = t;
-    const EcptProbePlan gplan = planEcptWalk(guest, gcwc, gva, goptions);
-    stats_.guest_kind[static_cast<int>(gplan.kind)].inc();
-    if (tracing)
-        tracePlan("gcwc", gcwc, gplan, t);
-
-    guest_slots.clear();
-    for (int s = 0; s < num_page_sizes; ++s) {
-        if (gplan.way_mask[s])
-            guest.probeAddrs(gva, all_page_sizes[s], gplan.way_mask[s],
-                             guest_slots);
-    }
-
-    // For each candidate gECPT slot (a gPA), translate through the
-    // hECPTs — the parallel Step-1 probe group.
-    t += hcwc_step1.latency();
-    probe_buf.clear();
-    for (Addr slot_gpa : guest_slots) {
-        const EcptProbePlan hplan = planStep1Host(slot_gpa, t);
-        stats_.host_kind[static_cast<int>(hplan.kind)].inc();
-        if (tracing)
-            tracePlan("hcwc_step1", hcwc_step1, hplan, t);
-        appendHostProbes(slot_gpa, hplan, probe_buf);
-
-        // Background refill of missed Step-1 hCWC levels (deferred
-        // to walk completion: refills never block the walk).
-        PlanOptions hopts;
-        hopts.use_pte_info = feat.step1_pte_hcwt;
-        hopts.now = t;
-        collectCwcRefills(host, hcwc_step1, slot_gpa, hplan, hopts,
-                          background_buf);
-    }
-    const Cycles t1 = t;
-    const BatchResult br1 = batchAccess(probe_buf, t);
-    t += br1.latency;
-    stats_.step_sum[0] += static_cast<std::uint64_t>(br1.requests);
-    stats_.step_cnt[0] += 1;
-    stats_.step_lat[0] += br1.latency;
-    if (tracing) {
-        traceProbes(1, probe_buf, t1);
-        tracer_->span("walk.step1", TraceCat::Walk,
-                      static_cast<std::uint32_t>(core), t1, br1.latency,
-                      {{"probes", br1.requests},
-                       {"gecpt_slots",
-                        static_cast<std::int64_t>(guest_slots.size())}});
-    }
-
-    // Background: refill missed gCWC levels (the STC's reason to be).
-    refillGuestCwc(gva, gplan, t);
-
-    // ---- Step 2: fetch the gECPT candidates at host addresses ----
-    probe_buf.clear();
-    for (Addr slot_gpa : guest_slots) {
-        const Translation h = sys.hostTranslate(slot_gpa);
-        probe_buf.push_back(h.apply(slot_gpa));
-    }
-    const Cycles t2 = t;
-    const BatchResult br2 = batchAccess(probe_buf, t);
-    t += br2.latency;
-    stats_.step_sum[1] += static_cast<std::uint64_t>(br2.requests);
-    stats_.step_cnt[1] += 1;
-    stats_.step_lat[1] += br2.latency;
-    if (tracing) {
-        traceProbes(2, probe_buf, t2);
-        tracer_->span("walk.step2", TraceCat::Walk,
-                      static_cast<std::uint32_t>(core), t2, br2.latency,
-                      {{"probes", br2.requests}});
-    }
-
-    // ---- Step 3: translate the data page's gPA ----
-    const Translation g = sys.guestTranslate(gva);
-    NECPT_ASSERT(g.valid);
-    const Addr gpa_data = g.apply(gva);
-
-    t += hcwc_step3.latency() + hash_latency;
-    const bool use_pte3 =
-        feat.step3_adaptive_pte && adaptive.pteCachingEnabled()
-        && host.hasPteCwt();
-    PlanOptions h3opts;
-    h3opts.use_pte_info = use_pte3;
-    h3opts.adaptive = feat.step3_adaptive_pte ? &adaptive : nullptr;
-    h3opts.now = t;
-    const EcptProbePlan h3plan =
-        planEcptWalk(host, hcwc_step3, gpa_data, h3opts);
-    stats_.host_kind[static_cast<int>(h3plan.kind)].inc();
-    if (tracing)
-        tracePlan("hcwc_step3", hcwc_step3, h3plan, t);
-
-    probe_buf.clear();
-    appendHostProbes(gpa_data, h3plan, probe_buf);
-    const Cycles t3 = t;
-    const BatchResult br3 = batchAccess(probe_buf, t);
-    t += br3.latency;
-    stats_.step_sum[2] += static_cast<std::uint64_t>(br3.requests);
-    stats_.step_cnt[2] += 1;
-    stats_.step_lat[2] += br3.latency;
-    if (tracing) {
-        traceProbes(3, probe_buf, t3);
-        tracer_->span("walk.step3", TraceCat::Walk,
-                      static_cast<std::uint32_t>(core), t3, br3.latency,
-                      {{"probes", br3.requests},
-                       {"pte_hcwt_on", use_pte3 ? 1 : 0}});
-    }
-
-    collectCwcRefills(host, hcwc_step3, gpa_data, h3plan, h3opts,
-                      background_buf);
-
-    // All background traffic (CWT fetches, gCWT translations) is
-    // issued once the walk completes: it consumes bandwidth and cache
-    // space but never extends this walk (Sections 3.2 / 4.1).
-    if (!background_buf.empty())
-        backgroundAccess(background_buf, t);
-
-    result.translation = sys.fullTranslate(gva);
-    NECPT_ASSERT(result.translation.valid);
-    finishWalk(result, now, t,
-               br1.requests + br2.requests + br3.requests);
-    return result;
+    // Synchronous wrapper: issue the walk and drain the hierarchy so
+    // every state of the machine (and its background traffic) runs
+    // before we return — the legacy call-and-return timing.
+    auto m = startWalk(gva, now);
+    mem.drainAll();
+    NECPT_ASSERT(m->done());
+    return m->result();
 }
 
 } // namespace necpt

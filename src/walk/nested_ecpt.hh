@@ -67,6 +67,14 @@ class NestedEcptWalker : public Walker
 
     WalkResult translate(Addr gva, Cycles now) override;
 
+    /**
+     * Resumable walk: Steps 1-3 are states issuing asynchronous probe
+     * transactions and parking until they complete, so independent
+     * walks can overlap. translate() is this plus an immediate drain.
+     */
+    std::unique_ptr<WalkMachine> startWalk(Addr gva,
+                                           Cycles now) override;
+
     std::string name() const override
     {
         return plainDesign() ? "PlainNestedECPT" : "NestedECPT";
@@ -98,22 +106,22 @@ class NestedEcptWalker : public Walker
     /// @}
 
   private:
+    /** The resumable three-step walk (defined in nested_ecpt.cc). */
+    class Machine;
+
     /**
      * Plan the host-side translation of @p gpa for Step 1 (locating a
      * gECPT slot — always a 4KB-backed page-table page).
      */
     EcptProbePlan planStep1Host(Addr gpa, Cycles t);
 
-    /** Append the host probe addresses selected by @p plan for @p gpa. */
-    void appendHostProbes(Addr gpa, const EcptProbePlan &plan,
-                          std::vector<Addr> &out) const;
-
     /**
      * Handle gCWC refills: translate the gCWT entry addresses (via the
      * STC in the Advanced design, via full host probe traffic in the
-     * Plain design) and fetch them — all in the background.
+     * Plain design) and append the fetch traffic to @p background.
      */
-    void refillGuestCwc(Addr gva, const EcptProbePlan &gplan, Cycles t);
+    void refillGuestCwc(Addr gva, const EcptProbePlan &gplan, Cycles t,
+                        std::vector<Addr> &background);
 
     /** Per-level CWC hit/miss instants for a traced walk's plan. */
     void tracePlan(const char *cache, const CuckooWalkCache &cwc,
@@ -128,10 +136,6 @@ class NestedEcptWalker : public Walker
     CuckooWalkCache hcwc_step3;
     ShortcutTranslationCache stc;
     AdaptiveCwcController adaptive;
-
-    std::vector<Addr> guest_slots;  //!< Step-1 candidate gECPT gPAs
-    std::vector<Addr> probe_buf;
-    std::vector<Addr> background_buf; //!< deferred refill traffic
 };
 
 } // namespace necpt

@@ -131,6 +131,39 @@ planEcptWalk(const EcptPageTable &pt, CuckooWalkCache &cwc, Addr va,
     return plan;
 }
 
+std::size_t
+appendPlannedProbes(const EcptPageTable &pt, Addr va,
+                    const EcptProbePlan &plan, std::vector<Addr> &out)
+{
+    const std::size_t before = out.size();
+    for (int s = 0; s < num_page_sizes; ++s) {
+        if (plan.way_mask[s])
+            pt.probeAddrs(va, all_page_sizes[s], plan.way_mask[s], out);
+    }
+    return out.size() - before;
+}
+
+void
+chargeProbePhase(WalkerStats &stats, int step, const BatchResult &batch)
+{
+    stats.mmu_requests.inc(static_cast<std::uint64_t>(batch.requests));
+    if (step >= 0) {
+        stats.step_sum[step] +=
+            static_cast<std::uint64_t>(batch.requests);
+        stats.step_cnt[step] += 1;
+        stats.step_lat[step] += batch.latency;
+    }
+}
+
+BatchResult
+executeProbePhase(MemoryHierarchy &mem, int core, WalkerStats &stats,
+                  int step, const std::vector<Addr> &addrs, Cycles now)
+{
+    const BatchResult br = mem.batchAccess(addrs, now, core);
+    chargeProbePhase(stats, step, br);
+    return br;
+}
+
 void
 collectCwcRefills(const EcptPageTable &pt, CuckooWalkCache &cwc, Addr va,
                   const EcptProbePlan &plan, const PlanOptions &options,

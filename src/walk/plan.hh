@@ -75,6 +75,44 @@ void collectCwcRefills(const EcptPageTable &pt, CuckooWalkCache &cwc,
                        const PlanOptions &options,
                        std::vector<Addr> &fetch_addrs);
 
+/// @name Shared probe executor
+/// The plan→issue→collect sequence every ECPT walker runs per probe
+/// phase, hoisted out of the per-design walkers so the asynchronous
+/// port edits one place.
+/// @{
+
+/**
+ * Append the probe addresses @p plan selects for @p va against @p pt
+ * (one entry per (page size, way) slot to fetch).
+ *
+ * @return the number of addresses appended.
+ */
+std::size_t appendPlannedProbes(const EcptPageTable &pt, Addr va,
+                                const EcptProbePlan &plan,
+                                std::vector<Addr> &out);
+
+/**
+ * Charge one executed probe phase to the walker statistics:
+ * mmu_requests always; the Section-9.4 per-step probe/latency tallies
+ * when @p step is a nested-ECPT step index (0-based; pass -1 for
+ * designs without the three-step structure).
+ */
+void chargeProbePhase(WalkerStats &stats, int step,
+                      const BatchResult &batch);
+
+/**
+ * Synchronous probe phase: issue @p addrs as one parallel batch at
+ * @p now, drain it, and charge the statistics (the legacy walker
+ * timing; resumable walk machines issue the same transaction through
+ * MemoryHierarchy::issueBatch and charge on completion instead).
+ */
+BatchResult executeProbePhase(MemoryHierarchy &mem, int core,
+                              WalkerStats &stats, int step,
+                              const std::vector<Addr> &addrs,
+                              Cycles now);
+
+/// @}
+
 } // namespace necpt
 
 #endif // NECPT_WALK_PLAN_HH

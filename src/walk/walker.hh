@@ -14,6 +14,7 @@
 #define NECPT_WALK_WALKER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,8 @@ struct WalkerStats
     }
 };
 
+class WalkMachine;
+
 /**
  * Abstract walker.
  */
@@ -116,6 +119,16 @@ class Walker
 
     /** Service an L2-TLB miss for @p gva starting at cycle @p now. */
     virtual WalkResult translate(Addr gva, Cycles now) = 0;
+
+    /**
+     * Begin a resumable walk for @p gva at cycle @p now. The returned
+     * machine may already be done (synchronous designs adapt through
+     * ImmediateWalkMachine); asynchronous designs return a machine
+     * parked on in-flight memory transactions that completes as the
+     * owner drains the hierarchy. The machine borrows this walker and
+     * must not outlive it.
+     */
+    virtual std::unique_ptr<WalkMachine> startWalk(Addr gva, Cycles now);
 
     /** Human-readable configuration name. */
     virtual std::string name() const = 0;

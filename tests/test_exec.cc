@@ -191,6 +191,51 @@ TEST(SweepEngine, RealSimulationGridIsWorkerCountInvariant)
     EXPECT_GT(serial.records()[0].out.sim.cycles, 0u);
 }
 
+TEST(SweepEngine, OverlappedWalkGridIsWorkerCountInvariant)
+{
+    // Same contract with the event-driven overlap path active
+    // (max_outstanding_walks = 4): in-flight walk interleaving is
+    // scheduler-ordered, never wall-clock-ordered, so jobs=1 and
+    // jobs=8 still produce bit-identical stats.
+    SimParams params;
+    params.warmup_accesses = 2'000;
+    params.measure_accesses = 8'000;
+    params.scale_denominator = 2048;
+    params.max_outstanding_walks = 4;
+
+    std::vector<JobSpec> specs;
+    for (const ConfigId id :
+         {ConfigId::NestedRadix, ConfigId::NestedEcpt}) {
+        const ExperimentConfig config = makeConfig(id);
+        JobSpec spec;
+        spec.key = "mlp-mini/" + config.name + "/GUPS";
+        spec.fn = [config, params](const JobContext &ctx) {
+            SimParams p = params;
+            p.seed = ctx.seed;
+            JobOutput out;
+            out.sim = runSim(config, p, "GUPS");
+            out.metrics["walk.inflight"] =
+                out.sim.walk_inflight_avg;
+            return out;
+        };
+        specs.push_back(std::move(spec));
+    }
+
+    const ResultSink serial = SweepEngine(quietOptions(1)).run(specs);
+    const ResultSink wide = SweepEngine(quietOptions(8)).run(specs);
+    ASSERT_EQ(serial.size(), 2u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const SimResult &s = serial.records()[i].out.sim;
+        const SimResult &w = wide.records()[i].out.sim;
+        EXPECT_EQ(serial.records()[i].status, JobStatus::Ok);
+        EXPECT_EQ(s.cycles, w.cycles) << s.config;
+        EXPECT_EQ(s.walks, w.walks);
+        EXPECT_EQ(s.mmu_busy_cycles, w.mmu_busy_cycles);
+        EXPECT_EQ(serial.records()[i].out.metrics.at("walk.inflight"),
+                  wide.records()[i].out.metrics.at("walk.inflight"));
+    }
+}
+
 // ----------------------------------------------------- fault isolation
 
 TEST(SweepEngine, ThrowingJobBecomesFailedRecordSiblingsComplete)
