@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Hot-path component micro-benchmarks (wall clock).
+ *
+ * Tight loops over the structures the per-access translation path is
+ * made of — the packed set-associative cache, the elastic cuckoo
+ * table's find and probe-address generation, and the one-pass hash
+ * family — reported as operations per second and written to
+ * BENCH_hotpath.json in the same shape bench_sim_throughput emits, so
+ * tools/check_bench.py can diff either artifact against its committed
+ * baseline. These are the structures the allocation-free-hot-path work
+ * targets; a layout or inlining regression shows up here first, at
+ * much finer grain than the end-to-end throughput bench.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/hash.hh"
+#include "mem/cache.hh"
+#include "pt/cuckoo.hh"
+#include "tests/test_util.hh" // BumpAllocator backing the tables
+
+using namespace necpt;
+
+namespace
+{
+
+struct Sample
+{
+    std::string name;
+    std::uint64_t ops;
+    double seconds;
+    double rate;
+};
+
+/** Time @p body (which performs @p ops operations) once. */
+template <typename Fn>
+Sample
+measure(const std::string &name, std::uint64_t ops, Fn &&body)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    body();
+    const auto end = std::chrono::steady_clock::now();
+    Sample s;
+    s.name = name;
+    s.ops = ops;
+    s.seconds = std::chrono::duration<double>(end - begin).count();
+    s.rate = s.seconds > 0 ? static_cast<double>(ops) / s.seconds : 0.0;
+    std::printf("%-28s %12llu ops  %8.3f s  %14.0f ops/s\n", name.c_str(),
+                (unsigned long long)ops, s.seconds, s.rate);
+    return s;
+}
+
+volatile std::uint64_t g_sink = 0;
+
+Sample
+cacheAccess()
+{
+    // 512KB, 8-way: the L2 shape. Working set sized to hit ~always.
+    SetAssocCache cache(CacheConfig{"l2", 512 * 1024, 8, 16, 4});
+    const Addr span = 256 * 1024;
+    for (Addr a = 0; a < span; a += 64)
+        cache.fill(a);
+    const std::uint64_t rounds = 400;
+    const std::uint64_t ops = rounds * (span / 64);
+    return measure("setassoc_access_hit", ops, [&] {
+        std::uint64_t hits = 0;
+        for (std::uint64_t r = 0; r < rounds; ++r)
+            for (Addr a = 0; a < span; a += 64)
+                hits += cache.access(a, Requester::Core);
+        g_sink = hits;
+    });
+}
+
+Sample
+cacheFill()
+{
+    // Working set 4x the capacity: every access misses and fills,
+    // exercising victim selection and the recency update.
+    SetAssocCache cache(CacheConfig{"l2", 512 * 1024, 8, 16, 4});
+    const Addr span = 2 * 1024 * 1024;
+    const std::uint64_t rounds = 50;
+    const std::uint64_t ops = rounds * (span / 64);
+    return measure("setassoc_fill_evict", ops, [&] {
+        std::uint64_t misses = 0;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            for (Addr a = 0; a < span; a += 64) {
+                if (!cache.access(a, Requester::Mmu)) {
+                    cache.fill(a);
+                    ++misses;
+                }
+            }
+        }
+        g_sink = misses;
+    });
+}
+
+Sample
+cuckooFind()
+{
+    BumpAllocator alloc;
+    CuckooConfig cfg;
+    cfg.ways = 3;
+    cfg.initial_slots = 16384;
+    cfg.slot_bytes = 64;
+    ElasticCuckooTable<std::uint64_t> table(alloc, cfg);
+    const std::uint64_t keys = 8000;
+    for (std::uint64_t k = 0; k < keys; ++k)
+        table.insert(k, k);
+    const std::uint64_t rounds = 300;
+    return measure("cuckoo_find", rounds * keys, [&] {
+        std::uint64_t found = 0;
+        for (std::uint64_t r = 0; r < rounds; ++r)
+            for (std::uint64_t k = 0; k < keys; ++k)
+                found += static_cast<bool>(table.find(k));
+        g_sink = found;
+    });
+}
+
+Sample
+cuckooProbeAddrs()
+{
+    BumpAllocator alloc;
+    CuckooConfig cfg;
+    cfg.ways = 3;
+    cfg.initial_slots = 16384;
+    cfg.slot_bytes = 64;
+    ElasticCuckooTable<std::uint64_t> table(alloc, cfg);
+    const std::uint64_t keys = 8000;
+    for (std::uint64_t k = 0; k < keys; ++k)
+        table.insert(k, k);
+    std::vector<Addr> probes; // caller-owned scratch, reused
+    const std::uint64_t rounds = 300;
+    return measure("cuckoo_probe_addrs", rounds * keys, [&] {
+        std::uint64_t total = 0;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            for (std::uint64_t k = 0; k < keys; ++k) {
+                probes.clear();
+                table.probeAddrs(k, 0b111, probes);
+                total += probes.size();
+            }
+        }
+        g_sink = total;
+    });
+}
+
+Sample
+hashAll()
+{
+    HashFamily family(0xF00D, 3);
+    std::uint64_t out[HashFamily::max_ways];
+    const std::uint64_t keys = 4'000'000;
+    return measure("hash_all_3way", keys, [&] {
+        std::uint64_t acc = 0;
+        for (std::uint64_t k = 0; k < keys; ++k) {
+            family.hashAll(PageSize::Page4K, k, 3, out);
+            acc ^= out[0] ^ out[1] ^ out[2];
+        }
+        g_sink = acc;
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    benchBanner("Hot-path component throughput (wall clock)",
+                "engineering harness; not a paper figure");
+
+    std::vector<Sample> samples;
+    samples.push_back(cacheAccess());
+    samples.push_back(cacheFill());
+    samples.push_back(cuckooFind());
+    samples.push_back(cuckooProbeAddrs());
+    samples.push_back(hashAll());
+
+    const char *path = "BENCH_hotpath.json";
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"hotpath\",\n"
+                      "  \"unit\": \"ops_per_sec\",\n  \"results\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"ops\": %llu, "
+                     "\"seconds\": %.6f, \"ops_per_sec\": %.1f}%s\n",
+                     s.name.c_str(), (unsigned long long)s.ops, s.seconds,
+                     s.rate, i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path);
+    return 0;
+}

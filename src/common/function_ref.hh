@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FunctionRef — a non-owning, allocation-free callable reference.
+ *
+ * The hot path's callbacks (memory-transaction completions, cuckoo
+ * move notifications, walk-machine continuations) all share one shape:
+ * the *state* behind the callback outlives the call, so owning it —
+ * what std::function does, heap-allocating for any capture larger than
+ * its small buffer — is pure overhead. A FunctionRef is two words: the
+ * callee object and a trampoline. Copying it copies the reference, not
+ * the callee.
+ *
+ * Lifetime contract (see DESIGN.md "Hot path & memory layout"): the
+ * referenced callable must outlive every invocation. Construction only
+ * binds *lvalues* — passing a temporary lambda is a compile error —
+ * so the usual mistake (registering a callback whose captures die at
+ * the end of the statement) cannot be expressed. Bind member functions
+ * with FunctionRef::bind<&Class::method>(object) when the callee *is*
+ * the long-lived object and no separate closure state is needed.
+ */
+
+#ifndef NECPT_COMMON_FUNCTION_REF_HH
+#define NECPT_COMMON_FUNCTION_REF_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace necpt
+{
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = default;
+    FunctionRef(std::nullptr_t) {}
+
+    /**
+     * Bind a persistent callable. Lvalue-only: the callee must outlive
+     * every invocation, so temporaries are rejected at compile time
+     * (an rvalue argument deduces a non-reference F and SFINAEs out).
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  std::is_lvalue_reference_v<F>
+                  && !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>
+                  && std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&callee)
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(callee)))),
+          fn([](void *o, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(o))(
+                  std::forward<Args>(args)...);
+          })
+    {}
+
+    /** Bind a member function of a long-lived @p object. */
+    template <auto Method, typename T>
+    static FunctionRef
+    bind(T *object)
+    {
+        FunctionRef ref;
+        ref.obj = static_cast<void *>(object);
+        ref.fn = [](void *o, Args... args) -> R {
+            return (static_cast<T *>(o)->*Method)(
+                std::forward<Args>(args)...);
+        };
+        return ref;
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return fn(obj, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return fn != nullptr; }
+
+  private:
+    void *obj = nullptr;
+    R (*fn)(void *, Args...) = nullptr;
+};
+
+} // namespace necpt
+
+#endif // NECPT_COMMON_FUNCTION_REF_HH

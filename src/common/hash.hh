@@ -75,6 +75,21 @@ class HashFamily
 
     int numWays() const { return ways_; }
 
+    /**
+     * Hash @p key through all @p d ways of @p size 's table in one pass,
+     * writing the raw 64-bit values to @p out (at least @p d entries).
+     * The hardware computes the d hashes in parallel (Figure 4); way
+     * loops that need every candidate slot use this instead of
+     * re-deriving per-way state d times.
+     */
+    void
+    hashAll(PageSize size, std::uint64_t key, int d, std::uint64_t *out) const
+    {
+        const auto &fns = functions[static_cast<int>(size)];
+        for (int w = 0; w < d; ++w)
+            out[w] = fns[w](key);
+    }
+
   private:
     std::array<std::array<HashFunction, max_ways>, num_page_sizes> functions;
     int ways_;

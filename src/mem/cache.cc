@@ -11,38 +11,15 @@ SetAssocCache::SetAssocCache(const CacheConfig &config)
     NECPT_ASSERT(cfg.size_bytes % (line_bytes * cfg.assoc) == 0);
     sets = cfg.size_bytes / (line_bytes * cfg.assoc);
     NECPT_ASSERT(isPowerOf2(sets));
-    ways.resize(sets * cfg.assoc);
-}
-
-bool
-SetAssocCache::access(Addr addr, Requester requester)
-{
-    const Addr line = lineAddr(addr);
-    const auto set = setIndex(line);
-    const auto tag = tagOf(line);
-    Way *base = &ways[set * cfg.assoc];
-    for (int i = 0; i < cfg.assoc; ++i) {
-        if (base[i].valid && base[i].tag == tag) {
-            base[i].lru = ++tick;
-            stats_[static_cast<int>(requester)].hit();
-            return true;
-        }
-    }
-    stats_[static_cast<int>(requester)].miss();
-    return false;
-}
-
-bool
-SetAssocCache::contains(Addr addr) const
-{
-    const Addr line = lineAddr(addr);
-    const auto set = setIndex(line);
-    const auto tag = tagOf(line);
-    const Way *base = &ways[set * cfg.assoc];
-    for (int i = 0; i < cfg.assoc; ++i)
-        if (base[i].valid && base[i].tag == tag)
-            return true;
-    return false;
+    // Age ranks live in 7 bits; every configuration in Table 2 is <= 16-way.
+    NECPT_ASSERT(cfg.assoc >= 1 && cfg.assoc <= 127);
+    tags.assign(sets * cfg.assoc, 0);
+    meta.resize(sets * cfg.assoc);
+    // Seed each set's ages with the identity permutation (all invalid).
+    // First fills then claim ways in scan order, exactly as before.
+    for (std::uint64_t s = 0; s < sets; ++s)
+        for (int i = 0; i < cfg.assoc; ++i)
+            meta[s * cfg.assoc + i] = static_cast<std::uint8_t>(i);
 }
 
 void
@@ -51,47 +28,43 @@ SetAssocCache::fill(Addr addr)
     const Addr line = lineAddr(addr);
     const auto set = setIndex(line);
     const auto tag = tagOf(line);
-    Way *base = &ways[set * cfg.assoc];
     // Already present: just refresh recency.
-    for (int i = 0; i < cfg.assoc; ++i) {
-        if (base[i].valid && base[i].tag == tag) {
-            base[i].lru = ++tick;
-            return;
-        }
+    const int way = findWay(set, tag);
+    if (way >= 0) {
+        touch(set, way);
+        return;
     }
-    // Pick an invalid way, else LRU victim.
-    int victim = 0;
-    std::uint64_t oldest = ~std::uint64_t{0};
+    // Pick the first invalid way, else the LRU (max-age) victim. Ages are
+    // a permutation per set, so the max among an all-valid set is unique
+    // — the same way the old unique-tick minimum selected.
+    std::uint8_t *meta_base = &meta[set * cfg.assoc];
+    int victim = -1;
     for (int i = 0; i < cfg.assoc; ++i) {
-        if (!base[i].valid) {
+        if (!(meta_base[i] & valid_bit)) {
             victim = i;
             break;
         }
-        if (base[i].lru < oldest) {
-            oldest = base[i].lru;
-            victim = i;
+    }
+    if (victim < 0) {
+        std::uint8_t oldest = 0;
+        for (int i = 0; i < cfg.assoc; ++i) {
+            const std::uint8_t a = meta_base[i] & age_mask;
+            if (a >= oldest) {
+                oldest = a;
+                victim = i;
+            }
         }
     }
-    base[victim] = {tag, ++tick, true};
-}
-
-void
-SetAssocCache::invalidate(Addr addr)
-{
-    const Addr line = lineAddr(addr);
-    const auto set = setIndex(line);
-    const auto tag = tagOf(line);
-    Way *base = &ways[set * cfg.assoc];
-    for (int i = 0; i < cfg.assoc; ++i)
-        if (base[i].valid && base[i].tag == tag)
-            base[i].valid = false;
+    tags[set * cfg.assoc + victim] = tag;
+    meta_base[victim] |= valid_bit;
+    touch(set, victim);
 }
 
 void
 SetAssocCache::flush()
 {
-    for (auto &way : ways)
-        way.valid = false;
+    for (auto &m : meta)
+        m &= age_mask;
 }
 
 } // namespace necpt

@@ -79,36 +79,41 @@ MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
 }
 
 BatchResult
-MemoryHierarchy::batchAccess(const std::vector<Addr> &addrs, Cycles now,
-                             int core)
+MemoryHierarchy::batchAccess(AddrSpan addrs, Cycles now, int core)
 {
     BatchResult result;
     if (addrs.empty())
         return result;
-    issueBatch(addrs, now, core,
-               [&result](const BatchResult &batch, Cycles) {
-                   result = batch;
-               });
+    auto capture = [&result](const BatchResult &batch, Cycles) {
+        result = batch;
+    };
+    issueBatch(addrs, now, core, capture);
     drainAll();
     return result;
 }
 
 TxnId
-MemoryHierarchy::issueBatch(const std::vector<Addr> &addrs, Cycles now,
-                            int core, TxnCallback cb)
+MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
+                            TxnCallback cb)
 {
     PendingTxn txn;
+    if (!txn_pool.empty()) {
+        txn = std::move(txn_pool.back());
+        txn_pool.pop_back();
+    }
     txn.id = next_txn_id++;
     txn.core = core;
     txn.issued = now;
     txn.completes = now;
-    txn.cb = std::move(cb);
+    txn.batch = BatchResult{};
+    txn.miss_done.clear();
+    txn.cb = cb;
     BatchResult &result = txn.batch;
 
     // Deduplicate by cache line: parallel probes of nearby table slots
     // often share a line (eight PTEs per tagged entry, Section 2.3).
-    std::vector<Addr> lines;
-    lines.reserve(addrs.size());
+    std::vector<Addr> &lines = lines_scratch;
+    lines.clear();
     for (Addr a : addrs) {
         const Addr line = lineAddr(a);
         if (std::find(lines.begin(), lines.end(), line) == lines.end())
@@ -123,7 +128,8 @@ MemoryHierarchy::issueBatch(const std::vector<Addr> &addrs, Cycles now,
     // behind the MSHRs it occupies. (The synchronous batchAccess()
     // path drains between batches, so its seed is always empty and
     // the legacy single-batch timing is reproduced exactly.)
-    std::vector<Cycles> outstanding;
+    std::vector<Cycles> &outstanding = outstanding_scratch;
+    outstanding.clear();
     for (const PendingTxn &p : pending) {
         if (p.core != core)
             continue;
@@ -230,6 +236,11 @@ MemoryHierarchy::drainUntil(Cycles upto)
                       + static_cast<std::ptrdiff_t>(best));
         if (txn.cb)
             txn.cb(txn.batch, txn.completes);
+        // Recycle the slot: keeping miss_done's capacity is what makes
+        // the steady-state issue/drain loop allocation-free.
+        txn.cb = nullptr;
+        txn.miss_done.clear();
+        txn_pool.push_back(std::move(txn));
     }
 }
 

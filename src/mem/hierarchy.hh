@@ -28,6 +28,7 @@
 #define NECPT_MEM_HIERARCHY_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <vector>
 
@@ -94,12 +95,20 @@ class MemoryHierarchy
      * completion, so the caller observes the legacy call-and-return
      * timing (the batch runs against quiesced MSHRs).
      *
-     * @param addrs   byte addresses to fetch (deduplicated by line here)
+     * @param addrs   byte addresses to fetch (deduplicated by line
+     *                here); a view — the hierarchy copies what it needs
+     *                before returning
      * @param now     issue cycle
      * @param core    issuing core
      */
-    BatchResult batchAccess(const std::vector<Addr> &addrs, Cycles now,
-                            int core);
+    BatchResult batchAccess(AddrSpan addrs, Cycles now, int core);
+
+    BatchResult
+    batchAccess(std::initializer_list<Addr> addrs, Cycles now, int core)
+    {
+        return batchAccess(AddrSpan(addrs.begin(), addrs.size()), now,
+                           core);
+    }
 
     /// @name Transactional (event-driven) interface
     /// @{
@@ -116,8 +125,16 @@ class MemoryHierarchy
      * @return the transaction id (also passed back through @p cb's
      *         BatchResult bookkeeping if needed by the caller).
      */
-    TxnId issueBatch(const std::vector<Addr> &addrs, Cycles now,
-                     int core, TxnCallback cb = nullptr);
+    TxnId issueBatch(AddrSpan addrs, Cycles now, int core,
+                     TxnCallback cb = nullptr);
+
+    TxnId
+    issueBatch(std::initializer_list<Addr> addrs, Cycles now, int core,
+               TxnCallback cb = nullptr)
+    {
+        return issueBatch(AddrSpan(addrs.begin(), addrs.size()), now,
+                          core, cb);
+    }
 
     /** Any transactions issued but not yet drained? */
     bool hasPending() const { return !pending.empty(); }
@@ -205,7 +222,15 @@ class MemoryHierarchy
     DramModel dram_;
 
     std::vector<PendingTxn> pending;
+    /** Drained transactions kept for reuse: their miss_done capacity
+     *  survives, so steady-state issue/drain cycles never allocate. */
+    std::vector<PendingTxn> txn_pool;
     TxnId next_txn_id = 1;
+
+    /** issueBatch() working sets, reused across calls (capacity
+     *  retained; issueBatch never recurses). */
+    std::vector<Addr> lines_scratch;
+    std::vector<Cycles> outstanding_scratch;
 
     /** Time-weighted MSHR characterization (Section 9.3): occupancy
      *  integrated over miss intervals, and the observed activity span

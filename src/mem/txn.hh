@@ -10,14 +10,22 @@
  * synchronously (the legacy batchAccess() path) or let the simulator's
  * event loop pump them at the right simulated time, which is what lets
  * independent walks overlap and contend for MSHRs and DRAM banks.
+ *
+ * Address groups cross the interface as AddrSpan views over
+ * caller-owned scratch buffers, and completion callbacks are
+ * non-owning FunctionRefs: the steady-state translation path issues
+ * transactions without a single heap allocation. A callback's callee
+ * must outlive the drain that fires it — walk machines and walkers
+ * (the two issuers) both do.
  */
 
 #ifndef NECPT_MEM_TXN_HH
 #define NECPT_MEM_TXN_HH
 
 #include <cstdint>
-#include <functional>
+#include <span>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 
 namespace necpt
@@ -31,13 +39,16 @@ using TxnId = std::uint64_t;
 /** Sentinel: no transaction. */
 constexpr TxnId invalid_txn = 0;
 
+/** Non-owning view of a parallel request group's byte addresses. */
+using AddrSpan = std::span<const Addr>;
+
 /**
  * Invoked exactly once when the transaction's slowest member returns.
  * @param batch  the per-batch outcome (size, misses, latency)
  * @param done   absolute completion cycle (issue + batch.latency)
  */
-using TxnCallback = std::function<void(const BatchResult &batch,
-                                       Cycles done)>;
+using TxnCallback = FunctionRef<void(const BatchResult &batch,
+                                     Cycles done)>;
 
 } // namespace necpt
 

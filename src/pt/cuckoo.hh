@@ -20,13 +20,15 @@
 #ifndef NECPT_PT_CUCKOO_HH
 #define NECPT_PT_CUCKOO_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/fault.hh"
+#include "common/function_ref.hh"
 #include "common/hash.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -66,8 +68,10 @@ class ElasticCuckooTable
         explicit operator bool() const { return value != nullptr; }
     };
 
-    /** Invoked whenever a key settles at a (possibly new) location. */
-    using MoveCallback = std::function<void(std::uint64_t key, int way)>;
+    /** Invoked whenever a key settles at a (possibly new) location.
+     *  Non-owning: the registered callee must outlive the table's use
+     *  (the ECPT stores its per-size notifier functors as members). */
+    using MoveCallback = FunctionRef<void(std::uint64_t key, int way)>;
 
     ElasticCuckooTable(RegionAllocator &allocator,
                        const CuckooConfig &config)
@@ -76,7 +80,7 @@ class ElasticCuckooTable
         NECPT_ASSERT(cfg.ways >= 2 && cfg.ways <= HashFamily::max_ways);
         std::uint64_t sm = cfg.seed;
         for (int w = 0; w < cfg.ways; ++w)
-            hashes.push_back(HashFunction(splitmix64(sm)));
+            hashes[w] = HashFunction(splitmix64(sm));
         live = makeGeneration(cfg.initial_slots);
     }
 
@@ -91,7 +95,7 @@ class ElasticCuckooTable
     ElasticCuckooTable &operator=(const ElasticCuckooTable &) = delete;
 
     /** Register the OS callback for way updates (CWT maintenance). */
-    void setMoveCallback(MoveCallback cb) { on_move = std::move(cb); }
+    void setMoveCallback(MoveCallback cb) { on_move = cb; }
 
     /** Arm (or disarm, with nullptr) fault injection: forced kick
      *  exhaustion and forced mid-probe resize windows. */
@@ -140,10 +144,14 @@ class ElasticCuckooTable
     FindResult
     find(std::uint64_t key)
     {
-        if (FindResult r = findIn(live, key, false))
+        // One hash pass covers both generations: the raw 64-bit values
+        // are generation-independent, only the modulo differs.
+        std::uint64_t raw[HashFamily::max_ways];
+        rawHashes(key, raw);
+        if (FindResult r = findIn(live, key, false, raw))
             return r;
         if (old) {
-            if (FindResult r = findIn(*old, key, true))
+            if (FindResult r = findIn(*old, key, true, raw))
                 return r;
         }
         return {};
@@ -167,12 +175,14 @@ class ElasticCuckooTable
     probeAddrs(std::uint64_t key, unsigned way_mask,
                std::vector<Addr> &out) const
     {
+        std::uint64_t raw[HashFamily::max_ways];
+        rawHashes(key, raw);
         for (int w = 0; w < cfg.ways; ++w) {
             if (!(way_mask & (1u << w)))
                 continue;
-            out.push_back(slotAddr(live, w, slotIndex(live, w, key)));
+            out.push_back(slotAddr(live, w, reduce(live, raw[w])));
             if (old)
-                out.push_back(slotAddr(*old, w, slotIndex(*old, w, key)));
+                out.push_back(slotAddr(*old, w, reduce(*old, raw[w])));
         }
     }
 
@@ -271,6 +281,7 @@ class ElasticCuckooTable
     {
         std::uint64_t slots = 0;
         std::uint64_t used = 0;
+        std::uint64_t slot_mask = 0; //!< slots-1 when power of 2, else 0
         std::vector<std::vector<Slot>> way_slots; //!< [way][slot]
         std::vector<Addr> base;                   //!< per-way region base
         std::uint64_t migrate_scan = 0;           //!< way-major scan index
@@ -281,6 +292,7 @@ class ElasticCuckooTable
     {
         Generation gen;
         gen.slots = slots;
+        gen.slot_mask = isPowerOf2(slots) ? slots - 1 : 0;
         gen.way_slots.assign(cfg.ways, std::vector<Slot>(slots));
         for (int w = 0; w < cfg.ways; ++w)
             gen.base.push_back(alloc.allocRegion(slots * cfg.slot_bytes));
@@ -296,10 +308,27 @@ class ElasticCuckooTable
         gen.base.clear();
     }
 
+    /** Compute all ways' raw hashes of @p key in one pass. */
+    void
+    rawHashes(std::uint64_t key, std::uint64_t *out) const
+    {
+        for (int w = 0; w < cfg.ways; ++w)
+            out[w] = hashes[w](key);
+    }
+
+    /** Reduce a raw hash to a slot index. The default slot counts are
+     *  powers of 2 (16384, doubling), where masking and the modulo the
+     *  old code computed give identical indices. */
+    static std::uint64_t
+    reduce(const Generation &gen, std::uint64_t raw)
+    {
+        return gen.slot_mask ? (raw & gen.slot_mask) : (raw % gen.slots);
+    }
+
     std::uint64_t
     slotIndex(const Generation &gen, int way, std::uint64_t key) const
     {
-        return hashes[way](key) % gen.slots;
+        return reduce(gen, hashes[way](key));
     }
 
     Addr
@@ -309,10 +338,11 @@ class ElasticCuckooTable
     }
 
     FindResult
-    findIn(Generation &gen, std::uint64_t key, bool is_old)
+    findIn(Generation &gen, std::uint64_t key, bool is_old,
+           const std::uint64_t *raw)
     {
         for (int w = 0; w < cfg.ways; ++w) {
-            const auto idx = slotIndex(gen, w, key);
+            const auto idx = reduce(gen, raw[w]);
             Slot &slot = gen.way_slots[w][idx];
             if (slot.valid && slot.key == key)
                 return {&slot.value, w, slotAddr(gen, w, idx), is_old};
@@ -357,9 +387,11 @@ class ElasticCuckooTable
         std::uint64_t cur_key = key;
         ValueT cur_value = value;
         int last_way = -1;
+        std::uint64_t raw[HashFamily::max_ways];
         for (int kick = 0; kick <= cfg.max_kicks; ++kick) {
+            rawHashes(cur_key, raw);
             for (int w = 0; w < cfg.ways; ++w) {
-                const auto idx = slotIndex(live, w, cur_key);
+                const auto idx = reduce(live, raw[w]);
                 Slot &slot = live.way_slots[w][idx];
                 if (!slot.valid) {
                     slot = {cur_key, cur_value, true};
@@ -372,7 +404,7 @@ class ElasticCuckooTable
             do {
                 w = static_cast<int>(rng.below(cfg.ways));
             } while (w == last_way && cfg.ways > 1);
-            const auto idx = slotIndex(live, w, cur_key);
+            const auto idx = reduce(live, raw[w]);
             Slot &slot = live.way_slots[w][idx];
             std::swap(cur_key, slot.key);
             std::swap(cur_value, slot.value);
@@ -504,7 +536,7 @@ class ElasticCuckooTable
     RegionAllocator &alloc;
     CuckooConfig cfg;
     Rng rng;
-    std::vector<HashFunction> hashes;
+    std::array<HashFunction, HashFamily::max_ways> hashes;
     Generation live;
     std::optional<Generation> old;
     MoveCallback on_move;

@@ -38,10 +38,8 @@ EcptPageTable::EcptPageTable(RegionAllocator &allocator,
 
         // Keep CWT way bits coherent with cuckoo displacements and
         // elastic-resize migrations.
-        tables[s]->setMoveCallback(
-            [this, size](std::uint64_t key, int way) {
-                noteBlockPlacement(size, key, way);
-            });
+        move_notifiers[s] = MoveNotifier{this, size};
+        tables[s]->setMoveCallback(move_notifiers[s]);
     }
 }
 

@@ -80,6 +80,11 @@ class EcptPageTable
   public:
     EcptPageTable(RegionAllocator &allocator, const EcptConfig &config);
 
+    // The cuckoo tables hold non-owning references to the per-size move
+    // notifiers below; relocating this object would dangle them.
+    EcptPageTable(const EcptPageTable &) = delete;
+    EcptPageTable &operator=(const EcptPageTable &) = delete;
+
     /** Install va -> pa for a page of @p size, maintaining the CWTs. */
     void map(Addr va, Addr pa, PageSize size);
 
@@ -200,7 +205,23 @@ class EcptPageTable
     /** Refresh the CWT way bits after a block moved to @p way. */
     void noteBlockPlacement(PageSize size, std::uint64_t key, int way);
 
+    /** Persistent callee behind each table's MoveCallback (the
+     *  FunctionRef contract: the closure state lives here, not in a
+     *  temporary lambda). */
+    struct MoveNotifier
+    {
+        EcptPageTable *owner = nullptr;
+        PageSize size{};
+
+        void
+        operator()(std::uint64_t key, int way)
+        {
+            owner->noteBlockPlacement(size, key, way);
+        }
+    };
+
     EcptConfig cfg;
+    std::array<MoveNotifier, num_page_sizes> move_notifiers;
     std::array<std::unique_ptr<ElasticCuckooTable<PteBlock>>,
                num_page_sizes> tables;
     std::array<std::unique_ptr<CuckooWalkTable>, num_page_sizes> cwts;

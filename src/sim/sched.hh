@@ -12,6 +12,12 @@
  * wall-clock or randomness is involved, so a run's event stream is a
  * pure function of its inputs — the property the sweep engine's
  * byte-identical-at-any---jobs contract rests on.
+ *
+ * Handlers are stored inline: an event closure must be trivially
+ * copyable and fit handler_bytes (both checked at compile time), which
+ * every simulator event satisfies by capturing a pointer to long-lived
+ * loop state plus a few scalars. Scheduling an event therefore never
+ * heap-allocates — the hot loop runs millions of them.
  */
 
 #ifndef NECPT_SIM_SCHED_HH
@@ -19,8 +25,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <utility>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "common/log.hh"
@@ -34,13 +41,46 @@ namespace necpt
 class EventScheduler
 {
   public:
-    using Handler = std::function<void()>;
+    /** Inline closure capacity: a pointer to the loop state plus a
+     *  handful of scalars. Raise it if a new event legitimately needs
+     *  more — the static_assert names the offender. */
+    static constexpr std::size_t handler_bytes = 48;
+
+    /** A trivially-copyable closure stored inline (no heap). */
+    class Handler
+    {
+      public:
+        template <typename F,
+                  typename = std::enable_if_t<
+                      !std::is_same_v<std::remove_cvref_t<F>, Handler>>>
+        Handler(F fn)
+        {
+            static_assert(std::is_trivially_copyable_v<F>,
+                          "event closures must be trivially copyable "
+                          "(capture pointers/scalars, not owning state)");
+            static_assert(sizeof(F) <= handler_bytes,
+                          "event closure exceeds the scheduler's inline "
+                          "storage; shrink it or raise handler_bytes");
+            static_assert(alignof(F) <= alignof(std::max_align_t));
+            ::new (static_cast<void *>(storage)) F(fn);
+            invoke = [](const void *s) {
+                (*static_cast<const F *>(
+                    static_cast<const void *>(s)))();
+            };
+        }
+
+        void operator()() const { invoke(storage); }
+
+      private:
+        alignas(std::max_align_t) unsigned char storage[handler_bytes];
+        void (*invoke)(const void *) = nullptr;
+    };
 
     /** Enqueue @p fn at @p cycle with tie-break priority @p prio. */
     void
     at(double cycle, std::int64_t prio, Handler fn)
     {
-        heap.push_back(Event{cycle, prio, next_seq++, std::move(fn)});
+        heap.push_back(Event{cycle, prio, next_seq++, fn});
         std::push_heap(heap.begin(), heap.end(), After{});
     }
 
@@ -65,7 +105,7 @@ class EventScheduler
     {
         NECPT_ASSERT(!heap.empty());
         std::pop_heap(heap.begin(), heap.end(), After{});
-        Event ev = std::move(heap.back());
+        Event ev = heap.back();
         heap.pop_back();
         ev.fn();
     }

@@ -149,191 +149,266 @@ Simulator::runWith(const std::string &label,
 {
     buildMachine(footprint_bytes, label);
 
-    /** Per-core execution state. */
-    struct CoreState
+    /**
+     * The event loop: shared state plus its handlers. Every scheduled
+     * event is a small trivially-copyable functor capturing {Loop*, a
+     * few scalars}, so it fits the scheduler's inline storage and the
+     * steady-state loop never heap-allocates; the per-core walk
+     * completion callees live in CoreState, satisfying FunctionRef's
+     * outlives-the-call contract. (A local class so the handlers keep
+     * runWith's access to the simulator's members.)
+     */
+    struct Loop
     {
-        std::unique_ptr<Workload> workload;
-        double cycle = 0.0;
-        std::uint64_t instructions = 0;
-        std::uint64_t accesses = 0; //!< issued (walk may still fly)
-        double measure_start_cycle = 0.0;
-        std::uint64_t measure_start_instr = 0;
-        /** Overlap mode: in-flight walk machines and the completion
-         *  watermark their data accesses have pushed the core to. */
-        std::vector<std::unique_ptr<WalkMachine>> machines;
-        int inflight = 0;
-        bool parked = false;
-        double watermark = 0.0;
+        /** Walk-completion callee for one core (persistent: machines
+         *  hold a FunctionRef to it). */
+        struct DoneHandler
+        {
+            Loop *loop = nullptr;
+            int core = 0;
+
+            void
+            operator()(WalkMachine &done) const
+            {
+                loop->walkDone(core, done);
+            }
+        };
+
+        /** Per-core execution state. */
+        struct CoreState
+        {
+            std::unique_ptr<Workload> workload;
+            double cycle = 0.0;
+            std::uint64_t instructions = 0;
+            std::uint64_t accesses = 0; //!< issued (walk may still fly)
+            double measure_start_cycle = 0.0;
+            std::uint64_t measure_start_instr = 0;
+            /** Overlap mode: in-flight walk machines and the completion
+             *  watermark their data accesses have pushed the core to. */
+            std::vector<WalkMachinePtr> machines;
+            int inflight = 0;
+            bool parked = false;
+            double watermark = 0.0;
+            DoneHandler done;
+        };
+
+        struct StepEv
+        {
+            Loop *loop;
+            int core;
+            void operator()() const { loop->step(core); }
+        };
+
+        struct PumpEv
+        {
+            Loop *loop;
+            double next;
+            void operator()() const { loop->pumpFire(next); }
+        };
+
+        struct RetireEv
+        {
+            Loop *loop;
+            int core;
+            WalkMachine *mp;
+            double end;
+            void operator()() const { loop->retire(core, mp, end); }
+        };
+
+        Simulator &sim;
+        std::vector<CoreState> cores;
+        EventScheduler sched;
+        std::uint64_t total = 0;
+        bool overlap = false;
+        bool stats_reset = false;
+        std::uint64_t inflight_peak = 0;
+        double pump_armed_at = std::numeric_limits<double>::infinity();
+
+        // Memory-completion pump (overlap mode): after any event that
+        // leaves transactions pending, one pump event sits at the
+        // earliest completion cycle (priority -1, so walks resume
+        // before any core steps at the same cycle). Stale pumps —
+        // armed before an earlier completion appeared — drain nothing
+        // and re-arm; harmless.
+        void
+        armPump()
+        {
+            if (!sim.mem->hasPending())
+                return;
+            const double next =
+                static_cast<double>(sim.mem->nextCompletionCycle());
+            if (next >= pump_armed_at)
+                return;
+            pump_armed_at = next;
+            sched.at(next, -1, PumpEv{this, next});
+        }
+
+        void
+        pumpFire(double next)
+        {
+            if (pump_armed_at >= next)
+                pump_armed_at = std::numeric_limits<double>::infinity();
+            sim.mem->drainUntil(static_cast<Cycles>(next));
+            armPump();
+        }
+
+        /** One step = one workload access on one core. */
+        void
+        step(int core)
+        {
+            const SimParams &params = sim.params;
+            CoreState &cs = cores[core];
+            // Events emitted outside a timed walk phase (cuckoo
+            // inserts, fault sites) are stamped with the leading
+            // core's clock.
+            if (params.tracer)
+                params.tracer->setNow(static_cast<Cycles>(cs.cycle));
+
+            if (cs.accesses == params.warmup_accesses && !stats_reset) {
+                // Warm-up fault-ins may have left elastic resizes in
+                // flight; background migration finishes them before
+                // the measured region (Section 8 steady state). Reset
+                // stats when the first core crosses the boundary.
+                sim.sys->quiesce();
+                sim.resetStats();
+                for (auto &other : cores) {
+                    other.measure_start_cycle = other.cycle;
+                    other.measure_start_instr = other.instructions;
+                }
+                stats_reset = true;
+            }
+
+            const MemAccess access = cs.workload->next();
+            sim.sys->ensureResident(access.vaddr);
+
+            cs.cycle += params.base_cpi * access.inst_gap;
+            cs.instructions += access.inst_gap + 1;
+            ++cs.accesses;
+
+            // Address translation (serializes the access in the legacy
+            // model; overlapped walks only park the core at the cap).
+            auto tlb_result = sim.tlb[core]->lookup(access.vaddr);
+            Translation translation = tlb_result.translation;
+            cs.cycle += static_cast<double>(tlb_result.latency);
+
+            if (tlb_result.hit || !overlap) {
+                if (!tlb_result.hit) {
+                    const WalkResult walk = sim.walkers[core]->translate(
+                        access.vaddr, static_cast<Cycles>(cs.cycle));
+                    cs.cycle += static_cast<double>(walk.latency);
+                    translation = walk.translation;
+                    sim.tlb[core]->install(access.vaddr, translation);
+                    inflight_peak = std::max<std::uint64_t>(
+                        inflight_peak, 1);
+                }
+
+                // The data access itself; OoO hides most of its
+                // latency.
+                const Addr hpa = translation.apply(access.vaddr);
+                const AccessResult data = sim.mem->access(
+                    hpa, static_cast<Cycles>(cs.cycle), Requester::Core,
+                    core);
+                cs.cycle += static_cast<double>(data.latency)
+                    * params.data_exposure;
+
+                if (cs.accesses < total)
+                    sched.at(cs.cycle, core, StepEv{this, core});
+                return;
+            }
+
+            // Overlap mode, L2-TLB miss: issue a resumable walk and
+            // keep going. The access's data fetch rides on the
+            // completion.
+            WalkMachinePtr m = sim.walkers[core]->startWalk(
+                access.vaddr, static_cast<Cycles>(cs.cycle));
+            ++cs.inflight;
+            inflight_peak = std::max(
+                inflight_peak, static_cast<std::uint64_t>(cs.inflight));
+            WalkMachine &machine = *m;
+            cs.machines.push_back(std::move(m));
+            machine.onDone(cs.done);
+
+            if (cs.accesses < total) {
+                if (cs.inflight < params.max_outstanding_walks)
+                    sched.at(cs.cycle, core, StepEv{this, core});
+                else
+                    cs.parked = true;
+            }
+            armPump();
+        }
+
+        /** Completion is a scheduled event at the walk's end cycle
+         *  (not run inline from machine code): the TLB install, the
+         *  access's data fetch, and the slot release all happen at the
+         *  simulated time the walk finished, and the machine can be
+         *  retired there because its own frames are long off the
+         *  stack. */
+        void
+        walkDone(int core, WalkMachine &done)
+        {
+            const double end = static_cast<double>(done.endCycle());
+            sched.at(end, core, RetireEv{this, core, &done, end});
+        }
+
+        void
+        retire(int core, WalkMachine *mp, double end)
+        {
+            CoreState &owner = cores[core];
+            const Translation tr = mp->result().translation;
+            sim.tlb[core]->install(mp->va(), tr);
+            const Addr hpa = tr.apply(mp->va());
+            const AccessResult data = sim.mem->access(
+                hpa, static_cast<Cycles>(end), Requester::Core, core);
+            owner.watermark = std::max(
+                owner.watermark,
+                end + static_cast<double>(data.latency)
+                          * sim.params.data_exposure);
+            --owner.inflight;
+            // Dropping the pointer recycles the machine into its
+            // walker's pool.
+            std::erase_if(owner.machines, [mp](const WalkMachinePtr &wm) {
+                return wm.get() == mp;
+            });
+            if (owner.parked) {
+                owner.parked = false;
+                owner.cycle = std::max(owner.cycle, end);
+                sched.at(owner.cycle, core, StepEv{this, core});
+            }
+        }
     };
 
-    std::vector<CoreState> core_state(params.cores);
+    Loop loop{*this};
+    loop.cores.resize(static_cast<std::size_t>(params.cores));
     for (int core = 0; core < params.cores; ++core) {
-        core_state[core].workload =
-            factory(0xB0B + static_cast<std::uint64_t>(core));
-        core_state[core].workload->setup(*sys);
+        Loop::CoreState &cs = loop.cores[core];
+        cs.workload = factory(0xB0B + static_cast<std::uint64_t>(core));
+        cs.workload->setup(*sys);
+        cs.done = Loop::DoneHandler{&loop, core};
     }
     if (params.prefault)
         sys->prefaultAll();
 
-    const std::uint64_t total =
-        params.warmup_accesses + params.measure_accesses;
-    const bool overlap = params.max_outstanding_walks > 1;
-    bool stats_reset = params.warmup_accesses == 0;
-    if (stats_reset)
+    loop.total = params.warmup_accesses + params.measure_accesses;
+    loop.overlap = params.max_outstanding_walks > 1;
+    loop.stats_reset = params.warmup_accesses == 0;
+    if (loop.stats_reset)
         sys->quiesce();
-
-    EventScheduler sched;
-    std::uint64_t inflight_peak = 0;
-
-    // Memory-completion pump (overlap mode): after any event that
-    // leaves transactions pending, one pump event sits at the earliest
-    // completion cycle (priority -1, so walks resume before any core
-    // steps at the same cycle). Stale pumps — armed before an earlier
-    // completion appeared — drain nothing and re-arm; harmless.
-    double pump_armed_at = std::numeric_limits<double>::infinity();
-    std::function<void()> arm_pump = [&] {
-        if (!mem->hasPending())
-            return;
-        const double next =
-            static_cast<double>(mem->nextCompletionCycle());
-        if (next >= pump_armed_at)
-            return;
-        pump_armed_at = next;
-        sched.at(next, -1, [&, next] {
-            if (pump_armed_at >= next)
-                pump_armed_at =
-                    std::numeric_limits<double>::infinity();
-            mem->drainUntil(static_cast<Cycles>(next));
-            arm_pump();
-        });
-    };
-
-    // One step = one workload access on one core. Declared as a
-    // std::function so the step can re-schedule itself.
-    std::function<void(int)> step = [&](int core) {
-        CoreState &cs = core_state[core];
-        // Events emitted outside a timed walk phase (cuckoo inserts,
-        // fault sites) are stamped with the leading core's clock.
-        if (params.tracer)
-            params.tracer->setNow(static_cast<Cycles>(cs.cycle));
-
-        if (cs.accesses == params.warmup_accesses && !stats_reset) {
-            // Warm-up fault-ins may have left elastic resizes in
-            // flight; background migration finishes them before the
-            // measured region (Section 8 steady state). Reset stats
-            // when the first core crosses the boundary.
-            sys->quiesce();
-            resetStats();
-            for (auto &other : core_state) {
-                other.measure_start_cycle = other.cycle;
-                other.measure_start_instr = other.instructions;
-            }
-            stats_reset = true;
-        }
-
-        const MemAccess access = cs.workload->next();
-        sys->ensureResident(access.vaddr);
-
-        cs.cycle += params.base_cpi * access.inst_gap;
-        cs.instructions += access.inst_gap + 1;
-        ++cs.accesses;
-
-        // Address translation (serializes the access in the legacy
-        // model; overlapped walks only park the core at the cap).
-        auto tlb_result = tlb[core]->lookup(access.vaddr);
-        Translation translation = tlb_result.translation;
-        cs.cycle += static_cast<double>(tlb_result.latency);
-
-        if (tlb_result.hit || !overlap) {
-            if (!tlb_result.hit) {
-                const WalkResult walk = walkers[core]->translate(
-                    access.vaddr, static_cast<Cycles>(cs.cycle));
-                cs.cycle += static_cast<double>(walk.latency);
-                translation = walk.translation;
-                tlb[core]->install(access.vaddr, translation);
-                inflight_peak = std::max<std::uint64_t>(
-                    inflight_peak, 1);
-            }
-
-            // The data access itself; OoO hides most of its latency.
-            const Addr hpa = translation.apply(access.vaddr);
-            const AccessResult data =
-                mem->access(hpa, static_cast<Cycles>(cs.cycle),
-                            Requester::Core, core);
-            cs.cycle += static_cast<double>(data.latency)
-                * params.data_exposure;
-
-            if (cs.accesses < total)
-                sched.at(cs.cycle, core, [&step, core] { step(core); });
-            return;
-        }
-
-        // Overlap mode, L2-TLB miss: issue a resumable walk and keep
-        // going. The access's data fetch rides on the completion.
-        auto m = walkers[core]->startWalk(
-            access.vaddr, static_cast<Cycles>(cs.cycle));
-        ++cs.inflight;
-        inflight_peak = std::max(
-            inflight_peak, static_cast<std::uint64_t>(cs.inflight));
-        WalkMachine &machine = *m;
-        cs.machines.push_back(std::move(m));
-
-        // Completion is a scheduled event at the walk's end cycle (not
-        // run inline from machine code): the TLB install, the access's
-        // data fetch, and the slot release all happen at the simulated
-        // time the walk finished, and the machine can be retired there
-        // because its own frames are long off the stack.
-        machine.onDone([&, core](WalkMachine &done) {
-            WalkMachine *mp = &done;
-            const double end = static_cast<double>(done.endCycle());
-            sched.at(end, core, [&, core, mp, end] {
-                CoreState &owner = core_state[core];
-                const Translation tr = mp->result().translation;
-                tlb[core]->install(mp->va(), tr);
-                const Addr hpa = tr.apply(mp->va());
-                const AccessResult data = mem->access(
-                    hpa, static_cast<Cycles>(end), Requester::Core,
-                    core);
-                owner.watermark = std::max(
-                    owner.watermark,
-                    end + static_cast<double>(data.latency)
-                              * params.data_exposure);
-                --owner.inflight;
-                std::erase_if(owner.machines,
-                              [mp](const auto &wm) {
-                                  return wm.get() == mp;
-                              });
-                if (owner.parked) {
-                    owner.parked = false;
-                    owner.cycle = std::max(owner.cycle, end);
-                    sched.at(owner.cycle, core,
-                             [&step, core] { step(core); });
-                }
-            });
-        });
-
-        if (cs.accesses < total) {
-            if (cs.inflight < params.max_outstanding_walks)
-                sched.at(cs.cycle, core, [&step, core] { step(core); });
-            else
-                cs.parked = true;
-        }
-        arm_pump();
-    };
 
     // All cores start at cycle 0; the (cycle, priority=core, seq)
     // order advances the earliest core, lowest index first on ties —
     // the legacy interleaving.
     for (int core = 0; core < params.cores; ++core)
-        sched.at(0.0, core, [&step, core] { step(core); });
+        loop.sched.at(0.0, core, Loop::StepEv{&loop, core});
 
-    while (!sched.empty())
-        sched.runNext();
+    while (!loop.sched.empty())
+        loop.sched.runNext();
     // Defensive: any transaction the pump chain did not cover (e.g.
     // background refills issued by the very last completion).
     mem->drainAll();
-    for (auto &cs : core_state)
+    for (auto &cs : loop.cores)
         NECPT_ASSERT(cs.inflight == 0 && cs.machines.empty());
+    const bool overlap = loop.overlap;
+    const std::uint64_t inflight_peak = loop.inflight_peak;
 
     SimResult result;
     result.config = cfg.name;
@@ -344,7 +419,7 @@ Simulator::runWith(const std::string &label,
     // access — the watermark covers the difference.
     double cycles_sum = 0;
     std::uint64_t instr_sum = 0;
-    for (const CoreState &cs : core_state) {
+    for (const Loop::CoreState &cs : loop.cores) {
         cycles_sum += std::max(cs.cycle, cs.watermark)
             - cs.measure_start_cycle;
         instr_sum += cs.instructions - cs.measure_start_instr;

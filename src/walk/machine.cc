@@ -3,12 +3,33 @@
 namespace necpt
 {
 
-std::unique_ptr<WalkMachine>
+// Out of line: the imm_arena unique_ptrs need ImmediateWalkMachine
+// complete, which walker.hh only forward-declares.
+Walker::~Walker() = default;
+
+void
+Walker::ImmMachineDeleter::operator()(ImmediateWalkMachine *machine) const
+{
+    delete machine;
+}
+
+WalkMachinePtr
 Walker::startWalk(Addr gva, Cycles now)
 {
-    // Default adapter: run the synchronous walk to completion at issue.
-    return std::make_unique<ImmediateWalkMachine>(gva, now,
-                                                  translate(gva, now));
+    // Default adapter: run the synchronous walk to completion at issue,
+    // reusing a pooled machine when one is free.
+    WalkResult result = translate(gva, now);
+    ImmediateWalkMachine *m = nullptr;
+    if (!imm_free.empty()) {
+        m = imm_free.back();
+        imm_free.pop_back();
+        m->rebind(gva, now, std::move(result));
+    } else {
+        imm_arena.emplace_back(
+            new ImmediateWalkMachine(this, gva, now, std::move(result)));
+        m = imm_arena.back().get();
+    }
+    return WalkMachinePtr(m);
 }
 
 } // namespace necpt

@@ -10,6 +10,13 @@
  * how independent walks overlap and contend for MSHRs and DRAM banks
  * over simulated time.
  *
+ * Machines are pooled: dropping a WalkMachinePtr calls release(),
+ * which returns the machine to its walker's free list; the next
+ * startWalk() reinit()s a recycled one instead of allocating. The
+ * completion continuation is a non-owning FunctionRef — its callee
+ * (typically the simulator's per-core retire handler) outlives every
+ * walk.
+ *
  * Walkers that still compute synchronously (radix, hybrid, native
  * ECPT) are adapted by ImmediateWalkMachine: the walk runs to
  * completion at issue and the machine is born done — correct timing
@@ -19,14 +26,17 @@
 #ifndef NECPT_WALK_MACHINE_HH
 #define NECPT_WALK_MACHINE_HH
 
-#include <functional>
 #include <utility>
 
+#include "common/function_ref.hh"
 #include "common/log.hh"
 #include "walk/walker.hh"
 
 namespace necpt
 {
+
+/** Completion continuation: non-owning, callee outlives the walk. */
+using WalkDoneFn = FunctionRef<void(WalkMachine &)>;
 
 /**
  * One resumable, in-flight page walk.
@@ -68,17 +78,33 @@ class WalkMachine
      * owners defer destruction until after the drain returns.
      */
     void
-    onDone(std::function<void(WalkMachine &)> cb)
+    onDone(WalkDoneFn cb)
     {
         if (done_) {
             cb(*this);
             return;
         }
-        on_done = std::move(cb);
+        on_done = cb;
     }
+
+    /** Hand the machine back to its pool. The default is plain
+     *  deletion; pooled subclasses push themselves on a free list. */
+    virtual void release() { delete this; }
 
   protected:
     WalkMachine(Addr va, Cycles start) : va_(va), start_(start) {}
+
+    /** Reset for reuse from a pool: a fresh walk of @p va at @p start. */
+    void
+    reinit(Addr va, Cycles start)
+    {
+        va_ = va;
+        start_ = start;
+        end_ = 0;
+        done_ = false;
+        result_ = WalkResult{};
+        on_done = nullptr;
+    }
 
     /** Mark the walk complete at @p end and deliver the continuation. */
     void
@@ -89,7 +115,7 @@ class WalkMachine
         end_ = end;
         done_ = true;
         if (on_done) {
-            auto cb = std::move(on_done);
+            WalkDoneFn cb = on_done;
             on_done = nullptr;
             cb(*this);
         }
@@ -101,22 +127,49 @@ class WalkMachine
     Cycles end_ = 0;
     bool done_ = false;
     WalkResult result_;
-    std::function<void(WalkMachine &)> on_done;
+    WalkDoneFn on_done;
 };
+
+inline void
+WalkMachineReleaser::operator()(WalkMachine *machine) const
+{
+    if (machine)
+        machine->release();
+}
 
 /**
  * Adapter for walkers whose translate() is synchronous: the result is
- * known at construction and the machine is born done.
+ * known at construction and the machine is born done. Pooled in the
+ * owning Walker (the default startWalk() recycles released ones).
  */
 class ImmediateWalkMachine : public WalkMachine
 {
   public:
-    ImmediateWalkMachine(Addr va, Cycles start, WalkResult result)
-        : WalkMachine(va, start)
+    ImmediateWalkMachine(Walker *walker, Addr va, Cycles start,
+                         WalkResult result)
+        : WalkMachine(va, start), owner(walker)
     {
         const Cycles end = start + result.latency;
         finish(std::move(result), end);
     }
+
+    /** Reuse a pooled machine for a new already-computed walk. */
+    void
+    rebind(Addr va, Cycles start, WalkResult result)
+    {
+        reinit(va, start);
+        const Cycles end = start + result.latency;
+        finish(std::move(result), end);
+    }
+
+    void
+    release() override
+    {
+        owner->imm_free.push_back(this);
+    }
+
+  private:
+    Walker *owner;
 };
 
 } // namespace necpt

@@ -99,8 +99,7 @@ NestedEcptWalker::tracePlan(const char *cache, const CuckooWalkCache &cwc,
 }
 
 void
-NestedEcptWalker::traceProbes(int step, const std::vector<Addr> &addrs,
-                              Cycles t)
+NestedEcptWalker::traceProbes(int step, AddrSpan addrs, Cycles t)
 {
     const auto core_id = static_cast<std::uint32_t>(core);
     for (std::size_t i = 0; i < addrs.size(); ++i) {
@@ -151,9 +150,9 @@ NestedEcptWalker::refillGuestCwc(Addr gva, const EcptProbePlan &gplan,
 
         // The gCWT entry lives at a guest-physical address: find the
         // host address of each probe (Section 4.1 / Figure 7).
-        std::vector<Addr> gcwt_probes;
-        cwt->entryProbeAddrs(gva, gcwt_probes);
-        for (Addr gcwt_gpa : gcwt_probes) {
+        gcwt_scratch.clear();
+        cwt->entryProbeAddrs(gva, gcwt_scratch);
+        for (Addr gcwt_gpa : gcwt_scratch) {
             Addr hpa;
             Addr *cached = feat.stc ? stc.lookup(gcwt_gpa) : nullptr;
             if (feat.stc && traceActive())
@@ -196,6 +195,28 @@ class NestedEcptWalker::Machine : public WalkMachine
         : WalkMachine(gva, now), w(walker)
     {}
 
+    /** Reuse a pooled machine for a fresh walk: probe-buffer capacity
+     *  survives, so a warm pool never touches the heap. */
+    void
+    rebind(Addr gva, Cycles now)
+    {
+        reinit(gva, now);
+        tracing = false;
+        t = 0;
+        fg_requests = 0;
+        gplan = EcptProbePlan{};
+        h3plan = EcptProbePlan{};
+        gpa_data = 0;
+        use_pte3 = false;
+        scratch.clear();
+    }
+
+    void
+    release() override
+    {
+        w.machine_free.push_back(this);
+    }
+
     /** Run Step 1's plan phase and issue its probe transaction. */
     void
     start()
@@ -216,17 +237,17 @@ class NestedEcptWalker::Machine : public WalkMachine
         if (tracing)
             w.tracePlan("gcwc", w.gcwc, gplan, t);
 
-        appendPlannedProbes(guest, gva, gplan, guest_slots);
+        appendPlannedProbes(guest, gva, gplan, scratch.guest_slots);
 
         // For each candidate gECPT slot (a gPA), translate through the
         // hECPTs — the parallel Step-1 probe group.
         t += w.hcwc_step1.latency();
-        for (Addr slot_gpa : guest_slots) {
+        for (Addr slot_gpa : scratch.guest_slots) {
             const EcptProbePlan hplan = w.planStep1Host(slot_gpa, t);
             w.stats_.host_kind[static_cast<int>(hplan.kind)].inc();
             if (tracing)
                 w.tracePlan("hcwc_step1", w.hcwc_step1, hplan, t);
-            appendPlannedProbes(host, slot_gpa, hplan, probe_buf);
+            appendPlannedProbes(host, slot_gpa, hplan, scratch.probes);
 
             // Background refill of missed Step-1 hCWC levels (deferred
             // to walk completion: refills never block the walk).
@@ -234,12 +255,10 @@ class NestedEcptWalker::Machine : public WalkMachine
             hopts.use_pte_info = w.feat.step1_pte_hcwt;
             hopts.now = t;
             collectCwcRefills(host, w.hcwc_step1, slot_gpa, hplan,
-                              hopts, background_buf);
+                              hopts, scratch.background);
         }
-        w.mem.issueBatch(probe_buf, t, w.core,
-                         [this](const BatchResult &br, Cycles done) {
-                             afterStep1(br, done);
-                         });
+        w.mem.issueBatch(scratch.probes, t, w.core,
+                         TxnCallback::bind<&Machine::afterStep1>(this));
     }
 
   private:
@@ -251,29 +270,28 @@ class NestedEcptWalker::Machine : public WalkMachine
         chargeProbePhase(w.stats_, 0, br1);
         fg_requests += br1.requests;
         if (tracing) {
-            w.traceProbes(1, probe_buf, t1);
+            w.traceProbes(1, scratch.probes, t1);
             w.tracer_->span(
                 "walk.step1", TraceCat::Walk,
                 static_cast<std::uint32_t>(w.core), t1, br1.latency,
                 {{"probes", br1.requests},
                  {"gecpt_slots",
-                  static_cast<std::int64_t>(guest_slots.size())}});
+                  static_cast<std::int64_t>(
+                      scratch.guest_slots.size())}});
         }
 
         // Background: refill missed gCWC levels (the STC's reason to
         // be).
-        w.refillGuestCwc(va(), gplan, t, background_buf);
+        w.refillGuestCwc(va(), gplan, t, scratch.background);
 
         // ---- Step 2: fetch the gECPT candidates at host addresses ----
-        probe_buf.clear();
-        for (Addr slot_gpa : guest_slots) {
+        scratch.probes.clear();
+        for (Addr slot_gpa : scratch.guest_slots) {
             const Translation h = w.sys.hostTranslate(slot_gpa);
-            probe_buf.push_back(h.apply(slot_gpa));
+            scratch.probes.push_back(h.apply(slot_gpa));
         }
-        w.mem.issueBatch(probe_buf, t, w.core,
-                         [this](const BatchResult &br, Cycles d) {
-                             afterStep2(br, d);
-                         });
+        w.mem.issueBatch(scratch.probes, t, w.core,
+                         TxnCallback::bind<&Machine::afterStep2>(this));
     }
 
     void
@@ -284,7 +302,7 @@ class NestedEcptWalker::Machine : public WalkMachine
         chargeProbePhase(w.stats_, 1, br2);
         fg_requests += br2.requests;
         if (tracing) {
-            w.traceProbes(2, probe_buf, t2);
+            w.traceProbes(2, scratch.probes, t2);
             w.tracer_->span("walk.step2", TraceCat::Walk,
                             static_cast<std::uint32_t>(w.core), t2,
                             br2.latency, {{"probes", br2.requests}});
@@ -309,12 +327,10 @@ class NestedEcptWalker::Machine : public WalkMachine
         if (tracing)
             w.tracePlan("hcwc_step3", w.hcwc_step3, h3plan, t);
 
-        probe_buf.clear();
-        appendPlannedProbes(host, gpa_data, h3plan, probe_buf);
-        w.mem.issueBatch(probe_buf, t, w.core,
-                         [this](const BatchResult &br, Cycles d) {
-                             afterStep3(br, d);
-                         });
+        scratch.probes.clear();
+        appendPlannedProbes(host, gpa_data, h3plan, scratch.probes);
+        w.mem.issueBatch(scratch.probes, t, w.core,
+                         TxnCallback::bind<&Machine::afterStep3>(this));
     }
 
     void
@@ -325,7 +341,7 @@ class NestedEcptWalker::Machine : public WalkMachine
         chargeProbePhase(w.stats_, 2, br3);
         fg_requests += br3.requests;
         if (tracing) {
-            w.traceProbes(3, probe_buf, t3);
+            w.traceProbes(3, scratch.probes, t3);
             w.tracer_->span("walk.step3", TraceCat::Walk,
                             static_cast<std::uint32_t>(w.core), t3,
                             br3.latency,
@@ -336,21 +352,19 @@ class NestedEcptWalker::Machine : public WalkMachine
         PlanOptions h3opts;
         h3opts.use_pte_info = use_pte3;
         collectCwcRefills(*w.sys.hostEcpt(), w.hcwc_step3, gpa_data,
-                          h3plan, h3opts, background_buf);
+                          h3plan, h3opts, scratch.background);
 
         // All background traffic (CWT fetches, gCWT translations) is
         // issued once the walk completes: it consumes bandwidth and
         // cache space but never extends this walk (Sections 3.2/4.1).
-        // The transaction outlives the machine, so its completion only
-        // touches the walker.
-        if (!background_buf.empty()) {
-            NestedEcptWalker &walker = w;
-            walker.mem.issueBatch(
-                background_buf, t, walker.core,
-                [&walker](const BatchResult &br, Cycles) {
-                    walker.stats_.mmu_requests.inc(
-                        static_cast<std::uint64_t>(br.requests));
-                });
+        // The transaction may outlive the machine (which can be
+        // recycled as soon as the owner drops it), so its completion
+        // callee is the walker, never this.
+        if (!scratch.background.empty()) {
+            w.mem.issueBatch(
+                scratch.background, t, w.core,
+                TxnCallback::bind<&NestedEcptWalker::noteBackground>(
+                    &w));
         }
 
         WalkResult result;
@@ -368,17 +382,39 @@ class NestedEcptWalker::Machine : public WalkMachine
     EcptProbePlan h3plan;
     Addr gpa_data = 0;
     bool use_pte3 = false;
-    std::vector<Addr> guest_slots; //!< Step-1 candidate gECPT gPAs
-    std::vector<Addr> probe_buf;
-    std::vector<Addr> background_buf; //!< deferred refill traffic
+    /** Per-walk probe buffers (guest_slots = Step-1 candidate gECPT
+     *  gPAs, background = deferred refill traffic). */
+    ProbeScratch scratch;
 };
 
-std::unique_ptr<WalkMachine>
+NestedEcptWalker::~NestedEcptWalker() = default;
+
+void
+NestedEcptWalker::MachineDeleter::operator()(Machine *machine) const
+{
+    delete machine;
+}
+
+void
+NestedEcptWalker::noteBackground(const BatchResult &batch, Cycles)
+{
+    stats_.mmu_requests.inc(static_cast<std::uint64_t>(batch.requests));
+}
+
+WalkMachinePtr
 NestedEcptWalker::startWalk(Addr gva, Cycles now)
 {
-    auto m = std::make_unique<Machine>(*this, gva, now);
+    Machine *m = nullptr;
+    if (!machine_free.empty()) {
+        m = machine_free.back();
+        machine_free.pop_back();
+        m->rebind(gva, now);
+    } else {
+        machine_arena.emplace_back(new Machine(*this, gva, now));
+        m = machine_arena.back().get();
+    }
     m->start();
-    return m;
+    return WalkMachinePtr(m);
 }
 
 WalkResult

@@ -65,15 +65,18 @@ class NestedEcptWalker : public Walker
                      const NestedEcptFeatures &features =
                          NestedEcptFeatures::advanced());
 
+    ~NestedEcptWalker() override;
+
     WalkResult translate(Addr gva, Cycles now) override;
 
     /**
      * Resumable walk: Steps 1-3 are states issuing asynchronous probe
      * transactions and parking until they complete, so independent
      * walks can overlap. translate() is this plus an immediate drain.
+     * Machines come from a per-walker pool: after warm-up no walk
+     * allocates.
      */
-    std::unique_ptr<WalkMachine> startWalk(Addr gva,
-                                           Cycles now) override;
+    WalkMachinePtr startWalk(Addr gva, Cycles now) override;
 
     std::string name() const override
     {
@@ -128,7 +131,11 @@ class NestedEcptWalker : public Walker
                    const EcptProbePlan &plan, Cycles t);
 
     /** Per-way probe-issue instants for one step's probe group. */
-    void traceProbes(int step, const std::vector<Addr> &addrs, Cycles t);
+    void traceProbes(int step, AddrSpan addrs, Cycles t);
+
+    /** Completion callee for deferred background refill transactions
+     *  (the txn outlives its machine; the callee is the walker). */
+    void noteBackground(const BatchResult &batch, Cycles done);
 
     NestedEcptFeatures feat;
     CuckooWalkCache gcwc;
@@ -136,6 +143,21 @@ class NestedEcptWalker : public Walker
     CuckooWalkCache hcwc_step3;
     ShortcutTranslationCache stc;
     AdaptiveCwcController adaptive;
+
+    /** gCWT entry-probe scratch for refillGuestCwc (never recursive). */
+    std::vector<Addr> gcwt_scratch;
+
+    /** Arena deleter, out of line (nested_ecpt.cc, after Machine's
+     *  definition): Machine is incomplete at this point. */
+    struct MachineDeleter
+    {
+        void operator()(Machine *machine) const;
+    };
+
+    /** Machine pool: released walks go on the free list; startWalk
+     *  rebinds a recycled machine (probe-buffer capacity retained). */
+    std::vector<std::unique_ptr<Machine, MachineDeleter>> machine_arena;
+    std::vector<Machine *> machine_free;
 };
 
 } // namespace necpt

@@ -157,7 +157,7 @@ chargeProbePhase(WalkerStats &stats, int step, const BatchResult &batch)
 
 BatchResult
 executeProbePhase(MemoryHierarchy &mem, int core, WalkerStats &stats,
-                  int step, const std::vector<Addr> &addrs, Cycles now)
+                  int step, AddrSpan addrs, Cycles now)
 {
     const BatchResult br = mem.batchAccess(addrs, now, core);
     chargeProbePhase(stats, step, br);

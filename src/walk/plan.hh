@@ -108,10 +108,31 @@ void chargeProbePhase(WalkerStats &stats, int step,
  */
 BatchResult executeProbePhase(MemoryHierarchy &mem, int core,
                               WalkerStats &stats, int step,
-                              const std::vector<Addr> &addrs,
-                              Cycles now);
+                              AddrSpan addrs, Cycles now);
 
 /// @}
+
+/**
+ * Reusable probe-address buffers for one walk in flight. Owned by the
+ * walker (serialized designs) or the walk machine (overlapped walks);
+ * the planner and the hierarchy only ever see clear()+append views, so
+ * after warm-up no translation grows a buffer. See DESIGN.md "Hot path
+ * & memory layout".
+ */
+struct ProbeScratch
+{
+    std::vector<Addr> guest_slots; //!< Step-1 gECPT candidate slots
+    std::vector<Addr> probes;      //!< current step's probe batch
+    std::vector<Addr> background;  //!< CWC/STC refill traffic
+
+    void
+    clear()
+    {
+        guest_slots.clear();
+        probes.clear();
+        background.clear();
+    }
+};
 
 } // namespace necpt
 

@@ -104,6 +104,20 @@ struct WalkerStats
 };
 
 class WalkMachine;
+class ImmediateWalkMachine;
+
+/** Returns a machine to its owner's pool (or deletes an unpooled one).
+ *  Defined in walk/machine.hh — TUs destroying a WalkMachinePtr must
+ *  include it. */
+struct WalkMachineReleaser
+{
+    void operator()(WalkMachine *machine) const;
+};
+
+/** Owner handle for an in-flight walk. Dropping it recycles the
+ *  machine into its walker's free list rather than deleting it, so
+ *  steady-state walks reuse a warm arena instead of hitting the heap. */
+using WalkMachinePtr = std::unique_ptr<WalkMachine, WalkMachineReleaser>;
 
 /**
  * Abstract walker.
@@ -115,7 +129,7 @@ class Walker
         : sys(system), mem(memory), core(core_id)
     {}
 
-    virtual ~Walker() = default;
+    virtual ~Walker();
 
     /** Service an L2-TLB miss for @p gva starting at cycle @p now. */
     virtual WalkResult translate(Addr gva, Cycles now) = 0;
@@ -126,9 +140,9 @@ class Walker
      * ImmediateWalkMachine); asynchronous designs return a machine
      * parked on in-flight memory transactions that completes as the
      * owner drains the hierarchy. The machine borrows this walker and
-     * must not outlive it.
+     * must not outlive it; releasing the handle recycles it.
      */
-    virtual std::unique_ptr<WalkMachine> startWalk(Addr gva, Cycles now);
+    virtual WalkMachinePtr startWalk(Addr gva, Cycles now);
 
     /** Human-readable configuration name. */
     virtual std::string name() const = 0;
@@ -197,7 +211,7 @@ class Walker
 
     /** A parallel batch of MMU accesses (one walk phase). */
     BatchResult
-    batchAccess(const std::vector<Addr> &addrs, Cycles now)
+    batchAccess(AddrSpan addrs, Cycles now)
     {
         BatchResult r = mem.batchAccess(addrs, now, core);
         stats_.mmu_requests.inc(static_cast<std::uint64_t>(r.requests));
@@ -207,7 +221,7 @@ class Walker
     /** Background traffic (CWC/CWT refills): consumes bandwidth and
      *  cache space but does not extend the walk. */
     void
-    backgroundAccess(const std::vector<Addr> &addrs, Cycles now)
+    backgroundAccess(AddrSpan addrs, Cycles now)
     {
         BatchResult r = mem.batchAccess(addrs, now, core);
         stats_.mmu_requests.inc(static_cast<std::uint64_t>(r.requests));
@@ -266,6 +280,21 @@ class Walker
     int core;
     WalkerStats stats_;
     TraceBuffer *tracer_ = nullptr;
+
+  private:
+    friend class ImmediateWalkMachine;
+    /** Arena deleter, out of line (machine.cc): the machine type is
+     *  incomplete here, and the default deleter would be instantiated
+     *  in every TU that constructs a walker. */
+    struct ImmMachineDeleter
+    {
+        void operator()(ImmediateWalkMachine *machine) const;
+    };
+    /** Pool behind the default startWalk(): released immediate
+     *  machines go back on the free list for the next TLB miss. */
+    std::vector<std::unique_ptr<ImmediateWalkMachine, ImmMachineDeleter>>
+        imm_arena;
+    std::vector<ImmediateWalkMachine *> imm_free;
 };
 
 } // namespace necpt

@@ -100,9 +100,10 @@ TEST(Cuckoo, DisplacementsReported)
     cfg.resize_threshold = 0.95; // force collisions before resizing
     Table table(alloc, cfg);
     std::map<std::uint64_t, int> way_of;
-    table.setMoveCallback([&](std::uint64_t key, int way) {
+    auto record = [&](std::uint64_t key, int way) {
         way_of[key] = way;
-    });
+    };
+    table.setMoveCallback(record);
     for (std::uint64_t k = 0; k < 40; ++k)
         table.insert(k, k);
     // Every present key's callback-reported way matches reality.

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Golden determinism pin for the timing core.
+ *
+ * Runs a short Nested-ECPT simulation at mlp=1 (serialized walks, the
+ * legacy path) and mlp=4 (overlapped walk machines, the memory pump)
+ * and compares the full scalar metric snapshot — every counter, rate,
+ * and histogram summary the registry exports, plus the headline
+ * SimResult fields — byte for byte against a checked-in golden. Any
+ * change to simulated behavior (cache replacement, hashing, probe
+ * generation, event ordering) shows up here as a text diff, which
+ * keeps hot-path "optimizations" honest about being pure refactors.
+ *
+ * After an *intentional* behavior change, regenerate with
+ *   NECPT_UPDATE_GOLDEN=1 ctest -R GoldenDeterminism
+ * (writes tests/golden/ in the source tree) and commit the new files
+ * alongside the change that explains them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** Render the run's scalar state as sorted "name value" lines. */
+std::string
+renderSnapshot(int mlp)
+{
+    SimParams params;
+    params.warmup_accesses = 1000;
+    params.measure_accesses = 5000;
+    params.cores = 2;
+    params.max_outstanding_walks = mlp;
+    // Shrink the GUPS footprint (Table-4 divisor) so machine build +
+    // prefault stay test-sized; behavior coverage is unaffected.
+    params.scale_denominator = 64;
+
+    Simulator sim(makeConfig(ConfigId::NestedEcpt), params);
+    const SimResult result = sim.run("GUPS");
+
+    MetricsRegistry reg;
+    sim.exportMetrics(reg);
+
+    std::ostringstream out;
+    char value[64];
+    auto emit = [&](const std::string &name, double v) {
+        // %.17g round-trips doubles exactly: the golden pins the bits.
+        std::snprintf(value, sizeof value, "%.17g", v);
+        out << name << " " << value << "\n";
+    };
+    emit("result.cycles", static_cast<double>(result.cycles));
+    emit("result.instructions", static_cast<double>(result.instructions));
+    emit("result.walks", static_cast<double>(result.walks));
+    emit("result.mmu_requests", static_cast<double>(result.mmu_requests));
+    emit("result.mmu_busy_cycles",
+         static_cast<double>(result.mmu_busy_cycles));
+    for (const auto &[name, v] : reg.scalarSnapshot())
+        emit(name, v);
+    return out.str();
+}
+
+std::string
+goldenPath(int mlp)
+{
+    return std::string(NECPT_SOURCE_DIR) + "/tests/golden/determinism_mlp"
+        + std::to_string(mlp) + ".txt";
+}
+
+void
+checkAgainstGolden(int mlp)
+{
+    const std::string snapshot = renderSnapshot(mlp);
+    const std::string path = goldenPath(mlp);
+
+    if (std::getenv("NECPT_UPDATE_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << snapshot;
+        GTEST_SKIP() << "golden regenerated: " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " — regenerate with NECPT_UPDATE_GOLDEN=1";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), snapshot)
+        << "simulated behavior changed; if intentional, regenerate "
+           "the goldens with NECPT_UPDATE_GOLDEN=1 and commit them";
+}
+
+} // namespace
+
+TEST(GoldenDeterminism, SerializedWalksMatchGolden)
+{
+    checkAgainstGolden(1);
+}
+
+TEST(GoldenDeterminism, OverlappedWalksMatchGolden)
+{
+    checkAgainstGolden(4);
+}
+
+} // namespace necpt

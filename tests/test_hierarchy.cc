@@ -154,11 +154,11 @@ TEST(Hierarchy, OverlappingTxnsContendForMshrs)
     // still hold every MSHR.
     MemoryHierarchy overlapped(tinyConfig(), 1);
     Cycles olat = 0;
+    auto capture = [&olat](const BatchResult &b, Cycles) {
+        olat = b.latency;
+    };
     overlapped.issueBatch(first, 0, 0);
-    overlapped.issueBatch(second, 0, 0,
-                          [&olat](const BatchResult &b, Cycles) {
-                              olat = b.latency;
-                          });
+    overlapped.issueBatch(second, 0, 0, capture);
     overlapped.drainAll();
 
     // Quiesced: same accesses in the same order, but drained between
@@ -183,11 +183,11 @@ TEST(Hierarchy, OverlappingTxnsSerializeOnDramBanks)
 
     MemoryHierarchy overlapped(tinyConfig(), 1);
     Cycles olat = 0;
+    auto capture = [&olat](const BatchResult &b, Cycles) {
+        olat = b.latency;
+    };
     overlapped.issueBatch(first, 0, 0);
-    overlapped.issueBatch(second, 0, 0,
-                          [&olat](const BatchResult &b, Cycles) {
-                              olat = b.latency;
-                          });
+    overlapped.issueBatch(second, 0, 0, capture);
     overlapped.drainAll();
 
     // Alone on a fresh hierarchy the second line opens the row itself;
@@ -213,12 +213,12 @@ TEST(Hierarchy, SyncWrapperMatchesAsyncPath)
     BatchResult a;
     Cycles done = 0;
     bool fired = false;
-    async_mem.issueBatch(addrs, 42, 0,
-                         [&](const BatchResult &b, Cycles at) {
-                             a = b;
-                             done = at;
-                             fired = true;
-                         });
+    auto capture = [&](const BatchResult &b, Cycles at) {
+        a = b;
+        done = at;
+        fired = true;
+    };
+    async_mem.issueBatch(addrs, 42, 0, capture);
     EXPECT_TRUE(async_mem.hasPending());
     async_mem.drainAll();
     EXPECT_TRUE(fired);
@@ -240,14 +240,14 @@ TEST(Hierarchy, DrainUntilOrdersCompletions)
     // Warm a line so the second txn is a fast L2 hit; the first goes
     // to DRAM and completes later despite the earlier issue.
     mem.access(0xA00000, 0, Requester::Mmu, 0);
-    mem.issueBatch({0xB00000}, 0, 0,
-                   [&order](const BatchResult &, Cycles) {
-                       order.push_back(1);
-                   });
-    mem.issueBatch({0xA00000}, 0, 0,
-                   [&order](const BatchResult &, Cycles) {
-                       order.push_back(2);
-                   });
+    auto mark1 = [&order](const BatchResult &, Cycles) {
+        order.push_back(1);
+    };
+    auto mark2 = [&order](const BatchResult &, Cycles) {
+        order.push_back(2);
+    };
+    mem.issueBatch({0xB00000}, 0, 0, mark1);
+    mem.issueBatch({0xA00000}, 0, 0, mark2);
     mem.drainUntil(20); // only the L2 hit (16 cycles) is due
     ASSERT_EQ(order.size(), 1u);
     EXPECT_EQ(order[0], 2);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json result against its committed baseline.
+
+The bench binaries (bench_sim_throughput, bench_hotpath) emit
+    {"bench": ..., "unit": "<rate key>", "results": [{"name": ...,
+     "<rate key>": ...}, ...]}
+and the repository pins reference numbers under bench/baseline/. This
+script prints a markdown comparison table (also appended to
+$GITHUB_STEP_SUMMARY when set, so CI surfaces it on the job page) and
+flags any entry whose rate dropped more than --max-drop (default 10%)
+below the baseline.
+
+Exit code: 1 if a regression was flagged, unless --warn-only. CI runs
+warn-only — wall-clock rates on shared runners are noisy, and the gate
+is advisory; the artifact series is the durable record.
+
+Usage:
+    tools/check_bench.py CURRENT BASELINE [--max-drop 0.10] [--warn-only]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    unit = data.get("unit")
+    if not unit:
+        sys.exit(f"{path}: missing 'unit' field")
+    rates = {}
+    for entry in data.get("results", []):
+        if unit not in entry:
+            sys.exit(f"{path}: entry {entry.get('name')!r} lacks {unit!r}")
+        rates[entry["name"]] = float(entry[unit])
+    return unit, rates
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag bench-rate regressions against a baseline.")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--max-drop", type=float, default=0.10,
+                        help="tolerated fractional rate drop "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    args = parser.parse_args()
+
+    unit, current = load(args.current)
+    base_unit, baseline = load(args.baseline)
+    if unit != base_unit:
+        sys.exit(f"unit mismatch: {unit!r} vs baseline {base_unit!r}")
+
+    lines = [
+        f"### Bench comparison ({unit}, max drop "
+        f"{args.max_drop * 100:.0f}%)",
+        "",
+        "| name | baseline | current | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    regressions = []
+    for name, base_rate in baseline.items():
+        if name not in current:
+            regressions.append(f"{name}: missing from {args.current}")
+            lines.append(f"| {name} | {base_rate:.0f} | MISSING | |")
+            continue
+        rate = current[name]
+        delta = (rate - base_rate) / base_rate if base_rate else 0.0
+        marker = ""
+        if delta < -args.max_drop:
+            marker = " :warning:"
+            regressions.append(
+                f"{name}: {rate:.0f} {unit} is {-delta * 100:.1f}% below "
+                f"baseline {base_rate:.0f}")
+        lines.append(f"| {name} | {base_rate:.0f} | {rate:.0f} | "
+                     f"{delta * +100:+.1f}%{marker} |")
+    for name in current:
+        if name not in baseline:
+            lines.append(f"| {name} | (new) | {current[name]:.0f} | |")
+
+    report = "\n".join(lines) + "\n"
+    print(report)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as fh:
+            fh.write(report + "\n")
+
+    if regressions:
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        if not args.warn_only:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
