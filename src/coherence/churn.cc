@@ -1,0 +1,156 @@
+#include "coherence/churn.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string::size_type start = 0;
+    while (start <= text.size()) {
+        const auto end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            break;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+std::uint64_t
+parseU64(const std::string &clause, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || value.empty())
+        throw ConfigError(strfmt("churn spec: bad value '%s' in '%s'",
+                                 value.c_str(), clause.c_str()));
+    return v;
+}
+
+int
+parseCount(const std::string &clause, const std::string &value)
+{
+    const std::uint64_t v = parseU64(clause, value);
+    if (v == 0 || v > 4096)
+        throw ConfigError(strfmt("churn spec: count %llu out of "
+                                 "[1, 4096] in '%s'",
+                                 (unsigned long long)v, clause.c_str()));
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+const char *
+coherenceModeName(CoherenceMode mode)
+{
+    return mode == CoherenceMode::SwIpi ? "sw" : "hw";
+}
+
+ChurnSpec
+parseChurnSpec(const std::string &text)
+{
+    ChurnSpec spec;
+    for (const std::string &clause : splitOn(text, ',')) {
+        if (clause.empty())
+            continue;
+        const auto fields = splitOn(clause, ':');
+        const std::string &site = fields[0];
+        auto arg = [&](std::size_t i) -> const std::string & {
+            if (i >= fields.size())
+                throw ConfigError(strfmt(
+                    "churn spec: '%s' needs a value (e.g. %s:20000)",
+                    site.c_str(), site.c_str()));
+            return fields[i];
+        };
+        if (site == "migrate") {
+            spec.migrate_period = parseU64(clause, arg(1));
+            if (fields.size() > 2)
+                spec.migrate_pages = parseCount(clause, fields[2]);
+        } else if (site == "balloon") {
+            spec.balloon_period = parseU64(clause, arg(1));
+            if (fields.size() > 2)
+                spec.balloon_pages = parseCount(clause, fields[2]);
+        } else if (site == "thp") {
+            spec.thp_period = parseU64(clause, arg(1));
+            if (fields.size() > 2)
+                spec.thp_blocks = parseCount(clause, fields[2]);
+        } else if (site == "protect") {
+            spec.protect_period = parseU64(clause, arg(1));
+            if (fields.size() > 2)
+                spec.protect_pages = parseCount(clause, fields[2]);
+        } else if (site == "mode") {
+            const std::string &m = arg(1);
+            if (m == "sw")
+                spec.mode = CoherenceMode::SwIpi;
+            else if (m == "hw")
+                spec.mode = CoherenceMode::HwCoherence;
+            else
+                throw ConfigError(strfmt(
+                    "churn spec: unknown mode '%s' (sw or hw)",
+                    m.c_str()));
+        } else if (site == "batch") {
+            spec.batch = parseCount(clause, arg(1));
+        } else if (site == "all") {
+            if (fields.size() > 1)
+                throw ConfigError("churn spec: 'all' takes no value");
+            spec.migrate_period = 20'000;
+            spec.balloon_period = 50'000;
+            spec.thp_period = 80'000;
+            spec.protect_period = 40'000;
+        } else {
+            throw ConfigError(strfmt(
+                "churn spec: unknown clause '%s' (expected migrate, "
+                "balloon, thp, protect, mode, batch, or all)",
+                site.c_str()));
+        }
+    }
+    if (!spec.enabled())
+        throw ConfigError(strfmt(
+            "churn spec '%s' arms no source", text.c_str()));
+    return spec;
+}
+
+std::string
+churnSpecToString(const ChurnSpec &spec)
+{
+    std::string out;
+    auto add = [&](const std::string &clause) {
+        if (!out.empty())
+            out += ',';
+        out += clause;
+    };
+    if (spec.migrate_period > 0)
+        add(strfmt("migrate:%llu:%d",
+                   (unsigned long long)spec.migrate_period,
+                   spec.migrate_pages));
+    if (spec.balloon_period > 0)
+        add(strfmt("balloon:%llu:%d",
+                   (unsigned long long)spec.balloon_period,
+                   spec.balloon_pages));
+    if (spec.thp_period > 0)
+        add(strfmt("thp:%llu:%d", (unsigned long long)spec.thp_period,
+                   spec.thp_blocks));
+    if (spec.protect_period > 0)
+        add(strfmt("protect:%llu:%d",
+                   (unsigned long long)spec.protect_period,
+                   spec.protect_pages));
+    if (spec.enabled()) {
+        add(strfmt("mode:%s", coherenceModeName(spec.mode)));
+        add(strfmt("batch:%d", spec.batch));
+    }
+    return out.empty() ? "none" : out;
+}
+
+} // namespace necpt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Translation-churn configuration: which OS/hypervisor mutation
+ * streams run alongside the access kernels, how often, and which
+ * shootdown protocol propagates the resulting invalidations.
+ *
+ * A ChurnSpec is to `--churn` what a FaultSpec is to `--faults`: a
+ * small parsed value object that a seed turns into a deterministic
+ * behavior. An all-defaults spec (enabled() == false) must leave every
+ * simulation byte-identical to a build without the subsystem — the
+ * Simulator only wires the coherence machinery up when a site is
+ * armed.
+ */
+
+#ifndef NECPT_COHERENCE_CHURN_HH
+#define NECPT_COHERENCE_CHURN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** How invalidations reach remote translation caches. */
+enum class CoherenceMode : std::uint8_t
+{
+    /**
+     * Software IPI shootdown (Linux-style): the initiating core
+     * interrupts every other core, each runs an invalidation handler
+     * and acks, and the initiator stalls until the last ack lands.
+     */
+    SwIpi,
+    /**
+     * Hardware translation coherence (after "Hardware Translation
+     * Coherence for Virtualized Systems", ISCA'17): invalidations ride
+     * the cache-coherence network to exactly the structures holding
+     * the stale entries; no IPIs, no initiator stall, cost scales with
+     * the sharer count instead of the core count.
+     */
+    HwCoherence,
+};
+
+const char *coherenceModeName(CoherenceMode mode);
+
+/** The churn sources and shootdown protocol for one run. */
+struct ChurnSpec
+{
+    /** NUMA migration daemon: every period, re-back this many pages.
+     *  Period 0 disarms a source (throughout). */
+    Cycles migrate_period = 0;
+    int migrate_pages = 4;
+
+    /** Balloon driver: alternate inflate (unmap + free) and deflate
+     *  (refault) of this many pages every period. */
+    Cycles balloon_period = 0;
+    int balloon_pages = 16;
+
+    /** THP compactor: alternate promote (collapse 512 x 4KB) and
+     *  demote (split 2MB) passes over this many 2MB blocks. */
+    Cycles thp_period = 0;
+    int thp_blocks = 2;
+
+    /** Write-protect scrubber (dirty tracking / COW arming): downgrade
+     *  this many resident pages every period. */
+    Cycles protect_period = 0;
+    int protect_pages = 4;
+
+    CoherenceMode mode = CoherenceMode::SwIpi;
+
+    /** Invalidations coalesced into one shootdown round (the batcher's
+     *  pop bound — Linux batches flushes the same way). */
+    int batch = 8;
+
+    bool
+    enabled() const
+    {
+        return migrate_period > 0 || balloon_period > 0 || thp_period > 0
+               || protect_period > 0;
+    }
+};
+
+/**
+ * Parse a churn spec string.
+ *
+ * Grammar (comma-separated clauses):
+ *   migrate:PERIOD[:PAGES]   arm the migration daemon
+ *   balloon:PERIOD[:PAGES]   arm the balloon driver
+ *   thp:PERIOD[:BLOCKS]      arm the THP compactor
+ *   protect:PERIOD[:PAGES]   arm the write-protect scrubber
+ *   mode:sw|hw               select the shootdown protocol
+ *   batch:N                  invalidations coalesced per round
+ *   all                      every source at stock periods
+ *
+ * Periods are cycles between firings of that source. Example:
+ * "migrate:20000:4,mode:hw,batch:16".
+ *
+ * Throws ConfigError on unknown clauses or malformed values.
+ */
+ChurnSpec parseChurnSpec(const std::string &text);
+
+/** Render a spec back into the grammar above (banners/JSON). */
+std::string churnSpecToString(const ChurnSpec &spec);
+
+} // namespace necpt
+
+#endif // NECPT_COHERENCE_CHURN_HH

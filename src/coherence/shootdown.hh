@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The data plane of translation coherence: invalidation records, the
+ * batcher that coalesces them into shootdown rounds, and the directory
+ * that lets in-flight walks detect they raced with one.
+ *
+ * Everything here is deterministic bookkeeping — cycle math and event
+ * scheduling live in the CoherenceController and the Simulator.
+ */
+
+#ifndef NECPT_COHERENCE_SHOOTDOWN_HH
+#define NECPT_COHERENCE_SHOOTDOWN_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+/** What kind of mutation produced an invalidation (trace detail). */
+enum class InvalKind : std::uint8_t
+{
+    Unmap,   //!< balloon inflate: mapping gone, next access refaults
+    Remap,   //!< migration: same gVA (and gPA), new backing frame
+    Demote,  //!< 2MB split into 4KB pieces
+    Promote, //!< 512 x 4KB collapsed into 2MB
+    Protect, //!< permission downgrade (write-protect)
+};
+
+inline const char *
+invalKindName(InvalKind kind)
+{
+    switch (kind) {
+      case InvalKind::Unmap: return "unmap";
+      case InvalKind::Remap: return "remap";
+      case InvalKind::Demote: return "demote";
+      case InvalKind::Promote: return "promote";
+      case InvalKind::Protect: return "protect";
+    }
+    return "?";
+}
+
+/**
+ * One pending invalidation. The guest-virtual range kills TLB / POM-TLB
+ * / PWC entries; the guest-physical range (when the host re-backed
+ * those frames) additionally kills NTLB/STC entries, which are keyed
+ * by gPA. Ranges are page-aligned by construction.
+ */
+struct Invalidation
+{
+    Addr gva = invalid_addr;
+    std::uint64_t bytes = 0;
+    Addr gpa = invalid_addr; //!< invalid_addr = host backing untouched
+    std::uint64_t gpa_bytes = 0;
+    InvalKind kind = InvalKind::Unmap;
+};
+
+/**
+ * FIFO coalescing buffer between the churn sources and the shootdown
+ * rounds. Sources push as mutations happen; the controller pops up to
+ * the spec's batch bound per round, amortizing the per-round IPI cost
+ * over several invalidations (exactly why Linux batches its flushes).
+ */
+class ShootdownBatcher
+{
+  public:
+    void push(const Invalidation &inv) { queue.push_back(inv); }
+
+    bool empty() const { return queue.empty(); }
+    std::size_t size() const { return queue.size(); }
+
+    /** Pop up to @p max records, oldest first. */
+    std::vector<Invalidation>
+    pop(std::size_t max)
+    {
+        std::vector<Invalidation> batch;
+        while (!queue.empty() && batch.size() < max) {
+            batch.push_back(queue.front());
+            queue.pop_front();
+        }
+        return batch;
+    }
+
+  private:
+    std::deque<Invalidation> queue;
+};
+
+/**
+ * Recent-invalidation directory: answers "was anything overlapping
+ * this VA invalidated after epoch E?" — the question an in-flight walk
+ * asks at retire time to detect that it raced with a shootdown and
+ * must replay against the mutated page tables.
+ *
+ * A bounded ring keeps the last `capacity` records; queries reaching
+ * past the ring answer true conservatively (a spurious replay is
+ * correct, a missed one is not). Epochs are dense: one per recorded
+ * invalidation.
+ */
+class CoherenceDirectory
+{
+  public:
+    explicit CoherenceDirectory(std::size_t capacity = 256)
+        : cap(capacity)
+    {}
+
+    std::uint64_t epoch() const { return epoch_; }
+
+    void
+    record(const Invalidation &inv)
+    {
+        ++epoch_;
+        ring.push_back(Record{inv.gva, inv.bytes, epoch_});
+        if (ring.size() > cap)
+            ring.pop_front();
+    }
+
+    /** Was any VA in the page range containing @p gva invalidated
+     *  strictly after @p since_epoch? */
+    bool
+    invalidatedSince(Addr gva, std::uint64_t since_epoch) const
+    {
+        if (epoch_ <= since_epoch)
+            return false;
+        // Records newer than since_epoch already evicted? Can't tell —
+        // answer yes and let the (cheap, functional) replay decide.
+        if (!ring.empty() && ring.front().epoch > since_epoch + 1)
+            return true;
+        if (ring.empty())
+            return true;
+        for (auto it = ring.rbegin(); it != ring.rend(); ++it) {
+            if (it->epoch <= since_epoch)
+                break;
+            if (gva >= it->gva && gva - it->gva < it->bytes)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Record
+    {
+        Addr gva;
+        std::uint64_t bytes;
+        std::uint64_t epoch;
+    };
+
+    std::size_t cap;
+    std::deque<Record> ring;
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_COHERENCE_SHOOTDOWN_HH

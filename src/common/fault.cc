@@ -82,6 +82,18 @@ parseFaultSpec(const std::string &text)
             if (fields.size() > 1)
                 throw ConfigError("fault spec: 'trace' takes no value");
             spec.trace_corruption = true;
+        } else if (site == "shootdown") {
+            spec.shootdown_prob = parseProb(site, arg(1));
+            if (fields.size() > 2) {
+                char *end = nullptr;
+                const unsigned long long cycles =
+                    std::strtoull(fields[2].c_str(), &end, 10);
+                if (!end || *end != '\0' || fields[2].empty())
+                    throw ConfigError(strfmt(
+                        "fault spec: bad ack-delay cycles '%s'",
+                        fields[2].c_str()));
+                spec.shootdown_delay_cycles = cycles;
+            }
         } else if (site == "all") {
             if (fields.size() > 1)
                 throw ConfigError("fault spec: 'all' takes no value");
@@ -90,10 +102,11 @@ parseFaultSpec(const std::string &text)
             spec.resize_prob = 0.01;
             spec.mem_prob = 0.01;
             spec.trace_corruption = true;
+            spec.shootdown_prob = 0.05;
         } else {
             throw ConfigError(strfmt(
                 "fault spec: unknown site '%s' (expected pool, kicks, "
-                "resize, mem, trace, or all)", site.c_str()));
+                "resize, mem, trace, shootdown, or all)", site.c_str()));
         }
     }
     if (!spec.enabled())
@@ -122,6 +135,9 @@ faultSpecToString(const FaultSpec &spec)
                    (unsigned long long)spec.mem_spike_cycles));
     if (spec.trace_corruption)
         add("trace");
+    if (spec.shootdown_prob > 0.0)
+        add(strfmt("shootdown:%g:%llu", spec.shootdown_prob,
+                   (unsigned long long)spec.shootdown_delay_cycles));
     return out.empty() ? "none" : out;
 }
 
@@ -136,6 +152,9 @@ FaultPlan::FaultPlan(const FaultSpec &spec, std::uint64_t seed)
     kick_rng = Rng(splitmix64(sm));
     resize_rng = Rng(splitmix64(sm));
     mem_rng = Rng(splitmix64(sm));
+    // Appended after the original four so pre-existing specs draw the
+    // exact same per-site sequences they always did.
+    shootdown_rng = Rng(splitmix64(sm));
 }
 
 bool
@@ -198,6 +217,18 @@ FaultPlan::memSpikeCycles()
     traceFire("fault.mem_spike",
               static_cast<std::int64_t>(_spec.mem_spike_cycles));
     return _spec.mem_spike_cycles;
+}
+
+Cycles
+FaultPlan::shootdownAckDelay()
+{
+    if (_spec.shootdown_prob <= 0.0
+        || !shootdown_rng.chance(_spec.shootdown_prob))
+        return 0;
+    ++_counters.dropped_acks;
+    traceFire("fault.shootdown_ack",
+              static_cast<std::int64_t>(_spec.shootdown_delay_cycles));
+    return _spec.shootdown_delay_cycles;
 }
 
 } // namespace necpt

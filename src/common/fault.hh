@@ -56,11 +56,19 @@ struct FaultSpec
      *  (exercised by the sweep campaign, not inside the machine). */
     bool trace_corruption = false;
 
+    /** Per-ack probability that a shootdown IPI ack is dropped and
+     *  must be re-sent after a timeout (see shootdown_delay_cycles). */
+    double shootdown_prob = 0.0;
+
+    /** Re-send timeout added to a dropped ack, in cycles. */
+    Cycles shootdown_delay_cycles = 1000;
+
     bool
     enabled() const
     {
         return pool_fill >= 0.0 || kick_prob > 0.0 || resize_prob > 0.0
-               || mem_prob > 0.0 || trace_corruption;
+               || mem_prob > 0.0 || trace_corruption
+               || shootdown_prob > 0.0;
     }
 };
 
@@ -73,6 +81,8 @@ struct FaultSpec
  *   resize:PROB        arm forced resize windows
  *   mem:PROB[:CYCLES]  arm latency spikes (default 200 cycles)
  *   trace              arm corrupt-trace campaign jobs
+ *   shootdown:PROB[:CYCLES]  arm dropped shootdown acks (default
+ *                      1000-cycle re-send timeout)
  *   all                shorthand arming every site at stock rates
  *
  * Example: "pool:0.95,kicks:0.02,mem:0.01:400"
@@ -98,6 +108,7 @@ class FaultPlan
         std::uint64_t forced_kicks = 0;
         std::uint64_t forced_resizes = 0;
         std::uint64_t mem_spikes = 0;
+        std::uint64_t dropped_acks = 0;
     };
 
     FaultPlan(const FaultSpec &spec, std::uint64_t seed);
@@ -128,12 +139,17 @@ class FaultPlan
     /** Memory site: extra cycles to add to this access (0 = none). */
     Cycles memSpikeCycles();
 
+    /** Shootdown site: extra cycles before this core's ack lands
+     *  (0 = ack delivered first try; nonzero = dropped and re-sent
+     *  after the configured timeout). */
+    Cycles shootdownAckDelay();
+
   private:
     FaultSpec _spec;
     std::uint64_t _seed;
     Counters _counters;
 
-    Rng pool_rng, kick_rng, resize_rng, mem_rng;
+    Rng pool_rng, kick_rng, resize_rng, mem_rng, shootdown_rng;
     bool last_kick_forced = false;
     TraceBuffer *_tracer = nullptr;
 

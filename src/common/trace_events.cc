@@ -19,6 +19,7 @@ traceCatName(TraceCat cat)
     case TraceCat::Fault: return "fault";
     case TraceCat::Mem: return "mem";
     case TraceCat::Engine: return "engine";
+    case TraceCat::Shootdown: return "shootdown";
     }
     return "?";
 }

@@ -46,6 +46,7 @@ enum class TraceCat : std::uint8_t
     Fault,  //!< injected-fault sites firing
     Mem,    //!< hierarchy accesses resolved (level + latency)
     Engine, //!< sweep-engine job lifecycle spans
+    Shootdown, //!< TLB-shootdown rounds, acks, and in-flight replays
 };
 
 const char *traceCatName(TraceCat cat);
@@ -82,6 +83,9 @@ constexpr std::uint32_t trace_engine_tid = 1u << 16;
 
 /** The page-table structures' lane (cuckoo kicks, resizes, faults). */
 constexpr std::uint32_t trace_pt_tid = (1u << 16) + 1;
+
+/** The coherence controller's lane (shootdown rounds and churn ops). */
+constexpr std::uint32_t trace_coherence_tid = (1u << 16) + 2;
 
 /**
  * Ring-buffered event sink with walk-level sampling.

@@ -91,14 +91,38 @@ class AssocCache
         *victim = {key, value, ++tick, true};
     }
 
-    /** Invalidate @p key if present. */
-    void
+    /** Invalidate @p key if present. @return true when a line died. */
+    bool
     invalidate(const KeyT &key)
     {
         Line *base = setBase(key);
-        for (std::size_t i = 0; i < assoc; ++i)
-            if (base[i].valid && base[i].key == key)
+        for (std::size_t i = 0; i < assoc; ++i) {
+            if (base[i].valid && base[i].key == key) {
                 base[i].valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Invalidate every line matching @p pred(key, value). Surviving
+     * lines keep their LRU ranks untouched — a partial invalidation
+     * (shootdown) must not perturb replacement among the survivors.
+     * @return number of lines invalidated.
+     */
+    template <typename Pred>
+    std::size_t
+    invalidateIf(Pred &&pred)
+    {
+        std::size_t count = 0;
+        for (Line &line : lines) {
+            if (line.valid && pred(line.key, line.value)) {
+                line.valid = false;
+                ++count;
+            }
+        }
+        return count;
     }
 
     /** Invalidate everything. */

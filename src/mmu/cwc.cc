@@ -44,6 +44,28 @@ CuckooWalkCache::invalidate(PageSize level, std::uint64_t entry_key)
         cache->invalidate(entry_key);
 }
 
+std::size_t
+CuckooWalkCache::invalidateRange(Addr base, std::uint64_t bytes)
+{
+    std::size_t count = 0;
+    const Addr last = base + (bytes ? bytes - 1 : 0);
+    for (int s = 0; s < num_page_sizes; ++s) {
+        Level *cache = levels[s].get();
+        if (!cache)
+            continue;
+        // Entry keys are va >> (section shift + 11): one key per
+        // 2048-section granule (CuckooWalkTable::entryKey).
+        const int shift = sectionShiftFor(all_page_sizes[s]) + 11;
+        const std::uint64_t lo = base >> shift;
+        const std::uint64_t hi = last >> shift;
+        count += cache->invalidateIf(
+            [lo, hi](std::uint64_t key, std::uint64_t) {
+                return key >= lo && key <= hi;
+            });
+    }
+    return count;
+}
+
 void
 CuckooWalkCache::flush()
 {

@@ -61,6 +61,15 @@ class CuckooWalkCache
     /** Invalidate one entry (CWT update coherence). */
     void invalidate(PageSize level, std::uint64_t entry_key);
 
+    /**
+     * Shootdown receive side: drop every cached CWT entry whose
+     * coverage overlaps the VA range [base, base+bytes). The entry key
+     * at each level is the VA prefix above that level's 2048-section
+     * granule, so the range maps to a [lo, hi] key interval per level.
+     * Survivors keep their LRU ranks. @return entries invalidated.
+     */
+    std::size_t invalidateRange(Addr base, std::uint64_t bytes);
+
     void flush();
 
     bool caches(PageSize level) const

@@ -57,7 +57,8 @@ PomTlb::lookup(Addr va)
 }
 
 void
-PomTlb::install(Addr va, const Translation &translation)
+PomTlb::install(Addr va, const Translation &translation,
+                std::uint16_t asid)
 {
     const auto key = keyOf(va, translation.size);
     Entry *base_entry = &entries[setOf(key) * num_ways];
@@ -67,6 +68,7 @@ PomTlb::install(Addr va, const Translation &translation)
         if (e.valid && e.vpn == key) {
             e.translation = translation;
             e.lru = ++tick;
+            e.asid = asid;
             return;
         }
         if (!e.valid) {
@@ -76,7 +78,60 @@ PomTlb::install(Addr va, const Translation &translation)
         if (e.lru < victim->lru)
             victim = &e;
     }
-    *victim = {key, translation, ++tick, true};
+    *victim = {key, translation, ++tick, asid, true};
+}
+
+bool
+PomTlb::invalidateKey(std::uint64_t key)
+{
+    Entry *base_entry = &entries[setOf(key) * num_ways];
+    for (int w = 0; w < num_ways; ++w) {
+        Entry &e = base_entry[w];
+        if (e.valid && e.vpn == key) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+PomTlb::invalidatePage(Addr va)
+{
+    std::size_t count = 0;
+    for (auto size : all_page_sizes)
+        count += invalidateKey(keyOf(va, size)) ? 1 : 0;
+    return count;
+}
+
+std::size_t
+PomTlb::invalidateRange(Addr base_va, std::uint64_t range_bytes)
+{
+    std::size_t count = 0;
+    const Addr last = base_va + (range_bytes ? range_bytes - 1 : 0);
+    for (auto size : all_page_sizes) {
+        const auto lo = pageNumber(base_va, size);
+        const auto hi = pageNumber(last, size);
+        for (std::uint64_t vpn = lo; vpn <= hi; ++vpn) {
+            count += invalidateKey(
+                         (vpn << 2) | static_cast<std::uint64_t>(size))
+                ? 1 : 0;
+        }
+    }
+    return count;
+}
+
+std::size_t
+PomTlb::invalidateAsid(std::uint16_t asid)
+{
+    std::size_t count = 0;
+    for (Entry &e : entries) {
+        if (e.valid && e.asid == asid) {
+            e.valid = false;
+            ++count;
+        }
+    }
+    return count;
 }
 
 } // namespace necpt

@@ -83,6 +83,25 @@ class PageWalkCache
             c->flush();
     }
 
+    /** Shootdown receive side: drop every cached entry whose subtree
+     *  overlaps [base, base+bytes), at every level. Survivors keep
+     *  their LRU ranks. @return entries invalidated. */
+    std::size_t
+    invalidateRange(Addr base, std::uint64_t bytes)
+    {
+        std::size_t count = 0;
+        const Addr last = base + (bytes ? bytes - 1 : 0);
+        for (int l = min_lvl; l <= max_lvl; ++l) {
+            const auto lo = prefix(base, l);
+            const auto hi = prefix(last, l);
+            count += caches[l - min_lvl]->invalidateIf(
+                [lo, hi](std::uint64_t key, bool) {
+                    return key >= lo && key <= hi;
+                });
+        }
+        return count;
+    }
+
     Cycles latency() const { return latency_; }
     int minLevel() const { return min_lvl; }
     int maxLevel() const { return max_lvl; }
@@ -134,6 +153,19 @@ class NestedTlb
     }
 
     void flush() { cache.flush(); }
+
+    /** Drop entries for gPA pages in [base, base+bytes) — the host
+     *  re-backed those pages (migration / balloon). LRU-preserving. */
+    std::size_t
+    invalidateRange(Addr base, std::uint64_t bytes)
+    {
+        const std::uint64_t lo = base >> 12;
+        const std::uint64_t hi = (base + (bytes ? bytes - 1 : 0)) >> 12;
+        return cache.invalidateIf([lo, hi](std::uint64_t key, Addr) {
+            return key >= lo && key <= hi;
+        });
+    }
+
     Cycles latency() const { return latency_; }
     const HitMiss &stats() const { return cache.stats(); }
     void resetStats() { cache.resetStats(); }
@@ -168,6 +200,19 @@ class ShortcutTranslationCache
     }
 
     void flush() { cache.flush(); }
+
+    /** Drop shortcut entries for gPA pages in [base, base+bytes),
+     *  preserving survivors' LRU ranks. */
+    std::size_t
+    invalidateRange(Addr base, std::uint64_t bytes)
+    {
+        const std::uint64_t lo = base >> 12;
+        const std::uint64_t hi = (base + (bytes ? bytes - 1 : 0)) >> 12;
+        return cache.invalidateIf([lo, hi](std::uint64_t key, Addr) {
+            return key >= lo && key <= hi;
+        });
+    }
+
     Cycles latency() const { return latency_; }
     const HitMiss &stats() const { return cache.stats(); }
     void resetStats() { cache.resetStats(); }

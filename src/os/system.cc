@@ -276,6 +276,188 @@ NestedSystem::hostFaultIn(Addr gpa)
     }
 }
 
+void
+NestedSystem::guestUnmap(Addr page, PageSize size)
+{
+    if (guest_radix) {
+        guest_radix->unmap(page, size);
+    } else if (guest_hpt) {
+        NECPT_ASSERT(size == PageSize::Page4K);
+        guest_hpt->unmap(page);
+    } else {
+        guest_ecpt->unmap(page, size);
+    }
+}
+
+void
+NestedSystem::hostUnmap(Addr page, PageSize size)
+{
+    if (host_radix) {
+        host_radix->unmap(page, size);
+    } else if (host_ecpt) {
+        host_ecpt->unmap(page, size);
+    } else if (host_flat) {
+        host_flat->unmap(page, size);
+    } else if (host_hpt) {
+        NECPT_ASSERT(size == PageSize::Page4K);
+        host_hpt->unmap(page);
+    }
+}
+
+Translation
+NestedSystem::hostPeek(Addr gpa) const
+{
+    if (host_radix)
+        return host_radix->lookup(gpa);
+    if (host_ecpt)
+        return host_ecpt->lookup(gpa);
+    if (host_flat)
+        return host_flat->lookup(gpa);
+    if (host_hpt)
+        return host_hpt->lookup(gpa);
+    return {};
+}
+
+NestedSystem::UnmapInfo
+NestedSystem::guestUnmapPage(Addr gva)
+{
+    const Translation g = guestTranslate(gva);
+    if (!g.valid)
+        return {};
+    const Addr page = pageBase(gva, g.size);
+    guestUnmap(page, g.size);
+    PhysMemPool &frames = cfg.virtualized ? *guest_pool : *host_pool;
+    frames.freeFrame(g.pa, g.size);
+    return {true, page, g};
+}
+
+NestedSystem::UnmapInfo
+NestedSystem::balloonOut(Addr gva)
+{
+    UnmapInfo info = guestUnmapPage(gva);
+    if (!info.ok || !cfg.virtualized)
+        return info;
+    // The balloon driver hands the freed guest-physical frame to the
+    // hypervisor, which drops its backing. Release every host page
+    // covering the frame; a host huge page may also back neighboring
+    // gPAs — they simply refault on next use (no data to preserve in
+    // this model).
+    Addr gpa = info.old_guest.pa;
+    const Addr end = gpa + pageBytes(info.old_guest.size);
+    while (gpa < end) {
+        const Translation h = hostPeek(gpa);
+        if (!h.valid) {
+            gpa = pageBase(gpa, PageSize::Page4K)
+                + pageBytes(PageSize::Page4K);
+            continue;
+        }
+        const Addr hpage = pageBase(gpa, h.size);
+        hostUnmap(hpage, h.size);
+        host_pool->freeFrame(h.pa, h.size);
+        gpa = hpage + pageBytes(h.size);
+    }
+    return info;
+}
+
+bool
+NestedSystem::migratePage(Addr gva)
+{
+    const Translation g = guestTranslate(gva);
+    if (!g.valid)
+        return false;
+    if (!cfg.virtualized) {
+        // Native: move the page to a fresh frame. Allocate before
+        // freeing so the allocator cannot hand the same frame back.
+        const Addr page = pageBase(gva, g.size);
+        const Addr fresh = host_pool->allocFrame(g.size);
+        guestUnmap(page, g.size);
+        host_pool->freeFrame(g.pa, g.size);
+        guestMap(page, fresh, g.size);
+        return true;
+    }
+    // Virtualized: the hypervisor re-backs the guest-physical page —
+    // gPA stays, hPA changes, and every cached {gVA, hPA} pair goes
+    // stale (the HATRIC motivation case).
+    const Addr gpa = g.apply(gva);
+    const Translation h = hostPeek(gpa);
+    if (!h.valid)
+        return false;
+    const Addr hpage = pageBase(gpa, h.size);
+    const Addr fresh = host_pool->allocFrame(h.size);
+    hostUnmap(hpage, h.size);
+    host_pool->freeFrame(h.pa, h.size);
+    hostMap(hpage, fresh, h.size);
+    return true;
+}
+
+int
+NestedSystem::thpDemote(Addr gva)
+{
+    const Translation g = guestTranslate(gva);
+    if (!g.valid || g.size != PageSize::Page2M)
+        return 0;
+    const Addr page = pageBase(gva, PageSize::Page2M);
+    PhysMemPool &frames = cfg.virtualized ? *guest_pool : *host_pool;
+    // The region is fragmented now: future faults here must stay 4KB,
+    // or a fresh 2MB mapping could overlap the split pieces.
+    guest_block_thp[page >> 26] = false;
+    // Copy-based split: the huge frame is released and each 4KB piece
+    // re-lands in its own frame (keeps pool accounting size-exact).
+    guestUnmap(page, PageSize::Page2M);
+    frames.freeFrame(g.pa, PageSize::Page2M);
+    const int pieces = static_cast<int>(pageBytes(PageSize::Page2M)
+                                        / pageBytes(PageSize::Page4K));
+    for (int i = 0; i < pieces; ++i) {
+        const Addr va = page
+            + static_cast<Addr>(i) * pageBytes(PageSize::Page4K);
+        guestMap(va, frames.allocFrame(PageSize::Page4K),
+                 PageSize::Page4K);
+    }
+    return pieces;
+}
+
+int
+NestedSystem::thpPromote(Addr gva)
+{
+    const Addr region = pageBase(gva, PageSize::Page2M);
+    const int pieces = static_cast<int>(pageBytes(PageSize::Page2M)
+                                        / pageBytes(PageSize::Page4K));
+    // Collapse only a uniformly 4KB-mapped region (khugepaged's
+    // eligibility check).
+    for (int i = 0; i < pieces; ++i) {
+        const Addr va = region
+            + static_cast<Addr>(i) * pageBytes(PageSize::Page4K);
+        const Translation t = guestTranslate(va);
+        if (!t.valid || t.size != PageSize::Page4K)
+            return 0;
+    }
+    PhysMemPool &frames = cfg.virtualized ? *guest_pool : *host_pool;
+    const Addr huge = frames.allocFrame(PageSize::Page2M);
+    for (int i = 0; i < pieces; ++i) {
+        const Addr va = region
+            + static_cast<Addr>(i) * pageBytes(PageSize::Page4K);
+        const Translation t = guestTranslate(va);
+        guestUnmap(va, PageSize::Page4K);
+        frames.freeFrame(t.pa, PageSize::Page4K);
+    }
+    guestMap(region, huge, PageSize::Page2M);
+    return pieces;
+}
+
+bool
+NestedSystem::writeProtectPage(Addr gva)
+{
+    const Translation g = guestTranslate(gva);
+    if (!g.valid)
+        return false;
+    if (guest_ecpt)
+        return guest_ecpt->writeProtect(pageBase(gva, g.size), g.size);
+    // Radix/HPT organizations store no flag word in this model: the
+    // downgrade is the invalidation itself (the caller shoots the
+    // cached translation down).
+    return true;
+}
+
 bool
 NestedSystem::ensureResident(Addr gva)
 {

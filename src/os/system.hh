@@ -135,6 +135,61 @@ class NestedSystem
     void quiesce();
     /// @}
 
+    /// @name Translation churn (coherence subsystem issue side)
+    /// The OS/hypervisor mutations behind TLB shootdowns: ballooning,
+    /// NUMA migration of the backing, THP promotion/demotion, and
+    /// permission downgrades. Each returns what changed so the caller
+    /// (src/coherence) can queue the matching invalidations; none of
+    /// them touches any MMU cache itself.
+    /// @{
+    /** Outcome of a guest-side unmap. */
+    struct UnmapInfo
+    {
+        bool ok = false;
+        Addr page = invalid_addr; //!< guest-virtual page base
+        Translation old_guest;    //!< mapping that was removed
+    };
+
+    /**
+     * Balloon inflate: remove the guest mapping of the page containing
+     * @p gva and return its guest-physical frame to the pool (and, when
+     * virtualized, release the host backing of that frame). The next
+     * access refaults via ensureResident — the deflate path.
+     */
+    UnmapInfo balloonOut(Addr gva);
+
+    /**
+     * Migrate the backing of the page containing @p gva to a fresh
+     * frame (NUMA rebalance): host-level re-backing when virtualized
+     * (gPA unchanged, hPA changes), a guest-level remap otherwise. The
+     * translation cached in TLBs goes stale either way.
+     */
+    bool migratePage(Addr gva);
+
+    /** Split a 2MB guest mapping into 512 4KB mappings (THP demotion
+     *  via copy, as khugepaged's inverse). @return pages created. */
+    int thpDemote(Addr gva);
+
+    /** Collapse 512 resident 4KB guest pages into one 2MB mapping
+     *  (khugepaged). @return 4KB pages absorbed (0 when the 2MB region
+     *  containing @p gva is not uniformly 4KB-mapped). */
+    int thpPromote(Addr gva);
+
+    /** Permission downgrade: write-protect the guest page containing
+     *  @p gva. In-place PTE RMW where the organization stores flags
+     *  (ECPT); for the others the downgrade is modeled as
+     *  invalidate-only. @return true when the page was mapped. */
+    bool writeProtectPage(Addr gva);
+
+    /** VMA introspection for churn victim picking (deterministic). */
+    std::size_t vmaCount() const { return vmas.size(); }
+    std::pair<Addr, std::uint64_t>
+    vmaRange(std::size_t i) const
+    {
+        return {vmas[i].base, vmas[i].bytes};
+    }
+    /// @}
+
     /// @name Functional translations (used by walkers as ground truth)
     /// @{
     /** gVA -> gPA (final in native mode). */
@@ -223,6 +278,18 @@ class NestedSystem
 
     void guestMap(Addr gva, Addr gpa, PageSize size);
     void hostMap(Addr gpa, Addr hpa, PageSize size);
+
+    /** Remove the guest mapping of @p page (base-aligned) at @p size. */
+    void guestUnmap(Addr page, PageSize size);
+
+    /** Remove the host mapping of @p page (base-aligned) at @p size. */
+    void hostUnmap(Addr page, PageSize size);
+
+    /** Host mapping of @p gpa without faulting it in. */
+    Translation hostPeek(Addr gpa) const;
+
+    /** Unmap the guest page containing @p gva and free its frame. */
+    UnmapInfo guestUnmapPage(Addr gva);
 
     SystemConfig cfg;
 

@@ -157,13 +157,31 @@ class ElasticCuckooTable
         return {};
     }
 
-    /** Remove @p key. @return true when it was present. */
+    /**
+     * Remove @p key. Covers both generations *and* the homeless list
+     * (an entry can be parked there mid-settle under injected kick
+     * exhaustion), and afterwards re-runs settle() so any parked entry
+     * can claim the slot the deletion just freed — the homeless-slot
+     * repair half of the delete path. @return true when it was present.
+     */
     bool
     erase(std::uint64_t key)
     {
-        if (eraseIn(live, key))
-            return true;
-        return old && eraseIn(*old, key);
+        bool hit = eraseIn(live, key);
+        if (!hit && old)
+            hit = eraseIn(*old, key);
+        for (auto it = homeless.begin(); it != homeless.end(); ++it) {
+            if (it->first == key) {
+                homeless.erase(it);
+                hit = true;
+                break;
+            }
+        }
+        if (hit) {
+            ++erase_count;
+            settle();
+        }
+        return hit;
     }
 
     /**
@@ -219,6 +237,9 @@ class ElasticCuckooTable
 
     /** Cuckoo displacements observed (Section 4.4 staleness driver). */
     std::uint64_t rehashMoves() const { return rehash_moves; }
+
+    /** Successful deletions (churn / coherence accounting). */
+    std::uint64_t eraseCount() const { return erase_count; }
 
     /** Entries migrated by elastic resizes. */
     std::uint64_t resizeMoves() const { return resize_moves; }
@@ -551,6 +572,7 @@ class ElasticCuckooTable
     std::uint64_t rehash_moves = 0;
     std::uint64_t resize_moves = 0;
     std::uint64_t resizes = 0;
+    std::uint64_t erase_count = 0;
     std::uint64_t injected_kicks = 0;
     std::uint64_t injected_resizes = 0;
 };

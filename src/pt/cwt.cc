@@ -3,9 +3,6 @@
 namespace necpt
 {
 
-namespace
-{
-
 /** Section granularity per CWT level (see file header). */
 int
 sectionShiftFor(PageSize level)
@@ -20,8 +17,6 @@ sectionShiftFor(PageSize level)
     }
     return 15;
 }
-
-} // namespace
 
 CuckooWalkTable::CuckooWalkTable(RegionAllocator &allocator, PageSize level,
                                  const CuckooConfig &config)
@@ -130,6 +125,35 @@ CuckooWalkTable::setHasSmaller(Addr va, PageSize smaller)
     else if (smaller == PageSize::Page2M)
         d.smaller_2m = true;
     update(va, d);
+}
+
+void
+CuckooWalkTable::addSmaller(Addr va, PageSize smaller)
+{
+    const int idx = smaller == PageSize::Page4K ? 0 : 1;
+    ++smaller_counts[sectionKey(va)][idx];
+    setHasSmaller(va, smaller);
+}
+
+void
+CuckooWalkTable::removeSmaller(Addr va, PageSize smaller)
+{
+    const int idx = smaller == PageSize::Page4K ? 0 : 1;
+    auto it = smaller_counts.find(sectionKey(va));
+    NECPT_ASSERT(it != smaller_counts.end() && it->second[idx] > 0);
+    if (--it->second[idx] > 0)
+        return;
+    // Last page of this size in the section: downgrade the descriptor.
+    CwtDescriptor d;
+    if (auto q = query(va))
+        d = *q;
+    if (smaller == PageSize::Page4K)
+        d.smaller_4k = false;
+    else
+        d.smaller_2m = false;
+    update(va, d);
+    if (it->second[0] == 0 && it->second[1] == 0)
+        smaller_counts.erase(it);
 }
 
 std::optional<CwtDescriptor>

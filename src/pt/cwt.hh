@@ -39,6 +39,9 @@
 namespace necpt
 {
 
+/** Section granularity (log2 bytes) of the CWT for @p level. */
+int sectionShiftFor(PageSize level);
+
 /**
  * Decoded 4-bit CWT section descriptor.
  *
@@ -93,6 +96,22 @@ class CuckooWalkTable
     /** Record that the section containing @p va holds pages of the
      *  (smaller) size @p smaller. */
     void setHasSmaller(Addr va, PageSize smaller);
+
+    /**
+     * Counted variant of setHasSmaller for the unmap/downgrade path:
+     * records one page of @p smaller mapped in the section, so
+     * removeSmaller() can clear the has-smaller bit exactly when the
+     * last such page goes away.
+     */
+    void addSmaller(Addr va, PageSize smaller);
+
+    /**
+     * Record one page of @p smaller unmapped from the section
+     * containing @p va; when its count reaches zero the stale
+     * has-smaller bit is cleared — the CWT *downgrade* that keeps
+     * walkers from probing sizes that no longer exist there.
+     */
+    void removeSmaller(Addr va, PageSize smaller);
 
     /**
      * Ground-truth descriptor for @p va. nullopt when no CWT chunk
@@ -161,12 +180,22 @@ class CuckooWalkTable
         return va >> chunk_shift;
     }
 
+    std::uint64_t sectionKey(Addr va) const
+    {
+        return va >> section_shift;
+    }
+
     RegionAllocator &alloc;
     PageSize level_;
     int section_shift;
     int entry_shift;
     int chunk_shift;
     std::unordered_map<std::uint64_t, Chunk> chunks;
+    /** Per-section counts of pages mapped at each smaller size
+     *  ([0]=4K, [1]=2M) — OS bookkeeping, not simulated storage; it
+     *  backs the exact clear in removeSmaller(). */
+    std::unordered_map<std::uint64_t, std::array<std::uint32_t, 2>>
+        smaller_counts;
 };
 
 } // namespace necpt

@@ -90,11 +90,15 @@ EcptPageTable::map(Addr va, Addr pa, PageSize size)
         cwt->setPresent(va, way);
     }
     // ...and which-smaller-size bits at every larger level (Figure
-    // 14's pruning depends on these).
-    for (int larger = static_cast<int>(size) + 1;
-         larger < num_page_sizes; ++larger) {
-        if (CuckooWalkTable *cwt = cwts[larger].get())
-            cwt->setHasSmaller(va, size);
+    // 14's pruning depends on these). Counted per fresh page so the
+    // unmap path can downgrade the bits exactly; a re-map of an
+    // already-mapped page changes neither the bit nor the count.
+    if (fresh) {
+        for (int larger = static_cast<int>(size) + 1;
+             larger < num_page_sizes; ++larger) {
+            if (CuckooWalkTable *cwt = cwts[larger].get())
+                cwt->addSmaller(va, size);
+        }
     }
 }
 
@@ -109,11 +113,37 @@ EcptPageTable::unmap(Addr va, PageSize size)
         return;
     hit.value->pte[sub].clear();
     --mapped[static_cast<int>(size)];
-    if (hit.value->empty()) {
+    const bool block_empty = hit.value->empty();
+    if (block_empty)
         table.erase(key);
-        if (CuckooWalkTable *cwt = cwtOf(size))
+    if (CuckooWalkTable *cwt = cwtOf(size)) {
+        // PMD/PUD-CWT sections cover exactly one page, so the present
+        // bit dies with the page; a PTE-CWT section is the whole
+        // 8-page block and stays present until the block empties.
+        if (size != PageSize::Page4K || block_empty)
             cwt->clearPresent(va);
     }
+    // Downgrade the has-smaller bits at every larger level once the
+    // last size-`size` page in their section is gone.
+    for (int larger = static_cast<int>(size) + 1;
+         larger < num_page_sizes; ++larger) {
+        if (CuckooWalkTable *cwt = cwts[larger].get())
+            cwt->removeSmaller(va, size);
+    }
+}
+
+bool
+EcptPageTable::writeProtect(Addr va, PageSize size)
+{
+    auto &table = tableOf(size);
+    auto hit = table.find(blockKey(va, size));
+    if (!hit)
+        return false;
+    Pte &pte = hit.value->pte[pageNumber(va, size) & 0x7];
+    if (!pte.present())
+        return false;
+    pte.writeProtect();
+    return true;
 }
 
 EcptPageTable::SizedResult
@@ -209,28 +239,50 @@ EcptPageTable::auditCwtConsistency(const std::string &who) const
                     "generations", who.c_str(), pageSizeName(size),
                     (unsigned long long)key));
             }
-            if (!cwt)
-                return;
             const Addr block_base = (key << 3) << pageShift(size);
             for (int j = 0; j < PteBlock::entries; ++j) {
                 if (!block.pte[j].present())
                     continue;
                 const Addr va = block_base
                     + (static_cast<Addr>(j) << pageShift(size));
-                const auto d = cwt->query(va);
-                if (!d || !d->present)
-                    throw InvariantViolation(strfmt(
-                        "%s %s-CWT: stale descriptor — VA 0x%llx is "
-                        "mapped (key 0x%llx way %d) but the CWT has "
-                        "no present bit", who.c_str(),
-                        pageSizeName(size), (unsigned long long)va,
-                        (unsigned long long)key, way));
-                if (d->way != way)
-                    throw InvariantViolation(strfmt(
-                        "%s %s-CWT: stale way bits — VA 0x%llx lives "
-                        "in way %d but the CWT says way %d",
-                        who.c_str(), pageSizeName(size),
-                        (unsigned long long)va, way, (int)d->way));
+                if (cwt) {
+                    const auto d = cwt->query(va);
+                    if (!d || !d->present)
+                        throw InvariantViolation(strfmt(
+                            "%s %s-CWT: stale descriptor — VA 0x%llx is "
+                            "mapped (key 0x%llx way %d) but the CWT has "
+                            "no present bit", who.c_str(),
+                            pageSizeName(size), (unsigned long long)va,
+                            (unsigned long long)key, way));
+                    if (d->way != way)
+                        throw InvariantViolation(strfmt(
+                            "%s %s-CWT: stale way bits — VA 0x%llx lives "
+                            "in way %d but the CWT says way %d",
+                            who.c_str(), pageSizeName(size),
+                            (unsigned long long)va, way, (int)d->way));
+                }
+                // Every larger level must advertise this page via its
+                // has-smaller bit (and cannot itself be present — the
+                // mappings would overlap). The unmap downgrade keeps
+                // these exact; a stale bit here means a missed
+                // removeSmaller.
+                for (int larger = s + 1; larger < num_page_sizes;
+                     ++larger) {
+                    const CuckooWalkTable *up = cwts[larger].get();
+                    if (!up)
+                        continue;
+                    const auto d = up->query(va);
+                    const bool advertised = d && !d->present
+                        && (size == PageSize::Page4K ? d->smaller_4k
+                                                     : d->smaller_2m);
+                    if (!advertised)
+                        throw InvariantViolation(strfmt(
+                            "%s %s-CWT: missing has-smaller bit for "
+                            "%s-mapped VA 0x%llx", who.c_str(),
+                            pageLevelName(all_page_sizes[larger]),
+                            pageSizeName(size),
+                            (unsigned long long)va));
+                }
             }
         });
     }

@@ -91,6 +91,10 @@ class EcptPageTable
     /** Remove the mapping of the page containing @p va. */
     void unmap(Addr va, PageSize size);
 
+    /** Permission downgrade: clear the writable bit of the PTE mapping
+     *  @p va in place. @return true when such a mapping existed. */
+    bool writeProtect(Addr va, PageSize size);
+
     /** Functional lookup across all page sizes. */
     Translation lookup(Addr va) const;
 

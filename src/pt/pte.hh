@@ -18,9 +18,10 @@ namespace necpt
 /**
  * A packed 8-byte page-table entry: physical frame base plus flag bits.
  *
- * Bit 0 is the present bit; bits 12..51 hold the frame number — the
- * x86-64-like layout all our organizations share (Section 7 notes
- * per-entry usage stays identical across organizations).
+ * Bit 0 is the present bit, bit 1 the writable bit; bits 12..51 hold
+ * the frame number — the x86-64-like layout all our organizations
+ * share (Section 7 notes per-entry usage stays identical across
+ * organizations).
  */
 class Pte
 {
@@ -31,18 +32,25 @@ class Pte
     make(Addr frame_base, bool present = true)
     {
         Pte pte;
-        pte.raw = (frame_base & frame_mask) | (present ? present_bit : 0);
+        pte.raw = (frame_base & frame_mask) | (present ? present_bit : 0)
+            | (present ? writable_bit : 0);
         return pte;
     }
 
     bool present() const { return raw & present_bit; }
+    bool writable() const { return raw & writable_bit; }
     Addr frameBase() const { return raw & frame_mask; }
     std::uint64_t rawValue() const { return raw; }
+
+    /** Permission downgrade: drop write access in place (the entry
+     *  stays present; cached copies need a shootdown). */
+    void writeProtect() { raw &= ~writable_bit; }
 
     void clear() { raw = 0; }
 
   private:
     static constexpr std::uint64_t present_bit = 1ULL;
+    static constexpr std::uint64_t writable_bit = 2ULL;
     static constexpr std::uint64_t frame_mask = mask(52) & ~mask(12);
 
     std::uint64_t raw;

@@ -50,11 +50,41 @@ RadixPageTable::map(Addr va, Addr pa, PageSize size)
     for (int level = top_level; level > leaf; --level)
         node = ensureChild(node, radixIndex(va, level));
     Entry &entry = node->slots[radixIndex(va, leaf)];
-    NECPT_ASSERT(entry.kind != Entry::Kind::Table);
+    if (entry.kind == Entry::Kind::Table) {
+        // Huge-page collapse (THP promotion): the 4KB pieces were
+        // unmapped first, so the subtree is empty — free its table
+        // pages the way khugepaged frees the PTE page.
+        NECPT_ASSERT(subtreeEmpty(entry.child.get()));
+        freeSubtree(entry.child);
+        entry.kind = Entry::Kind::None;
+    }
     if (entry.kind == Entry::Kind::None)
         ++mappings;
     entry.kind = Entry::Kind::Leaf;
     entry.leaf_pa = pa;
+}
+
+bool
+RadixPageTable::subtreeEmpty(const Node *node)
+{
+    for (const Entry &e : node->slots) {
+        if (e.kind == Entry::Kind::Leaf)
+            return false;
+        if (e.kind == Entry::Kind::Table && !subtreeEmpty(e.child.get()))
+            return false;
+    }
+    return true;
+}
+
+void
+RadixPageTable::freeSubtree(std::unique_ptr<Node> &child)
+{
+    for (Entry &e : child->slots)
+        if (e.kind == Entry::Kind::Table)
+            freeSubtree(e.child);
+    alloc.freeRegion(child->frame, 4096);
+    --nodes;
+    child.reset();
 }
 
 void

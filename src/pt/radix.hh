@@ -108,6 +108,12 @@ class RadixPageTable
 
     Node *ensureChild(Node *node, unsigned idx);
 
+    /** True when no leaf mapping lives anywhere under @p node. */
+    static bool subtreeEmpty(const Node *node);
+
+    /** Free @p child and its descendants' node frames. */
+    void freeSubtree(std::unique_ptr<Node> &child);
+
     RegionAllocator &alloc;
     int top_level;
     std::unique_ptr<Node> root_;

@@ -6,6 +6,7 @@
 #include "common/error.hh"
 #include "common/log.hh"
 #include "sim/sched.hh"
+#include "workloads/churn_sources.hh"
 #include "walk/machine.hh"
 #include "walk/baselines.hh"
 #include "walk/hybrid.hh"
@@ -112,6 +113,23 @@ Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
         if (fault_plan)
             fault_plan->setTracer(params.tracer);
     }
+
+    // Coherence subsystem: built only when churn is armed, so an
+    // all-defaults spec stays byte-identical to a build without it.
+    coherence.reset();
+    churn_sources.clear();
+    if (params.churn.enabled()) {
+        coherence = std::make_unique<CoherenceController>(params.churn);
+        for (int core = 0; core < params.cores; ++core)
+            coherence->attachCore(tlb[core].get(), walkers[core].get());
+        if (pom)
+            coherence->attachPom(pom.get());
+        if (fault_plan)
+            coherence->setFaultPlan(fault_plan.get());
+        if (params.tracer)
+            coherence->setTracer(params.tracer);
+        churn_sources = makeChurnSources(params.churn, params.seed);
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -215,6 +233,21 @@ Simulator::runWith(const std::string &label,
             void operator()() const { loop->retire(core, mp, end); }
         };
 
+        struct ChurnEv
+        {
+            Loop *loop;
+            int idx;
+            double at;
+            void operator()() const { loop->churnFire(idx, at); }
+        };
+
+        struct RoundDoneEv
+        {
+            Loop *loop;
+            double at;
+            void operator()() const { loop->roundDone(at); }
+        };
+
         Simulator &sim;
         std::vector<CoreState> cores;
         EventScheduler sched;
@@ -223,6 +256,10 @@ Simulator::runWith(const std::string &label,
         bool stats_reset = false;
         std::uint64_t inflight_peak = 0;
         double pump_armed_at = std::numeric_limits<double>::infinity();
+        /** Shootdown round in flight (at most one; rounds chain). */
+        CoherenceController::RoundPlan round{};
+        bool round_active = false;
+        int next_initiator = 0;
 
         // Memory-completion pump (overlap mode): after any event that
         // leaves transactions pending, one pump event sits at the
@@ -251,6 +288,81 @@ Simulator::runWith(const std::string &label,
             sim.mem->drainUntil(static_cast<Cycles>(next));
             armPump();
         }
+
+        /// @name Translation churn (events at priority -2: mutations
+        /// and invalidations land before the memory pump and any core
+        /// step at the same cycle)
+        /// @{
+        enum : std::int64_t { coherence_prio = -2 };
+
+        /** Is any core still issuing accesses? Churn re-arms only
+         *  while the kernels run, so the event loop terminates. */
+        bool
+        coresActive() const
+        {
+            for (const CoreState &cs : cores)
+                if (cs.accesses < total)
+                    return true;
+            return false;
+        }
+
+        void
+        churnFire(int idx, double at)
+        {
+            ChurnSource &src = *sim.churn_sources[idx];
+            if (sim.params.tracer)
+                sim.params.tracer->setNow(static_cast<Cycles>(at));
+            src.fire(*sim.sys, *sim.coherence);
+            maybeStartRound(at);
+            if (coresActive()) {
+                const double next =
+                    at + static_cast<double>(src.period());
+                sched.at(next, coherence_prio, ChurnEv{this, idx, next});
+            }
+        }
+
+        /** Launch a shootdown round if work is queued and none flies. */
+        void
+        maybeStartRound(double now)
+        {
+            if (round_active || !sim.coherence->pending())
+                return;
+            const int initiator = next_initiator;
+            next_initiator = (next_initiator + 1)
+                % static_cast<int>(cores.size());
+            round = sim.coherence->beginRound(initiator,
+                                              static_cast<Cycles>(now));
+            if (!round.started)
+                return;
+            round_active = true;
+            // Protocol cost lands on the cores' clocks: the initiator
+            // stalls until the last ack (sw; zero under hw coherence),
+            // every responder burns its handler time. The cores'
+            // already-scheduled step events simply find a later clock.
+            cores[initiator].cycle +=
+                static_cast<double>(round.initiator_stall);
+            if (round.responder_cost > 0) {
+                for (std::size_t c = 0; c < cores.size(); ++c)
+                    if (static_cast<int>(c) != initiator)
+                        cores[c].cycle +=
+                            static_cast<double>(round.responder_cost);
+            }
+            sched.at(static_cast<double>(round.completion),
+                     coherence_prio,
+                     RoundDoneEv{this,
+                                 static_cast<double>(round.completion)});
+        }
+
+        void
+        roundDone(double at)
+        {
+            sim.coherence->finishRound(round);
+            round_active = false;
+            // Chain: invalidations queued while this round flew go out
+            // in the next one.
+            maybeStartRound(at);
+        }
+        /// @}
 
         /** One step = one workload access on one core. */
         void
@@ -321,6 +433,8 @@ Simulator::runWith(const std::string &label,
             // completion.
             WalkMachinePtr m = sim.walkers[core]->startWalk(
                 access.vaddr, static_cast<Cycles>(cs.cycle));
+            if (sim.coherence)
+                m->setCoherenceEpoch(sim.coherence->epoch());
             ++cs.inflight;
             inflight_peak = std::max(
                 inflight_peak, static_cast<std::uint64_t>(cs.inflight));
@@ -354,7 +468,31 @@ Simulator::runWith(const std::string &label,
         retire(int core, WalkMachine *mp, double end)
         {
             CoreState &owner = cores[core];
-            const Translation tr = mp->result().translation;
+            Translation tr = mp->result().translation;
+            // An invalidation overlapping this walk's VA landed while
+            // it was in flight: whatever the walk read may be stale.
+            // Replay against the mutated tables (refaulting first if
+            // the page was unmapped outright) and charge the replay's
+            // latency — the hardware would observe the same race via
+            // its page-walk coherence checks and redo the walk.
+            if (sim.coherence
+                && sim.coherence->invalidatedSince(
+                    mp->va(), mp->coherenceEpoch())) {
+                sim.coherence->noteWalkReplay();
+                sim.sys->ensureResident(mp->va());
+                const WalkResult replay = sim.walkers[core]->translate(
+                    mp->va(), static_cast<Cycles>(end));
+                tr = replay.translation;
+                end += static_cast<double>(replay.latency);
+                if (sim.params.tracer) {
+                    sim.params.tracer->instant(
+                        "shootdown.replay", TraceCat::Shootdown,
+                        static_cast<std::uint32_t>(core),
+                        static_cast<Cycles>(end),
+                        {{"latency",
+                          static_cast<std::int64_t>(replay.latency)}});
+                }
+            }
             sim.tlb[core]->install(mp->va(), tr);
             const Addr hpa = tr.apply(mp->va());
             const AccessResult data = sim.mem->access(
@@ -399,6 +537,14 @@ Simulator::runWith(const std::string &label,
     // the legacy interleaving.
     for (int core = 0; core < params.cores; ++core)
         loop.sched.at(0.0, core, Loop::StepEv{&loop, core});
+    // Churn daemons wake for the first time one period in; each firing
+    // re-arms itself while any core still issues accesses.
+    for (std::size_t i = 0; i < churn_sources.size(); ++i) {
+        const double first =
+            static_cast<double>(churn_sources[i]->period());
+        loop.sched.at(first, Loop::coherence_prio,
+                      Loop::ChurnEv{&loop, static_cast<int>(i), first});
+    }
 
     while (!loop.sched.empty())
         loop.sched.runNext();
@@ -596,6 +742,24 @@ Simulator::fillResult(SimResult &result)
         static_cast<double>(result.hcwc_pte_step3_accesses);
     m["adaptive.pte.rate"] = result.adaptive_pte_rate;
     m["adaptive.pmd.rate"] = result.adaptive_pmd_rate;
+
+    // Coherence scalars exist only when churn is armed, so churn-off
+    // runs emit byte-identical metric maps.
+    if (coherence) {
+        const auto &cs = coherence->stats();
+        m["shootdown.rounds"] = static_cast<double>(cs.rounds);
+        m["shootdown.invalidations"] =
+            static_cast<double>(cs.invalidations);
+        m["shootdown.entries.dropped"] =
+            static_cast<double>(cs.tlb_entries + cs.pom_entries);
+        m["shootdown.acks"] = static_cast<double>(cs.acks);
+        m["shootdown.acks.dropped"] =
+            static_cast<double>(cs.acks_dropped);
+        m["shootdown.walk_replays"] =
+            static_cast<double>(cs.walk_replays);
+        m["shootdown.latency.mean"] = cs.round_latency.mean();
+        m["churn.ops"] = static_cast<double>(cs.churn_ops);
+    }
 }
 
 
@@ -615,6 +779,8 @@ Simulator::exportMetrics(MetricsRegistry &reg, const std::string &prefix)
     }
     if (pom)
         reg.addHitMiss(prefix + "tlb.pom", &pom->stats());
+    if (coherence)
+        coherence->registerMetrics(reg, prefix);
     mem->registerMetrics(reg, prefix);
 
     const EcptPageTable *g = sys->guestEcpt();

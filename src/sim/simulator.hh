@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/controller.hh"
 #include "common/fault.hh"
 #include "common/metrics.hh"
 #include "common/trace_events.hh"
@@ -50,6 +51,8 @@
 
 namespace necpt
 {
+
+class ChurnSource;
 
 /** Run-length and model knobs. */
 struct SimParams
@@ -88,6 +91,16 @@ struct SimParams
      */
     FaultSpec faults{};
     std::uint64_t fault_seed = 0;
+
+    /**
+     * Translation churn (off by default). When any source is armed the
+     * Simulator builds a CoherenceController plus the spec'd churn
+     * generators and interleaves their invalidation streams — and the
+     * resulting TLB-shootdown rounds — with the access kernels on the
+     * event scheduler. An all-defaults spec leaves every run
+     * byte-identical to a build without the subsystem.
+     */
+    ChurnSpec churn{};
 
     /**
      * Walk-level event tracer (null = tracing off, the default). The
@@ -196,6 +209,7 @@ class Simulator
     TlbHierarchy &tlbs(int core = 0) { return *tlb[core]; }
     int numCores() const { return static_cast<int>(walkers.size()); }
     FaultPlan *faultPlan() { return fault_plan.get(); }
+    CoherenceController *coherenceController() { return coherence.get(); }
     /// @}
 
     /**
@@ -227,6 +241,11 @@ class Simulator
     std::vector<std::unique_ptr<TlbHierarchy>> tlb;
     std::unique_ptr<PomTlb> pom;
     std::vector<std::unique_ptr<Walker>> walkers;
+
+    /** Coherence subsystem (null unless params.churn arms a source).
+     *  Declared after the structures it holds raw pointers into. */
+    std::unique_ptr<CoherenceController> coherence;
+    std::vector<std::unique_ptr<ChurnSource>> churn_sources;
 };
 
 /** Convenience: build, run, return. */

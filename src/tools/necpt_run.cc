@@ -70,6 +70,10 @@ usage(const char *prog)
         "  --mlp N             max in-flight walks per core\n"
         "                      (default 1 = serialized walks)\n"
         "  --seed N            simulation seed\n"
+        "  --churn SPEC        arm translation churn + shootdowns:\n"
+        "                      migrate:PERIOD[:PAGES], balloon:...,\n"
+        "                      thp:..., protect:..., mode:sw|hw,\n"
+        "                      batch:N, all  (comma-separated)\n"
         "  --radix-levels N    4 or 5 (LA57)\n"
         "  --csv FILE          append a CSV row (header if new file)\n"
         "  --json              print the result as JSON\n"
@@ -115,6 +119,8 @@ run(int argc, char **argv)
         else if (arg == "--mlp")
             params.max_outstanding_walks = std::stoi(value());
         else if (arg == "--seed") params.seed = std::stoull(value());
+        else if (arg == "--churn")
+            params.churn = parseChurnSpec(value());
         else if (arg == "--radix-levels")
             radix_levels = std::stoi(value());
         else if (arg == "--csv") csv_path = value();
@@ -235,6 +241,24 @@ run(int argc, char **argv)
         std::printf("  step accesses     %.1f / %.1f / %.1f\n",
                     result.step_avg[0], result.step_avg[1],
                     result.step_avg[2]);
+    if (params.churn.enabled()) {
+        auto metric = [&](const char *name) {
+            const auto it = result.metrics.find(name);
+            return it == result.metrics.end() ? 0.0 : it->second;
+        };
+        std::printf("  churn ops         %.0f  (%s)\n",
+                    metric("churn.ops"),
+                    churnSpecToString(params.churn).c_str());
+        std::printf("  shootdown rounds  %.0f  (%.0f invalidations, "
+                    "%.0f entries dropped)\n",
+                    metric("shootdown.rounds"),
+                    metric("shootdown.invalidations"),
+                    metric("shootdown.entries.dropped"));
+        std::printf("  round latency     %.0f cycles mean  "
+                    "(%.0f walk replays)\n",
+                    metric("shootdown.latency.mean"),
+                    metric("shootdown.walk_replays"));
+    }
 
     if (!csv_path.empty()) {
         std::FILE *probe = std::fopen(csv_path.c_str(), "r");

@@ -75,8 +75,9 @@ usage(const char *prog)
         "fault campaigns:\n"
         "  --faults SPEC   run the grid as a fault campaign; SPEC is\n"
         "                  comma-separated sites: pool:FRAC kicks:PROB\n"
-        "                  resize:PROB mem:PROB[:CYCLES] trace, or\n"
-        "                  'all' (see EXPERIMENTS.md)\n"
+        "                  resize:PROB mem:PROB[:CYCLES]\n"
+        "                  shootdown:PROB[:CYCLES] trace, or 'all'\n"
+        "                  (see EXPERIMENTS.md)\n"
         "  --fault-seeds N campaign replications (default 20)\n",
         prog, prog);
 }

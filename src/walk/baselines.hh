@@ -40,6 +40,13 @@ class AgilePagingWalker : public Walker
 
     std::string name() const override { return "AgilePagingIdeal"; }
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr,
+                                std::uint64_t) override
+    {
+        return pwc.invalidateRange(gva, bytes);
+    }
+
   private:
     PageWalkCache pwc;
 };
@@ -62,6 +69,16 @@ class PomTlbWalker : public Walker
 
     const PomTlb &pomTlb() const { return pom; }
 
+    /** The shared POM-TLB is scrubbed by the coherence controller
+     *  directly; only the fallback walker's private caches are ours. */
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes) override
+    {
+        return fallback.invalidateTranslationCaches(gva, bytes, gpa,
+                                                    gpa_bytes);
+    }
+
   private:
     PomTlb &pom;
     NestedRadixWalker fallback;
@@ -81,6 +98,16 @@ class FlatNestedWalker : public Walker
     WalkResult translate(Addr gva, Cycles now) override;
 
     std::string name() const override { return "FlatNested"; }
+
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes) override
+    {
+        std::size_t n = gpwc.invalidateRange(gva, bytes);
+        if (gpa_bytes > 0)
+            n += ntlb.invalidateRange(gpa, gpa_bytes);
+        return n;
+    }
 
   private:
     PageWalkCache gpwc;

@@ -42,6 +42,18 @@ class HybridWalker : public Walker
         return adaptive;
     }
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes) override
+    {
+        std::size_t n = gpwc.invalidateRange(gva, bytes);
+        if (gpa_bytes > 0) {
+            n += ntlb.invalidateRange(gpa, gpa_bytes);
+            n += hcwc.invalidateRange(gpa, gpa_bytes);
+        }
+        return n;
+    }
+
   private:
     /**
      * One parallel hECPT translation of @p gpa (the Figure-8 "Step 3"

@@ -53,6 +53,17 @@ class WalkMachine
     Cycles startCycle() const { return start_; }
     bool done() const { return done_; }
 
+    /// @name Coherence bookkeeping
+    /// The directory epoch when this walk issued (set by the owner;
+    /// stays 0 when the coherence subsystem is off). At retire time
+    /// the simulator asks the directory whether anything overlapping
+    /// the walk's VA was invalidated after this epoch — if so, the
+    /// walk raced a shootdown and replays against the mutated tables.
+    /// @{
+    void setCoherenceEpoch(std::uint64_t e) { coherence_epoch_ = e; }
+    std::uint64_t coherenceEpoch() const { return coherence_epoch_; }
+    /// @}
+
     /** Completion cycle; only valid once done(). */
     Cycles
     endCycle() const
@@ -104,6 +115,7 @@ class WalkMachine
         done_ = false;
         result_ = WalkResult{};
         on_done = nullptr;
+        coherence_epoch_ = 0;
     }
 
     /** Mark the walk complete at @p end and deliver the continuation. */
@@ -126,6 +138,7 @@ class WalkMachine
     Cycles start_;
     Cycles end_ = 0;
     bool done_ = false;
+    std::uint64_t coherence_epoch_ = 0;
     WalkResult result_;
     WalkDoneFn on_done;
 };

@@ -49,6 +49,13 @@ class NativeEcptWalker : public Walker
 
     CuckooWalkCache &walkCache() { return cwc; }
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr,
+                                std::uint64_t) override
+    {
+        return cwc.invalidateRange(gva, bytes);
+    }
+
   private:
     CuckooWalkCache cwc;
     std::vector<Addr> probe_buf;

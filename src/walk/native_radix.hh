@@ -44,6 +44,13 @@ class NativeRadixWalker : public Walker
 
     PageWalkCache &walkCache() { return pwc; }
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr,
+                                std::uint64_t) override
+    {
+        return pwc.invalidateRange(gva, bytes);
+    }
+
   private:
     PageWalkCache pwc;
 };

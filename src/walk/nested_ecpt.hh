@@ -108,6 +108,19 @@ class NestedEcptWalker : public Walker
     const NestedEcptFeatures &features() const { return feat; }
     /// @}
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes) override
+    {
+        std::size_t n = gcwc.invalidateRange(gva, bytes);
+        if (gpa_bytes > 0) {
+            n += hcwc_step1.invalidateRange(gpa, gpa_bytes);
+            n += hcwc_step3.invalidateRange(gpa, gpa_bytes);
+            n += stc.invalidateRange(gpa, gpa_bytes);
+        }
+        return n;
+    }
+
   private:
     /** The resumable three-step walk (defined in nested_ecpt.cc). */
     class Machine;

@@ -54,6 +54,18 @@ class NestedRadixWalker : public Walker
     PageWalkCache &guestPwc() { return gpwc; }
     PageWalkCache &nestedPwc() { return npwc; }
 
+    std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes) override
+    {
+        std::size_t n = gpwc.invalidateRange(gva, bytes);
+        if (gpa_bytes > 0) {
+            n += npwc.invalidateRange(gpa, gpa_bytes);
+            n += ntlb.invalidateRange(gpa, gpa_bytes);
+        }
+        return n;
+    }
+
   private:
     /**
      * Host-dimension walk translating @p gpa, pruned by the NPWC.

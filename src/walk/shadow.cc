@@ -21,6 +21,27 @@ ShadowPagingWalker::shadowBytes() const
     return shadow->structureBytes();
 }
 
+std::size_t
+ShadowPagingWalker::invalidateTranslationCaches(Addr gva,
+                                                std::uint64_t bytes,
+                                                Addr, std::uint64_t)
+{
+    std::size_t count = pwc.invalidateRange(gva, bytes);
+    const Addr last = gva + (bytes ? bytes - 1 : 0);
+    Addr va = pageBase(gva, PageSize::Page4K);
+    while (va <= last) {
+        const Translation t9n = shadow->lookup(va);
+        if (t9n.valid) {
+            shadow->unmap(pageBase(va, t9n.size), t9n.size);
+            ++count;
+            va = pageBase(va, t9n.size) + pageBytes(t9n.size);
+        } else {
+            va += pageBytes(PageSize::Page4K);
+        }
+    }
+    return count;
+}
+
 WalkResult
 ShadowPagingWalker::translate(Addr gva, Cycles now)
 {

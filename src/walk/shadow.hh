@@ -48,6 +48,16 @@ class ShadowPagingWalker : public Walker
     /** Bytes of shadow-table structure (hypervisor overhead). */
     std::uint64_t shadowBytes() const;
 
+    /**
+     * Shootdown receive side: a guest page-table mutation invalidates
+     * both the PWC range and the stale shadow entries — the next touch
+     * refaults through the hypervisor (a fresh VM exit) and installs
+     * the recomposed translation.
+     */
+    std::size_t invalidateTranslationCaches(
+        Addr gva, std::uint64_t bytes, Addr gpa,
+        std::uint64_t gpa_bytes) override;
+
   private:
     PageWalkCache pwc;
     std::unique_ptr<RadixPageTable> shadow;

@@ -147,6 +147,24 @@ class Walker
     /** Human-readable configuration name. */
     virtual std::string name() const = 0;
 
+    /**
+     * Shootdown receive side: drop every private walk-cache entry
+     * (PWC/NPWC/NTLB/STC/CWC) derived from guest-virtual pages in
+     * [gva, gva+bytes) or from the host backing of guest-physical
+     * pages in [gpa, gpa+gpa_bytes). The base walker caches nothing.
+     * @return entries invalidated.
+     */
+    virtual std::size_t
+    invalidateTranslationCaches(Addr gva, std::uint64_t bytes, Addr gpa,
+                                std::uint64_t gpa_bytes)
+    {
+        (void)gva;
+        (void)bytes;
+        (void)gpa;
+        (void)gpa_bytes;
+        return 0;
+    }
+
     WalkerStats &stats() { return stats_; }
     const WalkerStats &stats() const { return stats_; }
 

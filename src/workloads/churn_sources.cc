@@ -1,0 +1,170 @@
+#include "workloads/churn_sources.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** 4KB-page count of a mapping (the churn metrics' unit). */
+std::uint64_t
+pages4k(PageSize size)
+{
+    return pageBytes(size) / pageBytes(PageSize::Page4K);
+}
+
+} // namespace
+
+void
+MigrationDaemon::fire(NestedSystem &sys, CoherenceController &ctrl)
+{
+    for (int i = 0; i < pages_; ++i) {
+        const Addr gva = pickVa(sys);
+        if (gva == invalid_addr)
+            return;
+        const Translation g = sys.guestTranslate(gva);
+        // Ballooned-out (not yet refaulted) victims just skip a slot —
+        // the miss itself is deterministic.
+        if (!g.valid || !sys.migratePage(gva))
+            continue;
+        Invalidation inv;
+        inv.gva = pageBase(gva, g.size);
+        inv.bytes = pageBytes(g.size);
+        inv.gpa = pageBase(g.pa, g.size);
+        inv.gpa_bytes = pageBytes(g.size);
+        inv.kind = InvalKind::Remap;
+        ctrl.queueInvalidation(inv);
+        ctrl.noteChurnOp(ChurnOp::Migrate, pages4k(g.size));
+    }
+}
+
+void
+BalloonDriver::fire(NestedSystem &sys, CoherenceController &ctrl)
+{
+    if (inflating) {
+        for (int i = 0; i < pages_; ++i) {
+            const Addr gva = pickVa(sys);
+            if (gva == invalid_addr)
+                return;
+            const NestedSystem::UnmapInfo info = sys.balloonOut(gva);
+            if (!info.ok)
+                continue;
+            Invalidation inv;
+            inv.gva = info.page;
+            inv.bytes = pageBytes(info.old_guest.size);
+            inv.gpa = pageBase(info.old_guest.pa, info.old_guest.size);
+            inv.gpa_bytes = inv.bytes;
+            inv.kind = InvalKind::Unmap;
+            ctrl.queueInvalidation(inv);
+            ctrl.noteChurnOp(ChurnOp::BalloonOut,
+                             pages4k(info.old_guest.size));
+            ballooned.push_back(info.page);
+        }
+    } else {
+        // Deflate: refault what the last inflate removed. The fresh
+        // mappings are new — nothing cached can be stale, so no
+        // invalidations are queued.
+        for (const Addr page : ballooned) {
+            sys.ensureResident(page);
+            ctrl.noteChurnOp(ChurnOp::BalloonIn, 1);
+        }
+        ballooned.clear();
+    }
+    inflating = !inflating;
+}
+
+void
+ThpCompactor::fire(NestedSystem &sys, CoherenceController &ctrl)
+{
+    if (demoting) {
+        for (int b = 0; b < blocks_; ++b) {
+            // A few draws to land on a huge mapping; configurations
+            // without guest THP simply never demote (or promote).
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                const Addr gva = pickVa(sys);
+                if (gva == invalid_addr)
+                    return;
+                const Translation g = sys.guestTranslate(gva);
+                if (!g.valid || g.size != PageSize::Page2M)
+                    continue;
+                const Addr region = pageBase(gva, PageSize::Page2M);
+                const Addr old_gpa = pageBase(g.pa, PageSize::Page2M);
+                if (sys.thpDemote(gva) == 0)
+                    continue;
+                Invalidation inv;
+                inv.gva = region;
+                inv.bytes = pageBytes(PageSize::Page2M);
+                inv.gpa = old_gpa;
+                inv.gpa_bytes = inv.bytes;
+                inv.kind = InvalKind::Demote;
+                ctrl.queueInvalidation(inv);
+                ctrl.noteChurnOp(ChurnOp::ThpDemote, 1);
+                split.push_back(region);
+                break;
+            }
+        }
+    } else {
+        // Promote only regions this compactor split earlier: 4KB-only
+        // configurations stay 4KB-only.
+        for (const Addr region : split) {
+            if (sys.thpPromote(region) == 0)
+                continue;
+            Invalidation inv;
+            inv.gva = region;
+            inv.bytes = pageBytes(PageSize::Page2M);
+            inv.kind = InvalKind::Promote;
+            ctrl.queueInvalidation(inv);
+            ctrl.noteChurnOp(ChurnOp::ThpPromote, 1);
+        }
+        split.clear();
+    }
+    demoting = !demoting;
+}
+
+void
+ProtectScrubber::fire(NestedSystem &sys, CoherenceController &ctrl)
+{
+    for (int i = 0; i < pages_; ++i) {
+        const Addr gva = pickVa(sys);
+        if (gva == invalid_addr)
+            return;
+        const Translation g = sys.guestTranslate(gva);
+        if (!g.valid || !sys.writeProtectPage(gva))
+            continue;
+        Invalidation inv;
+        inv.gva = pageBase(gva, g.size);
+        inv.bytes = pageBytes(g.size);
+        inv.kind = InvalKind::Protect;
+        ctrl.queueInvalidation(inv);
+        ctrl.noteChurnOp(ChurnOp::Protect, pages4k(g.size));
+    }
+}
+
+std::vector<std::unique_ptr<ChurnSource>>
+makeChurnSources(const ChurnSpec &spec, std::uint64_t seed)
+{
+    // Fixed creation order + splitmix-derived stream per source: the
+    // victim sequences are a pure function of (spec, seed), and arming
+    // one source never shifts another's draws.
+    std::uint64_t sm = seed ^ 0xC0'7E2E'0CEULL;
+    std::vector<std::unique_ptr<ChurnSource>> sources;
+    const std::uint64_t migrate_seed = splitmix64(sm);
+    const std::uint64_t balloon_seed = splitmix64(sm);
+    const std::uint64_t thp_seed = splitmix64(sm);
+    const std::uint64_t protect_seed = splitmix64(sm);
+    if (spec.migrate_period > 0)
+        sources.push_back(std::make_unique<MigrationDaemon>(
+            spec.migrate_period, spec.migrate_pages, migrate_seed));
+    if (spec.balloon_period > 0)
+        sources.push_back(std::make_unique<BalloonDriver>(
+            spec.balloon_period, spec.balloon_pages, balloon_seed));
+    if (spec.thp_period > 0)
+        sources.push_back(std::make_unique<ThpCompactor>(
+            spec.thp_period, spec.thp_blocks, thp_seed));
+    if (spec.protect_period > 0)
+        sources.push_back(std::make_unique<ProtectScrubber>(
+            spec.protect_period, spec.protect_pages, protect_seed));
+    return sources;
+}
+
+} // namespace necpt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Churn scenario generators: the OS/hypervisor background daemons that
+ * mutate translations while the access kernels run, driving the
+ * coherence subsystem with realistic invalidation streams.
+ *
+ *  - MigrationDaemon: NUMA rebalancer re-backing resident pages.
+ *  - BalloonDriver: alternating balloon inflate (unmap + free) and
+ *    deflate (refault) passes.
+ *  - ThpCompactor: khugepaged and its inverse — alternating 2MB
+ *    demote (split) and promote (collapse) passes over the same
+ *    regions.
+ *  - ProtectScrubber: write-protect downgrades (dirty tracking).
+ *
+ * Each source owns a private seeded Rng, so its victim sequence is a
+ * pure function of (spec, seed) and independent of every other
+ * stochastic stream in the run. Sources perform the functional
+ * mutation through NestedSystem and queue the matching invalidations
+ * on the CoherenceController; the Simulator decides *when* they fire.
+ */
+
+#ifndef NECPT_WORKLOADS_CHURN_SOURCES_HH
+#define NECPT_WORKLOADS_CHURN_SOURCES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "common/rng.hh"
+#include "os/system.hh"
+
+namespace necpt
+{
+
+/**
+ * One background mutation daemon. fire() runs a full pass (several
+ * pages) — the event loop calls it every period() cycles.
+ */
+class ChurnSource
+{
+  public:
+    ChurnSource(std::string name, Cycles period, std::uint64_t seed)
+        : rng(seed), name_(std::move(name)), period_(period)
+    {}
+
+    virtual ~ChurnSource() = default;
+
+    const std::string &name() const { return name_; }
+    Cycles period() const { return period_; }
+
+    /** Run one pass: mutate @p sys, queue invalidations on @p ctrl. */
+    virtual void fire(NestedSystem &sys, CoherenceController &ctrl) = 0;
+
+  protected:
+    /**
+     * Page-aligned victim address, uniform over *mapped bytes* (a VMA's
+     * weight is its size, like a daemon scanning pages in address
+     * order) — an index-uniform pick would concentrate the churn on
+     * the small VMAs and almost never touch the data arrays the
+     * workload actually walks.
+     */
+    Addr
+    pickVa(NestedSystem &sys)
+    {
+        const std::size_t n = sys.vmaCount();
+        if (n == 0)
+            return invalid_addr;
+        std::uint64_t total_pages = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            total_pages += sys.vmaRange(i).second >> 12;
+        if (total_pages == 0)
+            return invalid_addr;
+        std::uint64_t pick = rng.below(total_pages);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto [base, bytes] = sys.vmaRange(i);
+            const std::uint64_t pages = bytes >> 12;
+            if (pick < pages)
+                return base + (pick << 12);
+            pick -= pages;
+        }
+        return invalid_addr;
+    }
+
+    Rng rng;
+
+  private:
+    std::string name_;
+    Cycles period_;
+};
+
+/** NUMA migration daemon: re-backs N resident pages per pass. */
+class MigrationDaemon : public ChurnSource
+{
+  public:
+    MigrationDaemon(Cycles period, int pages, std::uint64_t seed)
+        : ChurnSource("migrate", period, seed), pages_(pages)
+    {}
+
+    void fire(NestedSystem &sys, CoherenceController &ctrl) override;
+
+  private:
+    int pages_;
+};
+
+/** Balloon driver: alternating inflate and deflate passes. */
+class BalloonDriver : public ChurnSource
+{
+  public:
+    BalloonDriver(Cycles period, int pages, std::uint64_t seed)
+        : ChurnSource("balloon", period, seed), pages_(pages)
+    {}
+
+    void fire(NestedSystem &sys, CoherenceController &ctrl) override;
+
+  private:
+    int pages_;
+    bool inflating = true;
+    std::vector<Addr> ballooned; //!< pages awaiting deflate
+};
+
+/** THP compactor: alternating demote and promote over 2MB regions. */
+class ThpCompactor : public ChurnSource
+{
+  public:
+    ThpCompactor(Cycles period, int blocks, std::uint64_t seed)
+        : ChurnSource("thp", period, seed), blocks_(blocks)
+    {}
+
+    void fire(NestedSystem &sys, CoherenceController &ctrl) override;
+
+  private:
+    int blocks_;
+    bool demoting = true;
+    std::vector<Addr> split; //!< 2MB regions awaiting re-promotion
+};
+
+/** Write-protect scrubber: downgrades N resident pages per pass. */
+class ProtectScrubber : public ChurnSource
+{
+  public:
+    ProtectScrubber(Cycles period, int pages, std::uint64_t seed)
+        : ChurnSource("protect", period, seed), pages_(pages)
+    {}
+
+    void fire(NestedSystem &sys, CoherenceController &ctrl) override;
+
+  private:
+    int pages_;
+};
+
+/** Build every source the spec arms, in fixed order, each on its own
+ *  splitmix-derived seed stream. */
+std::vector<std::unique_ptr<ChurnSource>>
+makeChurnSources(const ChurnSpec &spec, std::uint64_t seed);
+
+} // namespace necpt
+
+#endif // NECPT_WORKLOADS_CHURN_SOURCES_HH

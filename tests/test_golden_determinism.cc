@@ -25,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "coherence/churn.hh"
 #include "common/metrics.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
@@ -37,7 +38,7 @@ namespace
 
 /** Render the run's scalar state as sorted "name value" lines. */
 std::string
-renderSnapshot(int mlp)
+renderSnapshot(int mlp, const std::string &churn = "")
 {
     SimParams params;
     params.warmup_accesses = 1000;
@@ -47,6 +48,8 @@ renderSnapshot(int mlp)
     // Shrink the GUPS footprint (Table-4 divisor) so machine build +
     // prefault stay test-sized; behavior coverage is unaffected.
     params.scale_denominator = 64;
+    if (!churn.empty())
+        params.churn = parseChurnSpec(churn);
 
     Simulator sim(makeConfig(ConfigId::NestedEcpt), params);
     const SimResult result = sim.run("GUPS");
@@ -73,17 +76,17 @@ renderSnapshot(int mlp)
 }
 
 std::string
-goldenPath(int mlp)
+goldenPath(int mlp, bool churn)
 {
-    return std::string(NECPT_SOURCE_DIR) + "/tests/golden/determinism_mlp"
-        + std::to_string(mlp) + ".txt";
+    return std::string(NECPT_SOURCE_DIR) + "/tests/golden/determinism_"
+        + (churn ? "churn_" : "") + "mlp" + std::to_string(mlp) + ".txt";
 }
 
 void
-checkAgainstGolden(int mlp)
+checkAgainstGolden(int mlp, const std::string &churn = "")
 {
-    const std::string snapshot = renderSnapshot(mlp);
-    const std::string path = goldenPath(mlp);
+    const std::string snapshot = renderSnapshot(mlp, churn);
+    const std::string path = goldenPath(mlp, !churn.empty());
 
     if (std::getenv("NECPT_UPDATE_GOLDEN")) {
         std::ofstream out(path);
@@ -113,6 +116,21 @@ TEST(GoldenDeterminism, SerializedWalksMatchGolden)
 TEST(GoldenDeterminism, OverlappedWalksMatchGolden)
 {
     checkAgainstGolden(4);
+}
+
+// With churn armed, the coherence subsystem joins the event loop:
+// source firings, shootdown rounds, and walk replays are all pinned by
+// the same snapshot contract.
+TEST(GoldenDeterminism, ChurnSerializedWalksMatchGolden)
+{
+    checkAgainstGolden(1, "migrate:5000:8,balloon:20000:16,"
+                          "protect:15000:4,batch:8");
+}
+
+TEST(GoldenDeterminism, ChurnOverlappedWalksMatchGolden)
+{
+    checkAgainstGolden(4, "migrate:5000:8,balloon:20000:16,"
+                          "protect:15000:4,batch:8");
 }
 
 } // namespace necpt
