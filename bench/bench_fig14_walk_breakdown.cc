@@ -63,12 +63,26 @@ main()
     printHeader("Average parallel accesses per nested-ECPT step "
                 "(Section 9.4; paper: 2.8 / 2.8 / 1.6 with THP)");
     double steps[3] = {0, 0, 0};
-    for (const auto &app : apps)
+    for (const auto &app : apps) {
+        const auto &m = grid.at("Nested ECPTs THP", app).metrics;
+        // The per-step probe averages are backed by the same walk
+        // phases the attribution ledger charges; conservation pins
+        // the attr.* rollup to the walker's busy cycles, so a missed
+        // or double-counted phase breaks this breakdown loudly here
+        // instead of silently skewing the figure.
+        const auto busy = static_cast<double>(
+            grid.at("Nested ECPTs THP", app).mmu_busy_cycles);
+        if (m.at("attr.total.cycles") != busy) {
+            std::fprintf(stderr,
+                         "fig14: attribution conservation violated "
+                         "for %s\n", app.c_str());
+            return 1;
+        }
         for (int s = 0; s < 3; ++s)
-            steps[s] += grid.at("Nested ECPTs THP", app)
-                            .metrics.at("walk.step" + std::to_string(s + 1)
-                                        + ".avg_probes")
+            steps[s] += m.at("walk.step" + std::to_string(s + 1)
+                             + ".avg_probes")
                 / apps.size();
+    }
     std::printf("Step 1: %.1f   Step 2: %.1f   Step 3: %.1f\n",
                 steps[0], steps[1], steps[2]);
 

@@ -13,12 +13,14 @@
  * environment knobs (sim/experiment.hh).
  */
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/cycle_ledger.hh"
 #include "sim/simulator.hh"
 
 using namespace necpt;
@@ -34,6 +36,9 @@ struct Sample
     std::uint64_t accesses;
     double seconds;
     double rate;
+    /** Walk-cycle attribution profile (attr.<cause>.share), so the
+     *  baseline diff can say *where* a regression moved cycles. */
+    std::array<double, num_attr_causes> attr_share{};
 };
 
 Sample
@@ -61,6 +66,13 @@ measure(const std::string &name, int cores, int mlp)
     s.seconds = std::chrono::duration<double>(end - begin).count();
     s.rate = s.seconds > 0 ? static_cast<double>(s.accesses) / s.seconds
                            : 0.0;
+    for (int c = 0; c < num_attr_causes; ++c) {
+        const std::string key =
+            std::string("attr.")
+            + attrCauseName(static_cast<AttrCause>(c)) + ".share";
+        s.attr_share[static_cast<std::size_t>(c)] =
+            result.metrics.at(key);
+    }
     std::printf("%-28s %10llu accesses  %8.3f s  %12.0f acc/s  "
                 "(sim cycles %llu)\n",
                 name.c_str(), (unsigned long long)s.accesses, s.seconds,
@@ -96,9 +108,14 @@ main()
                      "    {\"name\": \"%s\", \"cores\": %d, "
                      "\"max_outstanding_walks\": %d, "
                      "\"accesses\": %llu, \"seconds\": %.6f, "
-                     "\"accesses_per_sec\": %.1f}%s\n",
+                     "\"accesses_per_sec\": %.1f, \"attr\": {",
                      s.name.c_str(), s.cores, s.mlp,
-                     (unsigned long long)s.accesses, s.seconds, s.rate,
+                     (unsigned long long)s.accesses, s.seconds, s.rate);
+        for (int c = 0; c < num_attr_causes; ++c)
+            std::fprintf(out, "%s\"%s\": %.4f", c ? ", " : "",
+                         attrCauseName(static_cast<AttrCause>(c)),
+                         s.attr_share[static_cast<std::size_t>(c)]);
+        std::fprintf(out, "}}%s\n",
                      i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

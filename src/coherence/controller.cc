@@ -15,6 +15,13 @@ CoherenceController::queueInvalidation(const Invalidation &inv)
 {
     batcher.push(inv);
     ++stats_.invalidations;
+    // Record at queue time, not round time: the churn source mutated
+    // the functional tables *before* queueing, so a walk in flight
+    // right now already raced with this invalidation even if the
+    // (batched) shootdown round fires later. Recording early only
+    // makes invalidatedSince() more conservative — a spurious replay
+    // is correct, a missed one is not.
+    directory.record(inv);
 }
 
 void
@@ -52,7 +59,6 @@ CoherenceController::applyInvalidation(const Invalidation &inv,
         stats_.pom_entries += d;
         dropped += d;
     }
-    directory.record(inv);
     return dropped;
 }
 

@@ -138,6 +138,12 @@ MetricsRegistry::scalarSnapshot() const
         case Kind::Histogram:
             snap[name + ".mean"] = e.hist->mean();
             snap[name + ".max"] = static_cast<double>(e.hist->max());
+            snap[name + ".p50"] =
+                static_cast<double>(e.hist->percentile(50));
+            snap[name + ".p95"] =
+                static_cast<double>(e.hist->percentile(95));
+            snap[name + ".p99"] =
+                static_cast<double>(e.hist->percentile(99));
             break;
         case Kind::Rates:
             snap[name + ".last"] = e.rates->lastRate();

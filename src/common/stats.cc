@@ -11,17 +11,26 @@ Histogram::percentile(double pct) const
 {
     if (total_ == 0)
         return 0;
-    const auto target = static_cast<std::uint64_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(total_)));
+    const double target = pct / 100.0 * static_cast<double>(total_);
     std::uint64_t seen = 0;
     for (std::size_t bin = 0; bin < bins.size(); ++bin) {
-        seen += bins[bin];
-        if (seen >= target) {
-            // Report the middle of the bin; the overflow bin reports max.
+        const std::uint64_t count = bins[bin];
+        if (count > 0 &&
+            static_cast<double>(seen + count) >= target) {
+            // Interpolate linearly within the bin: the target'th
+            // sample sits (target - seen) / count of the way through
+            // it. The overflow bin has no upper edge, so it reports
+            // the observed max.
             if (bin == bins.size() - 1)
                 return max_;
-            return bin * width + width / 2;
+            const double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(count);
+            return static_cast<std::uint64_t>(std::llround(
+                static_cast<double>(bin * width) +
+                frac * static_cast<double>(width)));
         }
+        seen += count;
     }
     return max_;
 }

@@ -83,12 +83,14 @@ SweepEngine::runIsolated(const JobSpec &spec, std::uint32_t pid,
     // the final attempt's buffer.
     std::vector<const char *> retry_kinds;
     std::shared_ptr<TraceBuffer> tracer;
+    std::shared_ptr<TimeSeriesBuffer> timeseries;
 
     // Emits the engine spans into the final attempt's buffer and
     // publishes it on the record. The job/retry/audit events carry
     // simulated-cycle timestamps and survive canonical export; the
     // queue/run wall spans are tagged non-deterministic.
     auto finalize = [&] {
+        record.timeseries = timeseries;
         if (!tracer)
             return;
         record.trace = tracer;
@@ -119,8 +121,12 @@ SweepEngine::runIsolated(const JobSpec &spec, std::uint32_t pid,
                                                    opts.trace_sample);
             tracer->setPid(pid);
         }
+        if (opts.sample_interval)
+            timeseries =
+                std::make_shared<TimeSeriesBuffer>(opts.sample_interval);
         JobContext ctx{record.seed, attempt};
         ctx.tracer = tracer.get();
+        ctx.timeseries = timeseries.get();
         record.attempts = attempt + 1;
 
         // Heap-shared so a detached (timed-out) runner can still
@@ -131,7 +137,8 @@ SweepEngine::runIsolated(const JobSpec &spec, std::uint32_t pid,
         // The runner co-owns the tracer: a detached (timed-out) runner
         // keeps emitting into a live buffer that only it references.
         std::thread runner(
-            [state, fn = spec.fn, audit = spec.audit, ctx, tracer] {
+            [state, fn = spec.fn, audit = spec.audit, ctx, tracer,
+             timeseries] {
                 JobStatus status = JobStatus::Failed;
                 std::string error, error_kind;
                 bool retryable = false;
@@ -181,9 +188,10 @@ SweepEngine::runIsolated(const JobSpec &spec, std::uint32_t pid,
             // A timed-out job is never retried: the detached runner
             // still owns the machine it was building, and a rerun
             // would almost certainly time out again anyway. The trace
-            // buffer stays with the runner — reading it here would
-            // race a simulation that is still emitting.
+            // and time-series buffers stay with the runner — reading
+            // them here would race a simulation still emitting.
             tracer.reset();
+            timeseries.reset();
             record.wall_ms = msSince(start);
             record.status = JobStatus::TimedOut;
             record.error = "timed out after "

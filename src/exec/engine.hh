@@ -61,6 +61,13 @@ struct SweepOptions
     std::size_t trace_capacity = 0;
     /** Trace every Nth walk (1 = all); see TraceBuffer sampling. */
     std::uint64_t trace_sample = 1;
+    /**
+     * Interval metrics sampling in simulated cycles; 0 (default) =
+     * off. When on, every job runs with a private TimeSeriesBuffer
+     * and its record keeps the buffer for
+     * ResultSink::writeTimeseries().
+     */
+    std::uint64_t sample_interval = 0;
 };
 
 class SweepEngine

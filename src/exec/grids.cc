@@ -62,6 +62,7 @@ simJob(const std::string &key, const ExperimentConfig &config,
         // its injected faults; a no-fault sweep never reads this.
         p.fault_seed = ctx.faultSeed();
         p.tracer = ctx.tracer;
+        p.timeseries = ctx.timeseries;
         JobOutput out;
         out.sim = runSim(config, p, app);
         // Publish the unified dotted-name scalars as this job's stats

@@ -21,6 +21,7 @@
 
 #include "common/rng.hh"
 #include "sim/simulator.hh"
+#include "sim/timeseries.hh"
 
 namespace necpt
 {
@@ -48,6 +49,13 @@ struct JobContext
      * this job's private ring (pid = submission index).
      */
     TraceBuffer *tracer = nullptr;
+
+    /**
+     * Per-job interval metrics sampler (null = sampling off). Owned by
+     * the engine; jobs thread it into SimParams::timeseries so the
+     * run's registry snapshots land in this job's private buffer.
+     */
+    TimeSeriesBuffer *timeseries = nullptr;
 
     std::uint64_t
     faultSeed() const
@@ -127,6 +135,10 @@ struct JobRecord
      * buffer, so the record drops its reference instead of racing.
      */
     std::shared_ptr<TraceBuffer> trace;
+
+    /** The job's interval metrics samples (final attempt), when the
+     *  sweep ran with sampling on. Null on timeout, same reason. */
+    std::shared_ptr<TimeSeriesBuffer> timeseries;
 };
 
 /** Printable status name ("ok" / "failed" / "timeout"). */

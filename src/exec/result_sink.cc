@@ -212,4 +212,20 @@ ResultSink::writeTrace(const std::string &path, bool canonical) const
     return writeChromeTrace(path, lanes, canonical);
 }
 
+bool
+ResultSink::writeTimeseries(const std::string &path) const
+{
+    std::vector<TimeSeriesRun> runs;
+    std::uint64_t interval = 0;
+    for (const JobRecord &r : slots) {
+        if (!r.timeseries)
+            continue;
+        runs.push_back({r.key, r.timeseries.get()});
+        interval = r.timeseries->interval();
+    }
+    if (runs.empty())
+        return false;
+    return writeTimeseriesJson(path, runs, interval);
+}
+
 } // namespace necpt

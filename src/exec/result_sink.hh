@@ -90,6 +90,14 @@ class ResultSink
     bool writeTrace(const std::string &path,
                     bool canonical = false) const;
 
+    /**
+     * Write every job's interval metrics samples as one merged
+     * necpt-timeseries-v1 document, runs in submission order (worker
+     * count never reorders the bytes — simulated-cycle timestamps
+     * only). @return success (false also when no job sampled).
+     */
+    bool writeTimeseries(const std::string &path) const;
+
   private:
     std::vector<JobRecord> slots;
     mutable std::mutex mtx;

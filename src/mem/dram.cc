@@ -33,7 +33,7 @@ DramModel::rowOf(Addr addr) const
 }
 
 Cycles
-DramModel::access(Addr addr, Cycles now)
+DramModel::access(Addr addr, Cycles now, DramBreakdown *bd)
 {
     const int bank_idx = bankIndex(addr);
     Bank &bank = banks[bank_idx];
@@ -69,6 +69,11 @@ DramModel::access(Addr addr, Cycles now)
     Cycles data_start = std::max(start + service, bus_busy[channel]);
     bus_busy[channel] = data_start + burst;
     bank.busy_until = data_start + burst;
+    if (bd) {
+        bd->queue = start - now;
+        bd->service = service;
+        bd->bus = (data_start - (start + service)) + burst;
+    }
     return bank.busy_until - now;
 }
 

@@ -45,6 +45,18 @@ struct DramConfig
 };
 
 /**
+ * Exact decomposition of one DRAM access's core cycles: queue +
+ * service + bus == the latency access() returned. Feeds the cycle-
+ * attribution ledger (common/cycle_ledger.hh).
+ */
+struct DramBreakdown
+{
+    Cycles queue = 0;   //!< waiting behind a busy bank
+    Cycles service = 0; //!< activate/precharge + column access
+    Cycles bus = 0;     //!< channel bus wait + data burst
+};
+
+/**
  * Open-page DRAM timing model.
  */
 class DramModel
@@ -56,10 +68,12 @@ class DramModel
      * Perform one line read beginning no earlier than @p now (core
      * cycles). Updates bank state.
      *
+     * @param bd when non-null, receives the queue/service/bus split
+     *        of the returned latency (components sum to it exactly)
      * @return total core cycles from @p now until data is back
      *         (includes any queueing behind a busy bank).
      */
-    Cycles access(Addr addr, Cycles now);
+    Cycles access(Addr addr, Cycles now, DramBreakdown *bd = nullptr);
 
     /** Row-buffer hit rate so far. */
     double rowHitRate() const { return row_hits.rate(); }

@@ -39,15 +39,20 @@ memLevelName(MemLevel level)
 
 AccessResult
 MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
-                        int core)
+                        int core, MemBreakdown *bd)
 {
     const bool demand = requester == Requester::Core;
-    if (demand && l1s[core]->access(addr, requester))
+    if (demand && l1s[core]->access(addr, requester)) {
+        if (bd)
+            bd->cache = cfg.l1.latency;
         return {cfg.l1.latency, MemLevel::L1};
+    }
 
     if (l2s[core]->access(addr, requester)) {
         if (demand)
             l1s[core]->fill(addr);
+        if (bd)
+            bd->cache = cfg.l2.latency;
         return {cfg.l2.latency, MemLevel::L2};
     }
 
@@ -55,14 +60,19 @@ MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
         l2s[core]->fill(addr);
         if (demand)
             l1s[core]->fill(addr);
+        if (bd)
+            bd->cache = cfg.l3.latency;
         return {cfg.l3.latency, MemLevel::L3};
     }
 
-    Cycles dram_lat = dram_.access(addr, now + cfg.l3.latency);
+    DramBreakdown dram_bd;
+    Cycles dram_lat = dram_.access(addr, now + cfg.l3.latency,
+                                   bd ? &dram_bd : nullptr);
+    Cycles spike = 0;
     // Injected latency spike: the access completes correctly, just
     // late — a graceful degradation every walker must tolerate.
     if (fault_plan) {
-        const Cycles spike = fault_plan->memSpikeCycles();
+        spike = fault_plan->memSpikeCycles();
         dram_lat += spike;
         injected_spikes += spike;
         if (spike > 0 && tracer_)
@@ -75,6 +85,13 @@ MemoryHierarchy::access(Addr addr, Cycles now, Requester requester,
     l2s[core]->fill(addr);
     if (demand)
         l1s[core]->fill(addr);
+    if (bd) {
+        bd->cache = cfg.l3.latency;
+        bd->dram_queue = dram_bd.queue;
+        bd->dram_service = dram_bd.service;
+        bd->dram_bus = dram_bd.bus;
+        bd->fault = spike;
+    }
     return {cfg.l3.latency + dram_lat, MemLevel::Dram};
 }
 
@@ -156,9 +173,22 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
                           [issue](Cycles c) { return c <= issue; });
         }
 
-        const AccessResult r = access(lines[i], issue, Requester::Mmu,
-                                      core);
+        MemBreakdown line_bd;
+        const AccessResult r =
+            access(lines[i], issue, Requester::Mmu, core,
+                   attr_enabled ? &line_bd : nullptr);
         const Cycles done = issue + r.latency;
+        if (attr_enabled && done > finish) {
+            // This line now defines the batch's completion cycle, so
+            // its decomposition — plus whatever it waited before its
+            // access began — becomes the batch's. (Strict > matches
+            // the max below: ties keep the earlier line.)
+            const Cycles wave =
+                static_cast<Cycles>(i / cfg.mmu_issue_width);
+            line_bd.issue = wave;
+            line_bd.mshr = issue - (now + wave);
+            result.bd = line_bd;
+        }
         finish = std::max(finish, done);
 
         // Per-request resolution events for traced walks only: the

@@ -46,6 +46,32 @@ class FaultPlan;
 /** Which level serviced an access. */
 enum class MemLevel : std::uint8_t { L1, L2, L3, Dram };
 
+/**
+ * Exact split of an access's — or a batch's critical-line — latency.
+ * Components always sum to the reported latency (integer equality):
+ * this is what lets the walkers' cycle ledgers conserve every cycle
+ * (common/cycle_ledger.hh). The issue/mshr members are only nonzero
+ * for batches, where the slowest line may have waited for an issue
+ * wave slot or a free MSHR before its access even began.
+ */
+struct MemBreakdown
+{
+    Cycles issue = 0;        //!< wave serialization before issue
+    Cycles mshr = 0;         //!< MSHR-full stall before issue
+    Cycles cache = 0;        //!< L1/L2/L3 service cycles
+    Cycles dram_queue = 0;   //!< waiting behind a busy DRAM bank
+    Cycles dram_service = 0; //!< row activate + column access
+    Cycles dram_bus = 0;     //!< channel bus wait + burst
+    Cycles fault = 0;        //!< injected latency spike
+
+    Cycles
+    total() const
+    {
+        return issue + mshr + cache + dram_queue + dram_service
+            + dram_bus + fault;
+    }
+};
+
 /** Outcome of a single hierarchy access. */
 struct AccessResult
 {
@@ -60,6 +86,9 @@ struct BatchResult
     int requests = 0;         //!< batch size
     int l2_misses = 0;        //!< members that missed in L2
     int l3_misses = 0;        //!< members that went to DRAM
+    /** Critical-line decomposition of @ref latency (attribution on
+     *  the issuing hierarchy only; zero otherwise). */
+    MemBreakdown bd;
 };
 
 /** Geometry/timing of the whole hierarchy. */
@@ -85,9 +114,10 @@ class MemoryHierarchy
   public:
     MemoryHierarchy(const MemHierarchyConfig &config, int cores);
 
-    /** One demand or walker access starting at @p now. */
+    /** One demand or walker access starting at @p now. When @p bd is
+     *  non-null it receives the exact latency decomposition. */
     AccessResult access(Addr addr, Cycles now, Requester requester,
-                        int core);
+                        int core, MemBreakdown *bd = nullptr);
 
     /**
      * A group of parallel MMU requests (one walk phase), synchronous:
@@ -174,6 +204,12 @@ class MemoryHierarchy
     int numCores() const { return static_cast<int>(l1s.size()); }
     const MemHierarchyConfig &config() const { return cfg; }
 
+    /** Toggle batch-latency decomposition (BatchResult::bd). On by
+     *  default; disabling skips the per-line bookkeeping entirely so
+     *  the issue path runs exactly as before attribution existed. */
+    void setAttribution(bool on) { attr_enabled = on; }
+    bool attributionEnabled() const { return attr_enabled; }
+
     /** Arm (or disarm, with nullptr) injected latency spikes —
      *  modeling refresh storms, row conflicts, and contention bursts
      *  the average-latency DRAM model smooths over. */
@@ -213,6 +249,7 @@ class MemoryHierarchy
     };
 
     MemHierarchyConfig cfg;
+    bool attr_enabled = true;
     FaultPlan *fault_plan = nullptr;
     TraceBuffer *tracer_ = nullptr;
     Cycles injected_spikes = 0;

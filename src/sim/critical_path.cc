@@ -1,0 +1,248 @@
+#include "sim/critical_path.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace necpt
+{
+
+const char *
+simEventKindName(SimEventKind kind)
+{
+    switch (kind) {
+      case SimEventKind::EvUnknown: return "unknown";
+      case SimEventKind::EvStep: return "step";
+      case SimEventKind::EvPump: return "pump";
+      case SimEventKind::EvRetire: return "retire";
+      case SimEventKind::EvChurn: return "churn";
+      case SimEventKind::EvRound: return "round";
+      case SimEventKind::EvSample: return "sample";
+    }
+    return "?";
+}
+
+CriticalPathRecorder::CriticalPathRecorder(int cores, int top_k)
+    : cores_(static_cast<std::size_t>(cores > 0 ? cores : 1)),
+      top_k_(top_k > 0 ? top_k : 1)
+{}
+
+void
+CriticalPathRecorder::onEvent(std::uint64_t seq, std::uint64_t parent,
+                              double cycle, std::int64_t, std::uint8_t kind)
+{
+    // Attached before the first at() call, so seq indexes nodes_ densely.
+    NECPT_ASSERT(seq == nodes_.size());
+    nodes_.push_back(Node{parent, cycle, kind});
+}
+
+void
+CriticalPathRecorder::noteWalk(std::uint64_t seq, int core,
+                               const CycleLedger &led,
+                               std::uint64_t latency)
+{
+    if (core < 0 || static_cast<std::size_t>(core) >= cores_.size())
+        return;
+    CoreState &cs = cores_[static_cast<std::size_t>(core)];
+    ++cs.walks;
+    cs.walk_cycles += latency;
+    if (led.total() > 0)
+        ++cs.dominant_walks[static_cast<int>(led.dominant())];
+    if (seq != no_parent)
+        cs.tail = seq;
+}
+
+void
+CriticalPathRecorder::noteStall(std::uint64_t seq, int core,
+                                double cycles, const CycleLedger &led)
+{
+    if (cycles <= 0)
+        return;
+    if (core < 0 || static_cast<std::size_t>(core) >= cores_.size())
+        return;
+    CoreState &cs = cores_[static_cast<std::size_t>(core)];
+    cs.stall_cycles += cycles;
+    ++cs.stall_episodes;
+    Stall s;
+    s.cycles = cycles;
+    s.seq = seq;
+    s.cause = led.total() > 0 ? static_cast<int>(led.dominant()) : -1;
+    if (seq != no_parent && seq < nodes_.size())
+        s.at = nodes_[seq].cycle;
+    keepTopStall(cs, s);
+}
+
+void
+CriticalPathRecorder::noteCoreEvent(std::uint64_t seq, int core)
+{
+    if (core < 0 || static_cast<std::size_t>(core) >= cores_.size())
+        return;
+    if (seq != no_parent)
+        cores_[static_cast<std::size_t>(core)].tail = seq;
+}
+
+void
+CriticalPathRecorder::keepTopStall(CoreState &cs, const Stall &s)
+{
+    cs.top_stalls.push_back(s);
+    std::sort(cs.top_stalls.begin(), cs.top_stalls.end(),
+              [](const Stall &a, const Stall &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  return a.seq < b.seq;
+              });
+    if (cs.top_stalls.size() > static_cast<std::size_t>(top_k_))
+        cs.top_stalls.resize(static_cast<std::size_t>(top_k_));
+}
+
+namespace
+{
+
+std::string
+fmt1(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+std::string
+pct(double part, double whole)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.1f%%",
+                  whole > 0 ? 100.0 * part / whole : 0.0);
+    return buf;
+}
+
+} // namespace
+
+std::string
+CriticalPathRecorder::report() const
+{
+    std::string out;
+    out += "critical-path report (longest event-dependency chain per "
+           "core; top-";
+    out += std::to_string(top_k_);
+    out += " stalls)\n";
+
+    constexpr int num_kinds = 7;
+    for (std::size_t core = 0; core < cores_.size(); ++core) {
+        const CoreState &cs = cores_[core];
+        out += "core " + std::to_string(core) + ":";
+        if (cs.tail == no_parent || cs.tail >= nodes_.size()) {
+            out += " no recorded events\n";
+            continue;
+        }
+
+        // Walk the spine: the chain of scheduling edges ending at the
+        // core's last issue/retire event. Each edge's duration is
+        // charged to the kind of the event at its head.
+        double by_kind[num_kinds] = {};
+        std::uint64_t edges = 0;
+        std::uint64_t node = cs.tail;
+        const double tail_cycle = nodes_[cs.tail].cycle;
+        double spine_start = nodes_[cs.tail].cycle;
+        while (node != no_parent) {
+            const Node &n = nodes_[node];
+            spine_start = n.cycle;
+            const std::uint64_t parent = n.parent;
+            if (parent == no_parent)
+                break;
+            NECPT_ASSERT(parent < node); // edges point backwards in time
+            const double dt = n.cycle - nodes_[parent].cycle;
+            const int kind =
+                n.kind < num_kinds ? n.kind
+                                   : static_cast<int>(
+                                         SimEventKind::EvUnknown);
+            by_kind[kind] += dt > 0 ? dt : 0;
+            ++edges;
+            node = parent;
+        }
+        const double spine = tail_cycle - spine_start;
+
+        out += " spine " + fmt1(spine) + " cycles over " +
+               std::to_string(edges) + " edges (ends cycle " +
+               fmt1(tail_cycle) + ")\n";
+
+        // Kind shares, largest first; deterministic tie-break on the
+        // enum order.
+        int order[num_kinds];
+        for (int k = 0; k < num_kinds; ++k)
+            order[k] = k;
+        std::sort(order, order + num_kinds, [&](int a, int b) {
+            if (by_kind[a] != by_kind[b])
+                return by_kind[a] > by_kind[b];
+            return a < b;
+        });
+        out += "  spine by event kind:";
+        bool any = false;
+        for (int i = 0; i < num_kinds; ++i) {
+            const int k = order[i];
+            if (by_kind[k] <= 0)
+                continue;
+            out += std::string(" ") +
+                   simEventKindName(static_cast<SimEventKind>(k)) +
+                   " " + pct(by_kind[k], spine) + " (" +
+                   fmt1(by_kind[k]) + ")";
+            any = true;
+        }
+        if (!any)
+            out += " (empty)";
+        out += "\n";
+
+        out += "  walks retired: " + std::to_string(cs.walks) +
+               " (sum latency " + std::to_string(cs.walk_cycles) +
+               " cycles)";
+        std::uint64_t dom_total = 0;
+        for (std::uint64_t n : cs.dominant_walks)
+            dom_total += n;
+        if (dom_total > 0) {
+            int corder[num_attr_causes];
+            for (int c = 0; c < num_attr_causes; ++c)
+                corder[c] = c;
+            std::sort(corder, corder + num_attr_causes,
+                      [&](int a, int b) {
+                          if (cs.dominant_walks[a] != cs.dominant_walks[b])
+                              return cs.dominant_walks[a] >
+                                     cs.dominant_walks[b];
+                          return a < b;
+                      });
+            out += "; dominant cause:";
+            for (int i = 0; i < num_attr_causes; ++i) {
+                const int c = corder[i];
+                if (!cs.dominant_walks[c])
+                    continue;
+                out += std::string(" ") +
+                       attrCauseName(static_cast<AttrCause>(c)) + " " +
+                       std::to_string(cs.dominant_walks[c]) + " (" +
+                       pct(static_cast<double>(cs.dominant_walks[c]),
+                           static_cast<double>(dom_total)) +
+                       ")";
+            }
+        }
+        out += "\n";
+
+        out += "  mlp-cap stalls: " + fmt1(cs.stall_cycles) +
+               " cycles over " + std::to_string(cs.stall_episodes) +
+               " episodes (" + pct(cs.stall_cycles, tail_cycle) +
+               " of core time)\n";
+        for (std::size_t i = 0; i < cs.top_stalls.size(); ++i) {
+            const Stall &s = cs.top_stalls[i];
+            out += "    " + std::to_string(i + 1) + ") " +
+                   fmt1(s.cycles) + " cycles ending at cycle " +
+                   fmt1(s.at);
+            if (s.cause >= 0) {
+                out += ", unblocked by a walk dominated by ";
+                out += attrCauseName(static_cast<AttrCause>(s.cause));
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace necpt

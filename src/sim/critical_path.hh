@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Event-dependency recording and critical-path analysis.
+ *
+ * The EventScheduler can report every scheduled event together with the
+ * event that was executing when it was scheduled (its parent). Over a
+ * run this forms a DAG whose edges carry simulated-time durations; the
+ * longest parent chain ending at a core's last instruction explains
+ * *why* the run took as long as it did, cause by cause. The recorder
+ * here keeps that DAG plus per-walk annotations (which attribution
+ * cause dominated each walk, how long each core sat parked at its MLP
+ * cap) and renders a per-core text report: total spine length broken
+ * down by event kind, plus the top-K longest stall episodes.
+ *
+ * Everything is simulated-time based and single-threaded per run, so
+ * the report is byte-deterministic at any --jobs level.
+ */
+
+#ifndef NECPT_SIM_CRITICAL_PATH_HH
+#define NECPT_SIM_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cycle_ledger.hh"
+#include "sim/sched.hh"
+
+namespace necpt
+{
+
+/** What a scheduled event does; attached via EventScheduler::at(). */
+enum class SimEventKind : std::uint8_t
+{
+    EvUnknown = 0, //!< untagged event
+    EvStep,        //!< core issues its next instruction
+    EvPump,        //!< memory-system completion pump
+    EvRetire,      //!< a walk's translation retires into the core
+    EvChurn,       //!< mapping-churn invalidation burst
+    EvRound,       //!< coherence shootdown round completion
+    EvSample,      //!< metrics time-series sampler tick
+};
+
+const char *simEventKindName(SimEventKind kind);
+
+/**
+ * Collects the event-dependency DAG plus walk/stall annotations and
+ * renders the per-core critical-path report.
+ */
+class CriticalPathRecorder : public EventEdgeSink
+{
+  public:
+    /** @param top_k stall episodes listed per core in the report. */
+    explicit CriticalPathRecorder(int cores, int top_k = 5);
+
+    // EventEdgeSink
+    void onEvent(std::uint64_t seq, std::uint64_t parent, double cycle,
+                 std::int64_t priority, std::uint8_t kind) override;
+
+    /**
+     * Annotate the retire event @p seq with the walk it completes:
+     * which cause dominated the walk's ledger and the walk latency.
+     */
+    void noteWalk(std::uint64_t seq, int core, const CycleLedger &led,
+                  std::uint64_t latency);
+
+    /**
+     * A core resumed issuing at @p seq after stalling @p cycles at its
+     * MLP cap; @p led is the unblocking walk's ledger (may be empty).
+     */
+    void noteStall(std::uint64_t seq, int core, double cycles,
+                   const CycleLedger &led);
+
+    /** Mark @p seq as core @p core's spine tail candidate. */
+    void noteCoreEvent(std::uint64_t seq, int core);
+
+    /** Render the full report (all cores) as plain text. */
+    std::string report() const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t parent; //!< scheduling event's seq, or no_parent
+        double cycle;         //!< execution time
+        std::uint8_t kind;    //!< SimEventKind
+    };
+
+    struct Stall
+    {
+        double cycles = 0;
+        double at = 0;           //!< cycle the stall ended
+        std::uint64_t seq = 0;   //!< unblocking event
+        int cause = -1;          //!< dominant AttrCause index, or -1
+    };
+
+    struct CoreState
+    {
+        std::uint64_t tail = no_parent; //!< last Step/Retire event seq
+        std::uint64_t walks = 0;
+        std::uint64_t walk_cycles = 0;
+        std::array<std::uint64_t, num_attr_causes> dominant_walks{};
+        double stall_cycles = 0;
+        std::uint64_t stall_episodes = 0;
+        std::vector<Stall> top_stalls; //!< kept sorted, size <= top_k
+    };
+
+    static constexpr std::uint64_t no_parent = ~0ULL;
+
+    void keepTopStall(CoreState &cs, const Stall &s);
+
+    std::vector<Node> nodes_; //!< indexed by seq (seq 0 = first event)
+    std::vector<CoreState> cores_;
+    int top_k_;
+};
+
+} // namespace necpt
+
+#endif // NECPT_SIM_CRITICAL_PATH_HH

@@ -24,6 +24,7 @@
 #define NECPT_SIM_SCHED_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <new>
@@ -34,6 +35,23 @@
 
 namespace necpt
 {
+
+/**
+ * Observer for the scheduler's event-dependency graph. When attached,
+ * every scheduled event is reported together with the sequence number
+ * of the event whose handler scheduled it (its parent) — the edges of
+ * the run's happens-because DAG, which the critical-path analyzer
+ * walks backwards to explain end-to-end latency. @c kind is an opaque
+ * caller-defined tag (the simulator passes SimEventKind).
+ */
+class EventEdgeSink
+{
+  public:
+    virtual ~EventEdgeSink() = default;
+    virtual void onEvent(std::uint64_t seq, std::uint64_t parent,
+                         double cycle, std::int64_t priority,
+                         std::uint8_t kind) = 0;
+};
 
 /**
  * A (cycle, priority, sequence)-ordered run queue of closures.
@@ -76,13 +94,34 @@ class EventScheduler
         void (*invoke)(const void *) = nullptr;
     };
 
-    /** Enqueue @p fn at @p cycle with tie-break priority @p prio. */
-    void
-    at(double cycle, std::int64_t prio, Handler fn)
+    /**
+     * Enqueue @p fn at @p cycle with tie-break priority @p prio.
+     * @p kind is an opaque tag forwarded to the edge sink (unused —
+     * one dead branch — when no sink is attached).
+     * @return the event's sequence number.
+     */
+    std::uint64_t
+    at(double cycle, std::int64_t prio, Handler fn,
+       std::uint8_t kind = 0)
     {
-        heap.push_back(Event{cycle, prio, next_seq++, fn});
+        const std::uint64_t seq = next_seq++;
+        heap.push_back(Event{cycle, prio, seq, fn});
         std::push_heap(heap.begin(), heap.end(), After{});
+        if (edges)
+            edges->onEvent(seq, running_seq, cycle, prio, kind);
+        return seq;
     }
+
+    /**
+     * Attach (or detach, with nullptr) the dependency observer. Attach
+     * before the first at() call so sinks can index nodes by seq.
+     */
+    void setEdgeSink(EventEdgeSink *sink) { edges = sink; }
+
+    /** Sequence of the event currently executing (no_event outside a
+     *  handler) — the parent assigned to events scheduled now. */
+    static constexpr std::uint64_t no_event = ~0ULL;
+    std::uint64_t runningSeq() const { return running_seq; }
 
     bool empty() const { return heap.empty(); }
     std::size_t size() const { return heap.size(); }
@@ -107,7 +146,9 @@ class EventScheduler
         std::pop_heap(heap.begin(), heap.end(), After{});
         Event ev = heap.back();
         heap.pop_back();
+        running_seq = ev.seq;
         ev.fn();
+        running_seq = no_event;
     }
 
   private:
@@ -135,6 +176,8 @@ class EventScheduler
 
     std::vector<Event> heap;
     std::uint64_t next_seq = 0;
+    std::uint64_t running_seq = no_event;
+    EventEdgeSink *edges = nullptr;
 };
 
 } // namespace necpt

@@ -5,7 +5,9 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "sim/critical_path.hh"
 #include "sim/sched.hh"
+#include "sim/timeseries.hh"
 #include "workloads/churn_sources.hh"
 #include "walk/machine.hh"
 #include "walk/baselines.hh"
@@ -101,6 +103,13 @@ Simulator::buildMachine(std::uint64_t footprint, const std::string &app)
         tlb.push_back(std::make_unique<TlbHierarchy>(cfg.tlb));
         walkers.push_back(makeWalker(core));
     }
+
+    // Attribution is on by default; disabling turns every ledger
+    // charge into an untaken branch in both the walkers and the
+    // memory hierarchy's breakdown plumbing.
+    mem->setAttribution(params.attribution);
+    for (auto &w : walkers)
+        w->setAttribution(params.attribution);
 
     if (params.tracer) {
         for (auto &w : walkers)
@@ -207,6 +216,10 @@ Simulator::runWith(const std::string &label,
             int inflight = 0;
             bool parked = false;
             double watermark = 0.0;
+            /** MLP-cap stall accounting: when the park began, and the
+             *  cycles this core has spent parked in total. */
+            double park_start = 0.0;
+            double stall_cycles = 0.0;
             DoneHandler done;
         };
 
@@ -248,6 +261,20 @@ Simulator::runWith(const std::string &label,
             void operator()() const { loop->roundDone(at); }
         };
 
+        struct SampleEv
+        {
+            Loop *loop;
+            double at;
+            void operator()() const { loop->sampleFire(at); }
+        };
+
+        /** Scheduler edge-sink tag for an event class. */
+        static constexpr std::uint8_t
+        evk(SimEventKind kind)
+        {
+            return static_cast<std::uint8_t>(kind);
+        }
+
         Simulator &sim;
         std::vector<CoreState> cores;
         EventScheduler sched;
@@ -256,6 +283,9 @@ Simulator::runWith(const std::string &label,
         bool stats_reset = false;
         std::uint64_t inflight_peak = 0;
         double pump_armed_at = std::numeric_limits<double>::infinity();
+        /** Registry backing the interval sampler (null = sampling off;
+         *  owned by runWith, claimed fresh per run). */
+        MetricsRegistry *sample_reg = nullptr;
         /** Shootdown round in flight (at most one; rounds chain). */
         CoherenceController::RoundPlan round{};
         bool round_active = false;
@@ -277,7 +307,8 @@ Simulator::runWith(const std::string &label,
             if (next >= pump_armed_at)
                 return;
             pump_armed_at = next;
-            sched.at(next, -1, PumpEv{this, next});
+            sched.at(next, -1, PumpEv{this, next},
+                     evk(SimEventKind::EvPump));
         }
 
         void
@@ -317,7 +348,8 @@ Simulator::runWith(const std::string &label,
             if (coresActive()) {
                 const double next =
                     at + static_cast<double>(src.period());
-                sched.at(next, coherence_prio, ChurnEv{this, idx, next});
+                sched.at(next, coherence_prio, ChurnEv{this, idx, next},
+                         evk(SimEventKind::EvChurn));
             }
         }
 
@@ -350,7 +382,8 @@ Simulator::runWith(const std::string &label,
             sched.at(static_cast<double>(round.completion),
                      coherence_prio,
                      RoundDoneEv{this,
-                                 static_cast<double>(round.completion)});
+                                 static_cast<double>(round.completion)},
+                     evk(SimEventKind::EvRound));
         }
 
         void
@@ -361,6 +394,32 @@ Simulator::runWith(const std::string &label,
             // Chain: invalidations queued while this round flew go out
             // in the next one.
             maybeStartRound(at);
+        }
+        /// @}
+
+        /// @name Interval metrics sampling (necpt-timeseries-v1)
+        /// The sampler event runs at the lowest priority so a sample
+        /// observes every completed same-cycle event — the property
+        /// that makes the stream byte-identical at any --jobs level.
+        /// @{
+        enum : std::int64_t
+        {
+            sample_prio = std::numeric_limits<std::int64_t>::max()
+        };
+
+        void
+        sampleFire(double at)
+        {
+            sim.params.timeseries->record(at,
+                                          sample_reg->scalarSnapshot());
+            if (coresActive()) {
+                const double next =
+                    at
+                    + static_cast<double>(
+                          sim.params.timeseries->interval());
+                sched.at(next, sample_prio, SampleEv{this, next},
+                         evk(SimEventKind::EvSample));
+            }
         }
         /// @}
 
@@ -375,6 +434,9 @@ Simulator::runWith(const std::string &label,
             // core's clock.
             if (params.tracer)
                 params.tracer->setNow(static_cast<Cycles>(cs.cycle));
+            if (params.critical_path)
+                params.critical_path->noteCoreEvent(sched.runningSeq(),
+                                                    core);
 
             if (cs.accesses == params.warmup_accesses && !stats_reset) {
                 // Warm-up fault-ins may have left elastic resizes in
@@ -412,6 +474,13 @@ Simulator::runWith(const std::string &label,
                     sim.tlb[core]->install(access.vaddr, translation);
                     inflight_peak = std::max<std::uint64_t>(
                         inflight_peak, 1);
+                    if (params.critical_path) {
+                        // Serialized walks complete inside the step.
+                        params.critical_path->noteWalk(
+                            sched.runningSeq(), core,
+                            sim.walkers[core]->lastWalkLedger(),
+                            walk.latency);
+                    }
                 }
 
                 // The data access itself; OoO hides most of its
@@ -424,7 +493,8 @@ Simulator::runWith(const std::string &label,
                     * params.data_exposure;
 
                 if (cs.accesses < total)
-                    sched.at(cs.cycle, core, StepEv{this, core});
+                    sched.at(cs.cycle, core, StepEv{this, core},
+                             evk(SimEventKind::EvStep));
                 return;
             }
 
@@ -443,10 +513,13 @@ Simulator::runWith(const std::string &label,
             machine.onDone(cs.done);
 
             if (cs.accesses < total) {
-                if (cs.inflight < params.max_outstanding_walks)
-                    sched.at(cs.cycle, core, StepEv{this, core});
-                else
+                if (cs.inflight < params.max_outstanding_walks) {
+                    sched.at(cs.cycle, core, StepEv{this, core},
+                             evk(SimEventKind::EvStep));
+                } else {
                     cs.parked = true;
+                    cs.park_start = cs.cycle;
+                }
             }
             armPump();
         }
@@ -461,12 +534,25 @@ Simulator::runWith(const std::string &label,
         walkDone(int core, WalkMachine &done)
         {
             const double end = static_cast<double>(done.endCycle());
-            sched.at(end, core, RetireEv{this, core, &done, end});
+            const std::uint64_t seq =
+                sched.at(end, core, RetireEv{this, core, &done, end},
+                         evk(SimEventKind::EvRetire));
+            if (sim.params.critical_path) {
+                // The retire event completes this walk: annotate it
+                // with the walk's attribution snapshot so the report
+                // can say which cause dominated the chain.
+                sim.params.critical_path->noteWalk(
+                    seq, core, done.attrLedger(),
+                    done.result().latency);
+            }
         }
 
         void
         retire(int core, WalkMachine *mp, double end)
         {
+            if (sim.params.critical_path)
+                sim.params.critical_path->noteCoreEvent(
+                    sched.runningSeq(), core);
             CoreState &owner = cores[core];
             Translation tr = mp->result().translation;
             // An invalidation overlapping this walk's VA landed while
@@ -493,6 +579,10 @@ Simulator::runWith(const std::string &label,
                           static_cast<std::int64_t>(replay.latency)}});
                 }
             }
+            // A machine may finish invalid only when churn unmapped
+            // its page mid-walk, and the shootdown ring is
+            // conservative, so the replay above must have repaired it.
+            NECPT_ASSERT(tr.valid);
             sim.tlb[core]->install(mp->va(), tr);
             const Addr hpa = tr.apply(mp->va());
             const AccessResult data = sim.mem->access(
@@ -510,12 +600,31 @@ Simulator::runWith(const std::string &label,
             if (owner.parked) {
                 owner.parked = false;
                 owner.cycle = std::max(owner.cycle, end);
-                sched.at(owner.cycle, core, StepEv{this, core});
+                const double stalled = owner.cycle - owner.park_start;
+                if (stalled > 0) {
+                    owner.stall_cycles += stalled;
+                    if (sim.params.critical_path) {
+                        sim.params.critical_path->noteStall(
+                            sched.runningSeq(), core, stalled,
+                            mp->attrLedger());
+                    }
+                }
+                sched.at(owner.cycle, core, StepEv{this, core},
+                         evk(SimEventKind::EvStep));
             }
         }
     };
 
     Loop loop{*this};
+    // Interval sampling reads the live registry; claim one fresh per
+    // run so repeated runWith calls never collide on entry names.
+    MetricsRegistry sample_reg;
+    if (params.timeseries) {
+        exportMetrics(sample_reg);
+        loop.sample_reg = &sample_reg;
+    }
+    if (params.critical_path)
+        loop.sched.setEdgeSink(params.critical_path);
     loop.cores.resize(static_cast<std::size_t>(params.cores));
     for (int core = 0; core < params.cores; ++core) {
         Loop::CoreState &cs = loop.cores[core];
@@ -536,14 +645,25 @@ Simulator::runWith(const std::string &label,
     // order advances the earliest core, lowest index first on ties —
     // the legacy interleaving.
     for (int core = 0; core < params.cores; ++core)
-        loop.sched.at(0.0, core, Loop::StepEv{&loop, core});
+        loop.sched.at(0.0, core, Loop::StepEv{&loop, core},
+                      Loop::evk(SimEventKind::EvStep));
     // Churn daemons wake for the first time one period in; each firing
     // re-arms itself while any core still issues accesses.
     for (std::size_t i = 0; i < churn_sources.size(); ++i) {
         const double first =
             static_cast<double>(churn_sources[i]->period());
         loop.sched.at(first, Loop::coherence_prio,
-                      Loop::ChurnEv{&loop, static_cast<int>(i), first});
+                      Loop::ChurnEv{&loop, static_cast<int>(i), first},
+                      Loop::evk(SimEventKind::EvChurn));
+    }
+    // The sampler ticks every interval at the lowest priority, so each
+    // snapshot observes every completed same-cycle event.
+    if (params.timeseries) {
+        const double first =
+            static_cast<double>(params.timeseries->interval());
+        loop.sched.at(first, Loop::sample_prio,
+                      Loop::SampleEv{&loop, first},
+                      Loop::evk(SimEventKind::EvSample));
     }
 
     while (!loop.sched.empty())
@@ -590,6 +710,13 @@ Simulator::runWith(const std::string &label,
     result.metrics["walk.inflight"] = result.walk_inflight_avg;
     result.metrics["walk.inflight.max"] =
         static_cast<double>(result.walk_inflight_max);
+    // MLP-cap stalls: cycles cores sat parked because the in-flight
+    // walk cap was reached (0 in serialized mode). The headline number
+    // for diagnosing mlp>1 slowdowns — see EXPERIMENTS.md.
+    double stall_sum = 0;
+    for (const Loop::CoreState &cs : loop.cores)
+        stall_sum += cs.stall_cycles;
+    result.metrics["walk.stall.cycles"] = stall_sum;
 
     // Under injection, prove the design absorbed every fault: the
     // ECPT/CWT cross-check is the Section 4.4 staleness argument run
@@ -616,7 +743,11 @@ Simulator::fillResult(SimResult &result)
         for (int i = 0; i < 3; ++i) {
             ws.step_sum[i] += s.step_sum[i];
             ws.step_cnt[i] += s.step_cnt[i];
+            ws.step_lat[i] += s.step_lat[i];
         }
+        for (int c = 0; c < num_attr_causes; ++c)
+            ws.attr_cycles[static_cast<std::size_t>(c)] +=
+                s.attr_cycles[static_cast<std::size_t>(c)];
     }
     result.mmu_busy_cycles = ws.busy_cycles;
     result.walks = ws.walks.value();
@@ -742,6 +873,28 @@ Simulator::fillResult(SimResult &result)
         static_cast<double>(result.hcwc_pte_step3_accesses);
     m["adaptive.pte.rate"] = result.adaptive_pte_rate;
     m["adaptive.pmd.rate"] = result.adaptive_pmd_rate;
+
+    // Cycle attribution (summed across cores). With attribution
+    // enabled end-to-end, conservation makes attr.total.cycles equal
+    // mmu_busy_cycles exactly — Figure 10 reads it directly.
+    std::uint64_t attr_total = 0;
+    for (int c = 0; c < num_attr_causes; ++c)
+        attr_total += ws.attr_cycles[static_cast<std::size_t>(c)];
+    m["attr.total.cycles"] = static_cast<double>(attr_total);
+    for (int c = 0; c < num_attr_causes; ++c) {
+        const std::uint64_t cyc =
+            ws.attr_cycles[static_cast<std::size_t>(c)];
+        const std::string an =
+            std::string("attr.")
+            + attrCauseName(static_cast<AttrCause>(c));
+        m[an + ".cycles"] = static_cast<double>(cyc);
+        m[an + ".share"] = attr_total
+            ? static_cast<double>(cyc) / static_cast<double>(attr_total)
+            : 0.0;
+    }
+    for (int s = 0; s < 3; ++s)
+        m["walk.step" + std::to_string(s + 1) + ".cycles"] =
+            static_cast<double>(ws.step_lat[s]);
 
     // Coherence scalars exist only when churn is armed, so churn-off
     // runs emit byte-identical metric maps.

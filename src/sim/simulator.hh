@@ -53,6 +53,8 @@ namespace necpt
 {
 
 class ChurnSource;
+class CriticalPathRecorder;
+class TimeSeriesBuffer;
 
 /** Run-length and model knobs. */
 struct SimParams
@@ -109,6 +111,31 @@ struct SimParams
      * clock in step with the leading core.
      */
     TraceBuffer *tracer = nullptr;
+
+    /**
+     * Per-walk cycle attribution (on by default). Every walk carries a
+     * CycleLedger binning its latency by cause; the bins roll into the
+     * attr.* counters/histograms and annotate trace spans. Disabling
+     * leaves the ledgers compiled in but makes every charge a dead
+     * branch — the hot path stays allocation-free either way.
+     */
+    bool attribution = true;
+
+    /**
+     * Interval metrics sampler (null = off). Every interval() measured
+     * cycles the Simulator snapshots the full registry scalar set into
+     * the buffer from an end-of-cycle scheduler event, producing the
+     * necpt-timeseries-v1 stream.
+     */
+    TimeSeriesBuffer *timeseries = nullptr;
+
+    /**
+     * Event-dependency recorder (null = off). When set, the scheduler
+     * reports every scheduling edge and the Loop annotates walk
+     * retirements and MLP-cap stalls, enabling the per-core
+     * critical-path report (necpt-run --critical-path).
+     */
+    CriticalPathRecorder *critical_path = nullptr;
 };
 
 /** Everything a bench needs to regenerate the paper's numbers. */

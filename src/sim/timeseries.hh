@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interval time-series sampling of the metrics registry (the
+ * observability layer's phase-behavior half).
+ *
+ * A TimeSeriesBuffer accumulates snapshots of every registry scalar at
+ * a fixed simulated-cycle interval; the Simulator drives it from a
+ * scheduler event at end-of-cycle priority, so a sample always sees
+ * the cycle's completed state and the stream is byte-deterministic at
+ * any worker count. The export format is one canonical JSON document
+ * (schema tag "necpt-timeseries-v1"):
+ *
+ *   {"schema":"necpt-timeseries-v1","interval":N,"runs":[
+ *     {"key":"<label>","series":["<name>",...],
+ *      "samples":[[cycle,v0,v1,...],...]}, ...]}
+ *
+ * Runs are emitted in submission order and doubles with %.12g, so a
+ * sweep's merged document compares byte-identical at --jobs 1 and 8.
+ */
+
+#ifndef NECPT_SIM_TIMESERIES_HH
+#define NECPT_SIM_TIMESERIES_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace necpt
+{
+
+/** One run's interval snapshots of the registry scalars. */
+class TimeSeriesBuffer
+{
+  public:
+    explicit TimeSeriesBuffer(std::uint64_t interval_cycles)
+        : interval_(interval_cycles ? interval_cycles : 1)
+    {}
+
+    std::uint64_t interval() const { return interval_; }
+
+    /**
+     * Append the snapshot taken at simulated cycle @p cycle. The first
+     * call fixes the series names (the registry's entry set never
+     * changes mid-run); every later snapshot must carry the same keys.
+     */
+    void record(double cycle, const std::map<std::string, double> &snap);
+
+    /** Sampled scalar names, sorted (the registry's map order). */
+    const std::vector<std::string> &series() const { return names_; }
+
+    /** One row per snapshot: [cycle, v0, v1, ...] in series() order. */
+    const std::vector<std::vector<double>> &samples() const
+    {
+        return rows_;
+    }
+
+    bool empty() const { return rows_.empty(); }
+
+  private:
+    std::uint64_t interval_;
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> rows_;
+};
+
+/** One labeled buffer inside the merged export document. */
+struct TimeSeriesRun
+{
+    std::string key;
+    const TimeSeriesBuffer *buffer = nullptr;
+};
+
+/** The canonical necpt-timeseries-v1 document for @p runs. */
+std::string timeseriesToJson(const std::vector<TimeSeriesRun> &runs,
+                             std::uint64_t interval);
+
+/** timeseriesToJson() to @p path. @return success. */
+bool writeTimeseriesJson(const std::string &path,
+                         const std::vector<TimeSeriesRun> &runs,
+                         std::uint64_t interval);
+
+} // namespace necpt
+
+#endif // NECPT_SIM_TIMESERIES_HH

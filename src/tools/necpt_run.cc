@@ -13,18 +13,22 @@
  * row or emitting JSON for tooling.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cycle_ledger.hh"
 #include "common/error.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_events.hh"
+#include "sim/critical_path.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/timeseries.hh"
 #include "workloads/trace.hh"
 
 using namespace necpt;
@@ -83,6 +87,16 @@ usage(const char *prog)
         "                      Nth walk (default all)\n"
         "  --trace-out FILE    Chrome trace-event output file\n"
         "                      (default necpt_trace.json)\n"
+        "  --sample-metrics=N  snapshot every registry scalar each N\n"
+        "                      simulated cycles (necpt-timeseries-v1)\n"
+        "  --timeseries-out FILE\n"
+        "                      time-series output file\n"
+        "                      (default necpt_timeseries.json)\n"
+        "  --critical-path[=K] record event dependencies and print the\n"
+        "                      per-core critical-path report (top-K\n"
+        "                      stalls, default 5)\n"
+        "  --no-attribution    disable per-walk cycle attribution\n"
+        "                      (attr.* counters stay zero)\n"
         "  --quiet             suppress warn/info log output\n",
         prog, prog);
 }
@@ -91,9 +105,11 @@ int
 run(int argc, char **argv)
 {
     std::string config_name, app_name, trace_path, record_path,
-        csv_path, stats_json_path, trace_out_path;
+        csv_path, stats_json_path, trace_out_path, timeseries_out_path;
     bool list = false, json = false;
     std::uint64_t trace_walks = 0; //!< sample interval; 0 = tracing off
+    std::uint64_t sample_metrics = 0; //!< cycles between snapshots
+    int critical_path_k = 0;          //!< top-K stalls; 0 = off
     SimParams params = paramsFromEnv();
     int radix_levels = 0;
 
@@ -130,6 +146,14 @@ run(int argc, char **argv)
         else if (arg.rfind("--trace-walks=", 0) == 0)
             trace_walks = std::stoull(arg.substr(14));
         else if (arg == "--trace-out") trace_out_path = value();
+        else if (arg == "--sample-metrics") sample_metrics = std::stoull(value());
+        else if (arg.rfind("--sample-metrics=", 0) == 0)
+            sample_metrics = std::stoull(arg.substr(17));
+        else if (arg == "--timeseries-out") timeseries_out_path = value();
+        else if (arg == "--critical-path") critical_path_k = 5;
+        else if (arg.rfind("--critical-path=", 0) == 0)
+            critical_path_k = std::stoi(arg.substr(16));
+        else if (arg == "--no-attribution") params.attribution = false;
         else if (arg == "--quiet") setLogLevel(LogLevel::Quiet);
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -197,6 +221,17 @@ run(int argc, char **argv)
             TraceBuffer::default_capacity, trace_walks);
         params.tracer = tracer.get();
     }
+    std::unique_ptr<TimeSeriesBuffer> timeseries;
+    if (sample_metrics) {
+        timeseries = std::make_unique<TimeSeriesBuffer>(sample_metrics);
+        params.timeseries = timeseries.get();
+    }
+    std::unique_ptr<CriticalPathRecorder> critical_path;
+    if (critical_path_k) {
+        critical_path = std::make_unique<CriticalPathRecorder>(
+            params.cores, critical_path_k);
+        params.critical_path = critical_path.get();
+    }
 
     Simulator sim(config, params);
     SimResult result;
@@ -241,6 +276,32 @@ run(int argc, char **argv)
         std::printf("  step accesses     %.1f / %.1f / %.1f\n",
                     result.step_avg[0], result.step_avg[1],
                     result.step_avg[2]);
+    if (params.attribution && result.walks) {
+        // Top-3 attribution causes: where walk cycles actually went.
+        struct Share { double share = 0; const char *name = nullptr; };
+        std::vector<Share> shares;
+        for (int c = 0; c < num_attr_causes; ++c) {
+            const char *an = attrCauseName(static_cast<AttrCause>(c));
+            const auto it =
+                result.metrics.find("attr." + std::string(an)
+                                    + ".share");
+            if (it != result.metrics.end() && it->second > 0)
+                shares.push_back({it->second, an});
+        }
+        std::sort(shares.begin(), shares.end(),
+                  [](const Share &a, const Share &b) {
+                      return a.share > b.share;
+                  });
+        if (!shares.empty()) {
+            std::printf("  walk cycles go to");
+            const std::size_t top = std::min<std::size_t>(3,
+                                                          shares.size());
+            for (std::size_t i = 0; i < top; ++i)
+                std::printf("%s %s %.1f%%", i ? "," : "",
+                            shares[i].name, 100.0 * shares[i].share);
+            std::printf("\n");
+        }
+    }
     if (params.churn.enabled()) {
         auto metric = [&](const char *name) {
             const auto it = result.metrics.find(name);
@@ -295,6 +356,22 @@ run(int argc, char **argv)
                      trace_out_path.c_str(), tracer->size(),
                      (unsigned long long)tracer->walksSampled());
     }
+    if (timeseries) {
+        if (timeseries_out_path.empty())
+            timeseries_out_path = "necpt_timeseries.json";
+        const std::vector<TimeSeriesRun> runs = {
+            {result.config + "/" + result.app, timeseries.get()}};
+        if (!writeTimeseriesJson(timeseries_out_path, runs,
+                                 timeseries->interval()))
+            fatal("cannot write '%s'", timeseries_out_path.c_str());
+        std::fprintf(stderr, "timeseries: %s (%zu samples of %zu "
+                             "series)\n",
+                     timeseries_out_path.c_str(),
+                     timeseries->samples().size(),
+                     timeseries->series().size());
+    }
+    if (critical_path)
+        std::printf("%s", critical_path->report().c_str());
     return 0;
 }
 

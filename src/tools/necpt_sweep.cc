@@ -69,6 +69,11 @@ usage(const char *prog)
         "  --trace-canonical drop the engine's wall-clock spans so\n"
         "                  equal seeds compare byte-identical at any\n"
         "                  --jobs value\n"
+        "  --sample-metrics=N snapshot every registry scalar each N\n"
+        "                  simulated cycles per job\n"
+        "  --timeseries-out FILE merged necpt-timeseries-v1 output\n"
+        "                  (default: timeseries_GRID.json when\n"
+        "                  sampling is on)\n"
         "  --retries N     re-run attempts that fail with a retryable\n"
         "                  error, with exponential backoff (default 0)\n"
         "  --backoff-ms N  base retry backoff (default 100)\n\n"
@@ -86,7 +91,7 @@ int
 run(int argc, char **argv)
 {
     std::string grid_name, json_path, csv_path, fault_spec_str,
-        sweep_trace_path;
+        sweep_trace_path, timeseries_path;
     bool list = false, no_json = false, trace_canonical = false;
     std::uint64_t trace_walks = 1;
     int fault_seeds = 20;
@@ -120,6 +125,11 @@ run(int argc, char **argv)
         else if (arg.rfind("--trace-walks=", 0) == 0)
             trace_walks = std::stoull(arg.substr(14));
         else if (arg == "--trace-canonical") trace_canonical = true;
+        else if (arg == "--sample-metrics")
+            options.sample_interval = std::stoull(value());
+        else if (arg.rfind("--sample-metrics=", 0) == 0)
+            options.sample_interval = std::stoull(arg.substr(17));
+        else if (arg == "--timeseries-out") timeseries_path = value();
         else if (arg == "--faults") fault_spec_str = value();
         else if (arg == "--fault-seeds")
             fault_seeds = std::stoi(value());
@@ -169,6 +179,17 @@ run(int argc, char **argv)
                      sweep_trace_path.c_str());
     };
 
+    auto writeTimeseriesFile = [&](const ResultSink &sink) {
+        if (!options.sample_interval)
+            return;
+        if (timeseries_path.empty())
+            timeseries_path = "timeseries_" + grid->name + ".json";
+        if (!sink.writeTimeseries(timeseries_path))
+            fatal("cannot write '%s'", timeseries_path.c_str());
+        std::fprintf(stderr, "timeseries:   %s\n",
+                     timeseries_path.c_str());
+    };
+
     if (!fault_spec_str.empty()) {
         FaultCampaignOptions copts;
         copts.spec = parseFaultSpec(fault_spec_str);
@@ -193,6 +214,7 @@ run(int argc, char **argv)
                          json_path.c_str());
         }
         writeTraceFile(sink);
+        writeTimeseriesFile(sink);
         // Surfaced faults are the campaign's product, not a sweep
         // failure: exit 0 as long as the process survived the grid.
         return 0;
@@ -215,6 +237,7 @@ run(int argc, char **argv)
         std::fprintf(stderr, "results CSV:  %s\n", csv_path.c_str());
     }
     writeTraceFile(sink);
+    writeTimeseriesFile(sink);
 
     const std::size_t failed = sink.failedCount();
     if (failed)

@@ -16,6 +16,7 @@ AgilePagingWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(guest.valid);
 
     Cycles t = now + pwc.latency();
+    charge(AttrCause::Probe, pwc.latency());
     int accesses = 0;
 
     const int skip_through = pwcSkipLevel(pwc, gsteps, gva);
@@ -41,10 +42,11 @@ AgilePagingWalker::translate(Addr gva, Cycles now)
 WalkResult
 PomTlbWalker::translate(Addr gva, Cycles now)
 {
-    // One in-DRAM probe (cacheable in L2/L3 like data).
+    // One in-DRAM probe (cacheable in L2/L3 like data). The probe IS
+    // the POM-TLB lookup, so its whole latency is the tlb cause.
     Cycles t = now;
     const PomTlb::Result probe = pom.lookup(gva);
-    t += seqAccess(probe.entry_addr, t);
+    t += seqAccessAs(AttrCause::Tlb, probe.entry_addr, t);
 
     if (probe.hit) {
         WalkResult result;
@@ -59,6 +61,9 @@ PomTlbWalker::translate(Addr gva, Cycles now)
 
     WalkResult result;
     result.translation = walked.translation;
+    // The fallback walk's cycles are part of this walk's latency: fold
+    // its ledger so our bins conserve the combined total.
+    ledger_.fold(fallback.lastWalkLedger());
     finishWalk(result, now, t + walked.latency,
                1 + walked.mem_accesses);
     // The fallback walker recorded its own stats; fold its traffic into
@@ -80,6 +85,7 @@ FlatNestedWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(guest.valid);
 
     Cycles t = now + gpwc.latency();
+    charge(AttrCause::Probe, gpwc.latency());
     int accesses = 0;
 
     const int skip_through = pwcSkipLevel(gpwc, gsteps, gva);
@@ -92,6 +98,7 @@ FlatNestedWalker::translate(Addr gva, Cycles now)
         if (Addr *hpa_frame = ntlb.lookup(entry_gpa)) {
             host = {*hpa_frame, PageSize::Page4K, true};
             t += ntlb.latency();
+            charge(AttrCause::Tlb, ntlb.latency());
         } else {
             // One flat-table reference translates any gPA.
             host = sys.hostTranslate(entry_gpa);

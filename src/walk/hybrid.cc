@@ -22,6 +22,8 @@ HybridWalker::hostProbe(Addr gpa, int row, Cycles &t, int &accesses)
     }
 
     t += hcwc.latency() + hash_latency;
+    charge(AttrCause::Probe, hcwc.latency());
+    charge(AttrCause::Compute, hash_latency);
     PlanOptions options;
     options.use_pte_info = use_pte;
     options.adaptive = controller;
@@ -34,7 +36,7 @@ HybridWalker::hostProbe(Addr gpa, int row, Cycles &t, int &accesses)
     // Hybrid walks have no fixed three-step structure: step -1 skips
     // the per-step tallies.
     const BatchResult br =
-        executeProbePhase(mem, core, stats_, -1, probe_buf, t);
+        executeProbePhase(mem, core, stats_, -1, probe_buf, t, &ledger_);
     t += br.latency;
     accesses += br.requests;
 
@@ -57,6 +59,7 @@ HybridWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(guest.valid);
 
     Cycles t = now + gpwc.latency();
+    charge(AttrCause::Probe, gpwc.latency());
     int accesses = 0;
 
     const int skip_through = pwcSkipLevel(gpwc, gsteps, gva);
@@ -70,6 +73,7 @@ HybridWalker::translate(Addr gva, Cycles now)
         if (Addr *hpa_frame = ntlb.lookup(entry_gpa)) {
             host = {*hpa_frame, PageSize::Page4K, true};
             t += ntlb.latency();
+            charge(AttrCause::Tlb, ntlb.latency());
         } else {
             host = hostProbe(entry_gpa, row, t, accesses);
             ntlb.fill(entry_gpa, host.apply(entry_gpa) & ~mask(12));

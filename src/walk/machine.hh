@@ -72,6 +72,18 @@ class WalkMachine
         return end_;
     }
 
+    /// @name Per-walk attribution snapshot
+    /// A copy of this walk's cycle ledger, captured by the machine (or
+    /// its walker) just before finish() delivers the continuation.
+    /// Walkers reuse one live ledger across walks, so completion
+    /// handlers that run later in the same cycle (stall accounting,
+    /// the critical-path recorder) read this snapshot instead. Zeroed
+    /// when attribution is disabled.
+    /// @{
+    const CycleLedger &attrLedger() const { return attr_ledger_; }
+    void setAttrLedger(const CycleLedger &led) { attr_ledger_ = led; }
+    /// @}
+
     /** The finished walk's outcome; only valid once done(). */
     const WalkResult &
     result() const
@@ -116,6 +128,7 @@ class WalkMachine
         result_ = WalkResult{};
         on_done = nullptr;
         coherence_epoch_ = 0;
+        attr_ledger_.reset();
     }
 
     /** Mark the walk complete at @p end and deliver the continuation. */
@@ -141,6 +154,7 @@ class WalkMachine
     std::uint64_t coherence_epoch_ = 0;
     WalkResult result_;
     WalkDoneFn on_done;
+    CycleLedger attr_ledger_;
 };
 
 inline void
@@ -162,6 +176,10 @@ class ImmediateWalkMachine : public WalkMachine
                          WalkResult result)
         : WalkMachine(va, start), owner(walker)
     {
+        // The synchronous walk already ran; snapshot its ledger before
+        // finish() would hand the machine to a continuation. (None is
+        // installed yet here, but rebind() shares the invariant.)
+        setAttrLedger(walker->lastWalkLedger());
         const Cycles end = start + result.latency;
         finish(std::move(result), end);
     }
@@ -171,6 +189,7 @@ class ImmediateWalkMachine : public WalkMachine
     rebind(Addr va, Cycles start, WalkResult result)
     {
         reinit(va, start);
+        setAttrLedger(owner->lastWalkLedger());
         const Cycles end = start + result.latency;
         finish(std::move(result), end);
     }

@@ -14,6 +14,8 @@ NativeEcptWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(table != nullptr);
 
     Cycles t = now + cwc.latency() + hash_latency;
+    charge(AttrCause::Probe, cwc.latency());
+    charge(AttrCause::Compute, hash_latency);
 
     PlanOptions options;
     options.use_pte_info = false;
@@ -41,7 +43,7 @@ NativeEcptWalker::translate(Addr gva, Cycles now)
     appendPlannedProbes(*table, gva, plan, probe_buf);
     const Cycles t1 = t;
     const BatchResult br =
-        executeProbePhase(mem, core, stats_, 0, probe_buf, t);
+        executeProbePhase(mem, core, stats_, 0, probe_buf, t, &ledger_);
     t += br.latency;
     if (tracing) {
         const auto core_id = static_cast<std::uint32_t>(core);

@@ -19,6 +19,7 @@ NativeRadixWalker::translate(Addr gva, Cycles now)
     const int skip_through = pwcSkipLevel(pwc, steps, gva);
 
     Cycles t = now + pwc.latency();
+    charge(AttrCause::Probe, pwc.latency());
     int accesses = 0;
     for (const RadixStep &step : steps) {
         if (step.level >= skip_through)

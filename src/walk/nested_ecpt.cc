@@ -208,6 +208,7 @@ class NestedEcptWalker::Machine : public WalkMachine
         h3plan = EcptProbePlan{};
         gpa_data = 0;
         use_pte3 = false;
+        ledger.reset();
         scratch.clear();
     }
 
@@ -222,12 +223,15 @@ class NestedEcptWalker::Machine : public WalkMachine
     start()
     {
         tracing = w.traceBegin();
+        ledger.setEnabled(w.attributionEnabled());
         EcptPageTable &guest = *w.sys.guestEcpt();
         EcptPageTable &host = *w.sys.hostEcpt();
         const Addr gva = va();
 
         // ---- Step 1: locate the gECPT entry (Figure 6, left) ----
         t = startCycle() + w.gcwc.latency() + hash_latency;
+        ledger.charge(AttrCause::Probe, w.gcwc.latency());
+        ledger.charge(AttrCause::Compute, hash_latency);
 
         PlanOptions goptions;
         goptions.use_pte_info = false; // no PTE gCWT ever (Section 4.2)
@@ -242,6 +246,7 @@ class NestedEcptWalker::Machine : public WalkMachine
         // For each candidate gECPT slot (a gPA), translate through the
         // hECPTs — the parallel Step-1 probe group.
         t += w.hcwc_step1.latency();
+        ledger.charge(AttrCause::Probe, w.hcwc_step1.latency());
         for (Addr slot_gpa : scratch.guest_slots) {
             const EcptProbePlan hplan = w.planStep1Host(slot_gpa, t);
             w.stats_.host_kind[static_cast<int>(hplan.kind)].inc();
@@ -267,7 +272,7 @@ class NestedEcptWalker::Machine : public WalkMachine
     {
         const Cycles t1 = t;
         t = done;
-        chargeProbePhase(w.stats_, 0, br1);
+        chargeProbePhase(w.stats_, 0, br1, &ledger);
         fg_requests += br1.requests;
         if (tracing) {
             w.traceProbes(1, scratch.probes, t1);
@@ -299,7 +304,7 @@ class NestedEcptWalker::Machine : public WalkMachine
     {
         const Cycles t2 = t;
         t = done;
-        chargeProbePhase(w.stats_, 1, br2);
+        chargeProbePhase(w.stats_, 1, br2, &ledger);
         fg_requests += br2.requests;
         if (tracing) {
             w.traceProbes(2, scratch.probes, t2);
@@ -311,10 +316,23 @@ class NestedEcptWalker::Machine : public WalkMachine
         // ---- Step 3: translate the data page's gPA ----
         EcptPageTable &host = *w.sys.hostEcpt();
         const Translation g = w.sys.guestTranslate(va());
-        NECPT_ASSERT(g.valid);
+        if (!g.valid) {
+            // Translation churn unmapped the page beneath this
+            // in-flight walk. Real hardware would read the stale PTE;
+            // the functional tables have already mutated, so finish
+            // with an invalid translation and let the retire-time
+            // coherence check replay against the new tables (the
+            // shootdown ring answers invalidatedSince() true for this
+            // VA). Cycles charged so far still equal the walk's
+            // latency, so attribution conservation holds.
+            abortUnmapped();
+            return;
+        }
         gpa_data = g.apply(va());
 
         t += w.hcwc_step3.latency() + hash_latency;
+        ledger.charge(AttrCause::Probe, w.hcwc_step3.latency());
+        ledger.charge(AttrCause::Compute, hash_latency);
         use_pte3 = w.feat.step3_adaptive_pte
                    && w.adaptive.pteCachingEnabled() && host.hasPteCwt();
         PlanOptions h3opts;
@@ -338,7 +356,7 @@ class NestedEcptWalker::Machine : public WalkMachine
     {
         const Cycles t3 = t;
         t = done;
-        chargeProbePhase(w.stats_, 2, br3);
+        chargeProbePhase(w.stats_, 2, br3, &ledger);
         fg_requests += br3.requests;
         if (tracing) {
             w.traceProbes(3, scratch.probes, t3);
@@ -369,8 +387,24 @@ class NestedEcptWalker::Machine : public WalkMachine
 
         WalkResult result;
         result.translation = w.sys.fullTranslate(va());
-        NECPT_ASSERT(result.translation.valid);
-        w.finishWalk(result, startCycle(), t, fg_requests);
+        // Invalid here means churn unmapped the page mid-walk (see
+        // abortUnmapped); the retire-time coherence check replays.
+        w.finishWalk(result, startCycle(), t, fg_requests, &ledger);
+        // Snapshot attribution before finish() fires the continuation:
+        // completion handlers read the machine, not the walker's
+        // transient last-walk ledger.
+        setAttrLedger(w.lastWalkLedger());
+        finish(std::move(result), t);
+    }
+
+    /** Finish early with an invalid translation after churn pulled
+     *  the mapping out from under the walk. */
+    void
+    abortUnmapped()
+    {
+        WalkResult result;
+        w.finishWalk(result, startCycle(), t, fg_requests, &ledger);
+        setAttrLedger(w.lastWalkLedger());
         finish(std::move(result), t);
     }
 
@@ -378,6 +412,9 @@ class NestedEcptWalker::Machine : public WalkMachine
     bool tracing = false;
     Cycles t = 0;
     int fg_requests = 0;
+    /** This walk's cycle bins — per machine, since several walks from
+     *  one walker can be in flight at once. */
+    CycleLedger ledger;
     EcptProbePlan gplan;
     EcptProbePlan h3plan;
     Addr gpa_data = 0;

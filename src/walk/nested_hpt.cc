@@ -32,6 +32,7 @@ NestedHptWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(guest != nullptr);
 
     Cycles t = now + hash_latency;
+    charge(AttrCause::Compute, hash_latency);
     int accesses = 0;
 
     // Step 1+2 (Figure 3): walk the guest chain; each guest slot is a
@@ -52,6 +53,7 @@ NestedHptWalker::translate(Addr gva, Cycles now)
     // Step 3: translate the data page's gPA through the host HPT.
     const Addr gpa_data = g.apply(gva);
     t += hash_latency;
+    charge(AttrCause::Compute, hash_latency);
     hostChain(gpa_data, t, accesses);
 
     result.translation = sys.fullTranslate(gva);

@@ -40,6 +40,7 @@ NestedRadixWalker::translate(Addr gva, Cycles now)
     NECPT_ASSERT(guest.valid);
 
     Cycles t = now + gpwc.latency(); // gPWC/NTLB probed up front
+    charge(AttrCause::Probe, gpwc.latency());
     int accesses = 0;
 
     // Deepest guest level whose entry the gPWC supplies.
@@ -63,6 +64,7 @@ NestedRadixWalker::translate(Addr gva, Cycles now)
         if (hpa_frame) {
             host = {*hpa_frame, PageSize::Page4K, true};
             t += ntlb.latency();
+            charge(AttrCause::Tlb, ntlb.latency());
         } else {
             const Cycles t0 = t;
             host = hostWalk(entry_gpa, t, accesses);

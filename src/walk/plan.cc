@@ -144,7 +144,8 @@ appendPlannedProbes(const EcptPageTable &pt, Addr va,
 }
 
 void
-chargeProbePhase(WalkerStats &stats, int step, const BatchResult &batch)
+chargeProbePhase(WalkerStats &stats, int step, const BatchResult &batch,
+                 CycleLedger *ledger)
 {
     stats.mmu_requests.inc(static_cast<std::uint64_t>(batch.requests));
     if (step >= 0) {
@@ -153,14 +154,17 @@ chargeProbePhase(WalkerStats &stats, int step, const BatchResult &batch)
         stats.step_cnt[step] += 1;
         stats.step_lat[step] += batch.latency;
     }
+    if (ledger)
+        chargeMemBreakdown(*ledger, batch.bd);
 }
 
 BatchResult
 executeProbePhase(MemoryHierarchy &mem, int core, WalkerStats &stats,
-                  int step, AddrSpan addrs, Cycles now)
+                  int step, AddrSpan addrs, Cycles now,
+                  CycleLedger *ledger)
 {
     const BatchResult br = mem.batchAccess(addrs, now, core);
-    chargeProbePhase(stats, step, br);
+    chargeProbePhase(stats, step, br, ledger);
     return br;
 }
 

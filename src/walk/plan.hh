@@ -95,10 +95,13 @@ std::size_t appendPlannedProbes(const EcptPageTable &pt, Addr va,
  * Charge one executed probe phase to the walker statistics:
  * mmu_requests always; the Section-9.4 per-step probe/latency tallies
  * when @p step is a nested-ECPT step index (0-based; pass -1 for
- * designs without the three-step structure).
+ * designs without the three-step structure). When @p ledger is
+ * non-null the batch's critical-line decomposition is charged to it
+ * (cycle attribution; the split sums to batch.latency exactly).
  */
 void chargeProbePhase(WalkerStats &stats, int step,
-                      const BatchResult &batch);
+                      const BatchResult &batch,
+                      CycleLedger *ledger = nullptr);
 
 /**
  * Synchronous probe phase: issue @p addrs as one parallel batch at
@@ -108,7 +111,8 @@ void chargeProbePhase(WalkerStats &stats, int step,
  */
 BatchResult executeProbePhase(MemoryHierarchy &mem, int core,
                               WalkerStats &stats, int step,
-                              AddrSpan addrs, Cycles now);
+                              AddrSpan addrs, Cycles now,
+                              CycleLedger *ledger = nullptr);
 
 /// @}
 

@@ -47,6 +47,7 @@ ShadowPagingWalker::translate(Addr gva, Cycles now)
 {
     WalkResult result;
     Cycles t = now + pwc.latency();
+    charge(AttrCause::Probe, pwc.latency());
     int accesses = 0;
 
     std::vector<RadixStep> steps;
@@ -58,6 +59,7 @@ ShadowPagingWalker::translate(Addr gva, Cycles now)
         // are subsumed in it.
         ++vmexits;
         t += vmexit_cost;
+        charge(AttrCause::Compute, vmexit_cost);
         const Translation full = sys.fullTranslate(gva);
         NECPT_ASSERT(full.valid);
         shadow->map(pageBase(gva, full.size), full.pa, full.size);

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cycle_ledger.hh"
+#include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/trace_events.hh"
@@ -57,13 +59,42 @@ struct WalkResult
     int mem_accesses = 0;    //!< foreground MMU requests issued
 };
 
+/** Charge one memory-latency decomposition into a ledger. The split
+ *  sums to the access/batch latency, so charging it keeps the walk's
+ *  cycle-conservation invariant intact. */
+inline void
+chargeMemBreakdown(CycleLedger &ledger, const MemBreakdown &bd)
+{
+    ledger.charge(AttrCause::Issue, bd.issue);
+    ledger.charge(AttrCause::Mshr, bd.mshr);
+    ledger.charge(AttrCause::Cache, bd.cache);
+    ledger.charge(AttrCause::DramQueue, bd.dram_queue);
+    ledger.charge(AttrCause::DramService, bd.dram_service);
+    ledger.charge(AttrCause::DramBus, bd.dram_bus);
+    ledger.charge(AttrCause::Fault, bd.fault);
+}
+
 /** Aggregated per-walker statistics. */
 struct WalkerStats
 {
+    WalkerStats()
+    {
+        attr_hist.reserve(num_attr_causes);
+        for (int c = 0; c < num_attr_causes; ++c)
+            attr_hist.emplace_back(20, 64);
+    }
+
     Counter walks;
     Counter mmu_requests;     //!< all MMU hierarchy requests (+background)
     Cycles busy_cycles = 0;   //!< sum of walk latencies (Figure 10)
     Histogram walk_latency{20, 64}; //!< Figure 11 bins (20-cycle wide)
+
+    /** Cycle attribution: total walk cycles per cause, and each
+     *  cause's per-walk distribution ("attr.<cause>" registry names).
+     *  Conservation: the attr_cycles sum equals busy_cycles whenever
+     *  attribution was enabled for every recorded walk. */
+    std::array<std::uint64_t, num_attr_causes> attr_cycles{};
+    std::vector<Histogram> attr_hist; //!< one {20,64} per cause
 
     /** Figure 14: walk-kind tallies for the guest and host sides. */
     Counter guest_kind[4];
@@ -100,6 +131,9 @@ struct WalkerStats
             step_cnt[i] = 0;
             step_lat[i] = 0;
         }
+        attr_cycles.fill(0);
+        for (Histogram &h : attr_hist)
+            h.reset();
     }
 };
 
@@ -168,6 +202,27 @@ class Walker
     WalkerStats &stats() { return stats_; }
     const WalkerStats &stats() const { return stats_; }
 
+    /**
+     * Toggle per-walk cycle attribution (on by default). Disabling
+     * reduces every charge to one untaken branch — the hot path runs
+     * exactly as it did before attribution existed. The owner should
+     * keep the MemoryHierarchy's attribution flag in step so batch
+     * breakdowns exist when walks want to charge them.
+     */
+    virtual void
+    setAttribution(bool on)
+    {
+        attr_enabled_ = on;
+        ledger_.setEnabled(on);
+    }
+
+    bool attributionEnabled() const { return attr_enabled_; }
+
+    /** The folded ledger of the most recently finished walk (valid
+     *  after any finishWalk; composite walkers fold it into their own
+     *  ledger to keep nested walks conserving). */
+    const CycleLedger &lastWalkLedger() const { return last_ledger_; }
+
     /** Attach the walk-level event tracer (null detaches; default). */
     void setTracer(TraceBuffer *tracer) { tracer_ = tracer; }
     TraceBuffer *tracer() const { return tracer_; }
@@ -211,6 +266,16 @@ class Walker
             reg.addValue(sp + "avg_probes",
                          [s, i] { return s->avgStepAccesses(i); });
         }
+        for (int c = 0; c < num_attr_causes; ++c) {
+            const std::string ap =
+                p + "attr."
+                + attrCauseName(static_cast<AttrCause>(c));
+            reg.addCounter(ap + ".cycles",
+                           [s, c] { return s->attr_cycles[c]; },
+                           "walk cycles attributed to this cause");
+            reg.addHistogram(ap, &s->attr_hist[c],
+                             "per-walk cycles of this cause");
+        }
     }
 
     /** MMU structure lookup latency (Table 2: 4 cycles RT). */
@@ -219,12 +284,38 @@ class Walker
     static constexpr Cycles hash_latency = 2;
 
   protected:
-    /** One sequential (dependent) MMU memory access. */
+    /** One sequential (dependent) MMU memory access. Charges the
+     *  walk's ledger with the exact latency decomposition. */
     Cycles
     seqAccess(Addr hpa, Cycles now)
     {
         ++stats_.mmu_requests;
-        return mem.access(hpa, now, Requester::Mmu, core).latency;
+        if (!attr_enabled_)
+            return mem.access(hpa, now, Requester::Mmu, core).latency;
+        MemBreakdown bd;
+        const AccessResult r =
+            mem.access(hpa, now, Requester::Mmu, core, &bd);
+        chargeMemBreakdown(ledger_, bd);
+        return r.latency;
+    }
+
+    /** seqAccess charging the whole latency to one cause — for
+     *  accesses that *are* the cause (the POM-TLB's in-DRAM probe). */
+    Cycles
+    seqAccessAs(AttrCause cause, Addr hpa, Cycles now)
+    {
+        ++stats_.mmu_requests;
+        const Cycles lat =
+            mem.access(hpa, now, Requester::Mmu, core).latency;
+        ledger_.charge(cause, lat);
+        return lat;
+    }
+
+    /** Charge an analytic latency addition (cache probe, hash unit,
+     *  NTLB lookup, VM exit) to the current walk's ledger. */
+    void charge(AttrCause cause, Cycles cycles)
+    {
+        ledger_.charge(cause, cycles);
     }
 
     /** A parallel batch of MMU accesses (one walk phase). */
@@ -233,6 +324,8 @@ class Walker
     {
         BatchResult r = mem.batchAccess(addrs, now, core);
         stats_.mmu_requests.inc(static_cast<std::uint64_t>(r.requests));
+        if (attr_enabled_)
+            chargeMemBreakdown(ledger_, r.bd);
         return r;
     }
 
@@ -274,21 +367,45 @@ class Walker
     /** Is the current walk being traced? The hot-path check. */
     bool traceActive() const { return tracer_ && tracer_->walkActive(); }
 
-    /** Record a finished walk in the common statistics. */
+    /**
+     * Record a finished walk in the common statistics and fold its
+     * cycle ledger (the walker's own, or @p walk_ledger for designs
+     * whose machines carry one each) into the attr.* aggregates. With
+     * attribution enabled end-to-end the fold asserts conservation:
+     * the ledger's bins must sum exactly to the walk's latency.
+     */
     void
     finishWalk(WalkResult &result, Cycles start, Cycles end,
-               int foreground_accesses)
+               int foreground_accesses,
+               CycleLedger *walk_ledger = nullptr)
     {
         result.latency = end - start;
         result.mem_accesses = foreground_accesses;
         ++stats_.walks;
         stats_.busy_cycles += result.latency;
         stats_.walk_latency.sample(result.latency);
+        CycleLedger &led = walk_ledger ? *walk_ledger : ledger_;
+        if (attr_enabled_) {
+            NECPT_ASSERT(!mem.attributionEnabled()
+                         || led.total() == result.latency);
+            for (int c = 0; c < num_attr_causes; ++c) {
+                const auto cycles = led.bins()[static_cast<size_t>(c)];
+                stats_.attr_cycles[static_cast<size_t>(c)] += cycles;
+                stats_.attr_hist[static_cast<size_t>(c)].sample(cycles);
+            }
+        }
+        last_ledger_ = led;
+        led.reset();
         if (traceActive()) {
+            const AttrCause top = last_ledger_.dominant();
             tracer_->span("walk", TraceCat::Walk,
                           static_cast<std::uint32_t>(core), start,
                           result.latency,
-                          {{"accesses", foreground_accesses}});
+                          {{"accesses", foreground_accesses},
+                           {"attr_top", 0, attrCauseName(top)},
+                           {"attr_top_cycles",
+                            static_cast<std::int64_t>(
+                                last_ledger_.bin(top))}});
             tracer_->endWalk();
         }
     }
@@ -298,6 +415,15 @@ class Walker
     int core;
     WalkerStats stats_;
     TraceBuffer *tracer_ = nullptr;
+    /** The in-progress walk's cycle bins (serialized designs; walkers
+     *  whose machines overlap carry one ledger per machine instead).
+     *  finishWalk() folds and resets, so it is always clean between
+     *  walks. */
+    CycleLedger ledger_;
+    /** Snapshot of the last finished walk's bins (composite designs
+     *  fold a nested walker's lastWalkLedger into their own). */
+    CycleLedger last_ledger_;
+    bool attr_enabled_ = true;
 
   private:
     friend class ImmediateWalkMachine;

@@ -121,8 +121,48 @@ TEST(Histogram, PercentileOverflowBinReportsMax)
     m.sample(15);
     m.sample(25);
     m.sample(9999);
-    EXPECT_EQ(m.percentile(50), 15u);
+    EXPECT_EQ(m.percentile(50), 20u);
     EXPECT_EQ(m.percentile(99), 9999u);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBins)
+{
+    // One bin, uniform mass: the p-th percentile sits exactly p% of
+    // the way through the bin (target = p/100 * total samples, and
+    // value = bin_base + target/count * width).
+    Histogram h(100, 4); // bins [0,100) ... [300,400) + overflow
+    for (int i = 0; i < 100; ++i)
+        h.sample(50); // all mass in bin 0
+    EXPECT_EQ(h.percentile(50), 50u);
+    EXPECT_EQ(h.percentile(95), 95u);
+    EXPECT_EQ(h.percentile(99), 99u);
+    EXPECT_EQ(h.percentile(100), 100u);
+}
+
+TEST(Histogram, PercentileSkipsEmptyBins)
+{
+    // Mass split across bins 0 and 3; bins 1-2 are empty and must not
+    // absorb the interpolation target.
+    Histogram h(100, 4);
+    for (int i = 0; i < 50; ++i)
+        h.sample(10);
+    for (int i = 0; i < 50; ++i)
+        h.sample(310);
+    // p50: target = 50, bin 0 holds exactly 50 -> right edge of bin 0.
+    EXPECT_EQ(h.percentile(50), 100u);
+    // p75: target = 75, 25 of bin 3's 50 samples -> halfway into it.
+    EXPECT_EQ(h.percentile(75), 350u);
+    EXPECT_EQ(h.percentile(100), 400u);
+}
+
+TEST(Histogram, PercentileSingleSample)
+{
+    Histogram h(10, 5);
+    h.sample(7);
+    // target = p/100 * 1 lands in bin 0 for every p; the value
+    // interpolates from the bin base toward its right edge.
+    EXPECT_EQ(h.percentile(50), 5u);
+    EXPECT_EQ(h.percentile(100), 10u);
 }
 
 TEST(RateMonitor, HistoryAccumulates)

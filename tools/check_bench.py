@@ -31,11 +31,28 @@ def load(path):
     if not unit:
         sys.exit(f"{path}: missing 'unit' field")
     rates = {}
+    attrs = {}
     for entry in data.get("results", []):
         if unit not in entry:
             sys.exit(f"{path}: entry {entry.get('name')!r} lacks {unit!r}")
         rates[entry["name"]] = float(entry[unit])
-    return unit, rates
+        if isinstance(entry.get("attr"), dict):
+            attrs[entry["name"]] = {
+                k: float(v) for k, v in entry["attr"].items()}
+    return unit, rates, attrs
+
+
+def attr_shifts(baseline, current, threshold):
+    """Causes whose cycle share moved more than `threshold` (fraction,
+    e.g. 0.05 = 5pp), as (cause, base, cur) sorted by |shift| desc."""
+    shifted = []
+    for cause in sorted(set(baseline) | set(current)):
+        base = baseline.get(cause, 0.0)
+        cur = current.get(cause, 0.0)
+        if abs(cur - base) > threshold:
+            shifted.append((cause, base, cur))
+    shifted.sort(key=lambda t: abs(t[2] - t[1]), reverse=True)
+    return shifted
 
 
 def main():
@@ -48,10 +65,13 @@ def main():
                              "(default 0.10 = 10%%)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0")
+    parser.add_argument("--max-attr-shift", type=float, default=0.05,
+                        help="tolerated per-cause attribution share "
+                             "shift (default 0.05 = 5pp)")
     args = parser.parse_args()
 
-    unit, current = load(args.current)
-    base_unit, baseline = load(args.baseline)
+    unit, current, current_attr = load(args.current)
+    base_unit, baseline, baseline_attr = load(args.baseline)
     if unit != base_unit:
         sys.exit(f"unit mismatch: {unit!r} vs baseline {base_unit!r}")
 
@@ -81,6 +101,34 @@ def main():
     for name in current:
         if name not in baseline:
             lines.append(f"| {name} | (new) | {current[name]:.0f} | |")
+
+    # Attribution profile diff: where did the cycles move? A share
+    # shift above the threshold is flagged alongside the rate check so
+    # perf PRs see the cause, not just the symptom.
+    attr_lines = []
+    for name in baseline_attr:
+        if name not in current_attr:
+            continue
+        shifted = attr_shifts(baseline_attr[name], current_attr[name],
+                              args.max_attr_shift)
+        for cause, base, cur in shifted:
+            attr_lines.append(
+                f"| {name} | {cause} | {base * 100:.1f}% | "
+                f"{cur * 100:.1f}% | {(cur - base) * 100:+.1f}pp "
+                f":warning: |")
+            regressions.append(
+                f"{name}: attr share of {cause!r} moved "
+                f"{(cur - base) * 100:+.1f}pp "
+                f"({base * 100:.1f}% -> {cur * 100:.1f}%)")
+    if attr_lines:
+        lines += [
+            "",
+            f"### Attribution profile shifts (> "
+            f"{args.max_attr_shift * 100:.0f}pp)",
+            "",
+            "| name | cause | baseline | current | shift |",
+            "| --- | --- | ---: | ---: | ---: |",
+        ] + attr_lines
 
     report = "\n".join(lines) + "\n"
     print(report)
