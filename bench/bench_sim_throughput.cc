@@ -5,7 +5,10 @@
  * engine's regimes — single-core serialized (the byte-identical
  * legacy path), 8-core serialized (event interleaving + shared
  * resources), and 8-core with overlapped walks (walk machines, the
- * memory pump, completion events). Emits BENCH_throughput.json so CI
+ * memory pump, completion events) — followed by a --sim-threads
+ * scaling sweep of the thread-sharded core (1/2/4/8 host threads on
+ * the 8-core machine; simulated results are bit-identical across the
+ * sweep, only wall-clock moves). Emits BENCH_throughput.json so CI
  * can archive the numbers; a regression in the hot loop shows up in
  * the artifact series long before it shows up in review.
  *
@@ -33,20 +36,24 @@ struct Sample
     std::string name;
     int cores;
     int mlp;
+    int sim_threads;
     std::uint64_t accesses;
     double seconds;
     double rate;
+    std::uint64_t sim_cycles;
     /** Walk-cycle attribution profile (attr.<cause>.share), so the
      *  baseline diff can say *where* a regression moved cycles. */
     std::array<double, num_attr_causes> attr_share{};
 };
 
 Sample
-measure(const std::string &name, int cores, int mlp)
+measure(const std::string &name, int cores, int mlp,
+        int sim_threads = 1)
 {
     SimParams params = paramsFromEnv();
     params.cores = cores;
     params.max_outstanding_walks = mlp;
+    params.sim_threads = sim_threads;
     ExperimentConfig config = makeConfig(ConfigId::NestedEcpt);
     if (cores > 1)
         configureSharedResources(config, cores);
@@ -59,6 +66,7 @@ measure(const std::string &name, int cores, int mlp)
     s.name = name;
     s.cores = cores;
     s.mlp = mlp;
+    s.sim_threads = sim_threads;
     // Total simulated workload accesses driven through the engine
     // (every core runs the full warm-up + measured trace).
     s.accesses = (params.warmup_accesses + params.measure_accesses)
@@ -66,6 +74,7 @@ measure(const std::string &name, int cores, int mlp)
     s.seconds = std::chrono::duration<double>(end - begin).count();
     s.rate = s.seconds > 0 ? static_cast<double>(s.accesses) / s.seconds
                            : 0.0;
+    s.sim_cycles = result.cycles;
     for (int c = 0; c < num_attr_causes; ++c) {
         const std::string key =
             std::string("attr.")
@@ -76,7 +85,7 @@ measure(const std::string &name, int cores, int mlp)
     std::printf("%-28s %10llu accesses  %8.3f s  %12.0f acc/s  "
                 "(sim cycles %llu)\n",
                 name.c_str(), (unsigned long long)s.accesses, s.seconds,
-                s.rate, (unsigned long long)result.cycles);
+                s.rate, (unsigned long long)s.sim_cycles);
     return s;
 }
 
@@ -92,6 +101,26 @@ main()
     samples.push_back(measure("1-core GUPS", 1, 1));
     samples.push_back(measure("8-core GUPS", 8, 1));
     samples.push_back(measure("8-core GUPS mlp=4", 8, 4));
+    // Thread-sharding scaling: same simulation, 1/2/4/8 host threads.
+    // The sim-threads=1 row repeats the 8-core point through the
+    // sharded path (identical by construction); the others show what
+    // the lookahead workers buy on this host. Simulated cycles must
+    // match across all four rows — the determinism contract.
+    for (int t : {1, 2, 4, 8})
+        samples.push_back(measure(
+            "8-core GUPS sim-threads=" + std::to_string(t), 8, 1, t));
+    const std::uint64_t expect = samples[1].sim_cycles;
+    for (std::size_t i = 3; i < samples.size(); ++i) {
+        if (samples[i].sim_cycles != expect) {
+            std::fprintf(stderr,
+                         "FATAL: sim-threads sweep diverged "
+                         "(%llu != %llu at %s)\n",
+                         (unsigned long long)samples[i].sim_cycles,
+                         (unsigned long long)expect,
+                         samples[i].name.c_str());
+            return 1;
+        }
+    }
 
     const char *path = "BENCH_throughput.json";
     std::FILE *out = std::fopen(path, "w");
@@ -107,9 +136,10 @@ main()
         std::fprintf(out,
                      "    {\"name\": \"%s\", \"cores\": %d, "
                      "\"max_outstanding_walks\": %d, "
+                     "\"sim_threads\": %d, "
                      "\"accesses\": %llu, \"seconds\": %.6f, "
                      "\"accesses_per_sec\": %.1f, \"attr\": {",
-                     s.name.c_str(), s.cores, s.mlp,
+                     s.name.c_str(), s.cores, s.mlp, s.sim_threads,
                      (unsigned long long)s.accesses, s.seconds, s.rate);
         for (int c = 0; c < num_attr_causes; ++c)
             std::fprintf(out, "%s\"%s\": %.4f", c ? ", " : "",

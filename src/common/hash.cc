@@ -5,40 +5,30 @@
 namespace necpt
 {
 
-namespace
+namespace detail
 {
 
-/** CRC-64/ECMA-182 table, generated at static-init time. */
-struct Crc64Table
+Crc64Tables::Crc64Tables()
 {
-    std::uint64_t entry[256];
-
-    Crc64Table()
-    {
-        constexpr std::uint64_t poly = 0x42F0E1EBA9EA3693ULL;
+    constexpr std::uint64_t poly = 0x42F0E1EBA9EA3693ULL;
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint64_t crc = static_cast<std::uint64_t>(i) << 56;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc & (1ULL << 63)) ? (crc << 1) ^ poly : crc << 1;
+        t[0][i] = crc;
+    }
+    // t[k][b]: run b through the classic table, then k zero bytes.
+    for (int k = 1; k < 8; ++k) {
         for (unsigned i = 0; i < 256; ++i) {
-            std::uint64_t crc = static_cast<std::uint64_t>(i) << 56;
-            for (int bit = 0; bit < 8; ++bit)
-                crc = (crc & (1ULL << 63)) ? (crc << 1) ^ poly : crc << 1;
-            entry[i] = crc;
+            const std::uint64_t prev = t[k - 1][i];
+            t[k][i] = (prev << 8) ^ t[0][prev >> 56];
         }
     }
-};
-
-const Crc64Table crc_table;
-
-} // namespace
-
-std::uint64_t
-crc64(std::uint64_t value)
-{
-    std::uint64_t crc = ~std::uint64_t{0};
-    for (int byte = 0; byte < 8; ++byte) {
-        const auto in = static_cast<unsigned char>(value >> (byte * 8));
-        crc = (crc << 8) ^ crc_table.entry[((crc >> 56) ^ in) & 0xFF];
-    }
-    return ~crc;
 }
+
+const Crc64Tables crc64_tables;
+
+} // namespace detail
 
 HashFunction::HashFunction(std::uint64_t seed)
 {

@@ -6,6 +6,14 @@
  * Each ECPT way uses an independently seeded member of the family so that a
  * key colliding in one way is (practically) independent in the others —
  * the property cuckoo hashing relies on.
+ *
+ * The CRC-64/ECMA evaluation is slice-by-8: the classic byte-at-a-time
+ * loop carries an 8-long dependency chain through the crc register, and
+ * at ~10 hash calls per simulated access it was the single hottest leaf
+ * in the profile. Slicing looks all eight message bytes up in eight
+ * independent tables and XORs — same polynomial algebra, no carried
+ * dependency, and the d-way family pass (hashAll) vectorizes the table
+ * gathers (common/simd.hh).
  */
 
 #ifndef NECPT_COMMON_HASH_HH
@@ -14,13 +22,50 @@
 #include <array>
 #include <cstdint>
 
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace necpt
 {
 
-/** CRC-64/ECMA polynomial evaluation of an 8-byte message. */
-std::uint64_t crc64(std::uint64_t value);
+namespace detail
+{
+/** Slice-by-8 CRC-64/ECMA-182 tables. tables[0] is the classic
+ *  byte-at-a-time table; tables[k][b] advances tables[k-1][b] by one
+ *  zero byte, so a message byte consumed k steps before the end is
+ *  looked up in tables[k]. */
+struct Crc64Tables
+{
+    std::uint64_t t[8][256];
+    Crc64Tables();
+};
+extern const Crc64Tables crc64_tables;
+} // namespace detail
+
+/**
+ * CRC-64/ECMA polynomial evaluation of an 8-byte message (init and
+ * final XOR all-ones). Bit-identical to the historical byte-at-a-time
+ * loop — the golden tests pin its values.
+ *
+ * Derivation: with init c0 = ~0 and the message's least-significant
+ * byte consumed first, fold both into d = ~byteswap(value); byte j of
+ * d then contributes tables[j][byte] to the pre-inversion remainder.
+ */
+inline std::uint64_t
+crc64(std::uint64_t value)
+{
+    const std::uint64_t d = ~__builtin_bswap64(value);
+    const auto &t = detail::crc64_tables.t;
+    std::uint64_t acc = t[0][d & 0xFF];
+    acc ^= t[1][(d >> 8) & 0xFF];
+    acc ^= t[2][(d >> 16) & 0xFF];
+    acc ^= t[3][(d >> 24) & 0xFF];
+    acc ^= t[4][(d >> 32) & 0xFF];
+    acc ^= t[5][(d >> 40) & 0xFF];
+    acc ^= t[6][(d >> 48) & 0xFF];
+    acc ^= t[7][d >> 56];
+    return ~acc;
+}
 
 /**
  * One member of the seeded CRC hash family.
@@ -43,6 +88,14 @@ class HashFunction
     operator()(std::uint64_t key) const
     {
         return crc64((key ^ preXor) * mult);
+    }
+
+    /** The seeded pre-mix alone (the slice input before the CRC pass),
+     *  for batched CRC evaluation across family members. */
+    std::uint64_t
+    premix(std::uint64_t key) const
+    {
+        return (key ^ preXor) * mult;
     }
 
     /** Hardware latency of the hash unit (Table 2: 2 cycles). */
@@ -78,16 +131,32 @@ class HashFamily
     /**
      * Hash @p key through all @p d ways of @p size 's table in one pass,
      * writing the raw 64-bit values to @p out (at least @p d entries).
-     * The hardware computes the d hashes in parallel (Figure 4); way
-     * loops that need every candidate slot use this instead of
-     * re-deriving per-way state d times.
+     * The hardware computes the d hashes in parallel (Figure 4); the
+     * software model mirrors that with a four-lane CRC kernel over the
+     * per-way premixes instead of d serial passes.
      */
     void
     hashAll(PageSize size, std::uint64_t key, int d, std::uint64_t *out) const
     {
         const auto &fns = functions[static_cast<int>(size)];
-        for (int w = 0; w < d; ++w)
-            out[w] = fns[w](key);
+        int w = 0;
+        for (; w + 4 <= d; w += 4) {
+            std::uint64_t mixed[4];
+            for (int l = 0; l < 4; ++l)
+                mixed[l] = ~__builtin_bswap64(fns[w + l].premix(key));
+            simd::crc64x4(detail::crc64_tables.t, mixed, out + w);
+        }
+        if (int rem = d - w) {
+            // Tail lanes replicate the last premix; extra lanes are
+            // computed and discarded (cheaper than a masked path).
+            std::uint64_t mixed[4], folded[4];
+            for (int l = 0; l < 4; ++l)
+                mixed[l] = ~__builtin_bswap64(
+                    fns[w + (l < rem ? l : rem - 1)].premix(key));
+            simd::crc64x4(detail::crc64_tables.t, mixed, folded);
+            for (int l = 0; l < rem; ++l)
+                out[w + l] = folded[l];
+        }
     }
 
   private:

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -120,12 +121,12 @@ class SetAssocCache
     int
     findWay(std::uint64_t set, std::uint64_t tag) const
     {
-        const std::uint64_t *tag_base = &tags[set * cfg.assoc];
-        const std::uint8_t *meta_base = &meta[set * cfg.assoc];
-        for (int i = 0; i < cfg.assoc; ++i)
-            if ((meta_base[i] & valid_bit) && tag_base[i] == tag)
-                return i;
-        return -1;
+        // Vectorized tag compare (common/simd.hh): four ways per
+        // 256-bit lane, valid bits folded from the meta row, lowest
+        // matching way wins — same answer as the scalar scan.
+        return simd::findTag(&tags[set * cfg.assoc],
+                             &meta[set * cfg.assoc], cfg.assoc, tag,
+                             valid_bit);
     }
 
     /** Promote @p way to MRU, ageing every way that was younger. */

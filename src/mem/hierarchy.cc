@@ -18,6 +18,7 @@ MemoryHierarchy::MemoryHierarchy(const MemHierarchyConfig &config, int cores)
         l2s.push_back(std::make_unique<SetAssocCache>(cfg.l2));
     }
     l3_ = std::make_unique<SetAssocCache>(cfg.l3);
+    txn_pools.resize(static_cast<std::size_t>(cores));
 }
 
 namespace
@@ -114,9 +115,11 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
                             TxnCallback cb)
 {
     PendingTxn txn;
-    if (!txn_pool.empty()) {
-        txn = std::move(txn_pool.back());
-        txn_pool.pop_back();
+    std::vector<PendingTxn> &pool =
+        txn_pools[static_cast<std::size_t>(core)];
+    if (!pool.empty()) {
+        txn = std::move(pool.back());
+        pool.pop_back();
     }
     txn.id = next_txn_id++;
     txn.core = core;
@@ -228,6 +231,8 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
     txn.completes = finish;
     const TxnId id = txn.id;
     pending.push_back(std::move(txn));
+    if (completion_sink)
+        completion_sink(finish);
     return id;
 }
 
@@ -266,11 +271,13 @@ MemoryHierarchy::drainUntil(Cycles upto)
                       + static_cast<std::ptrdiff_t>(best));
         if (txn.cb)
             txn.cb(txn.batch, txn.completes);
-        // Recycle the slot: keeping miss_done's capacity is what makes
-        // the steady-state issue/drain loop allocation-free.
+        // Recycle the slot into the issuing core's free list: keeping
+        // miss_done's capacity is what makes the steady-state
+        // issue/drain loop allocation-free.
         txn.cb = nullptr;
         txn.miss_done.clear();
-        txn_pool.push_back(std::move(txn));
+        txn_pools[static_cast<std::size_t>(txn.core)].push_back(
+            std::move(txn));
     }
 }
 

@@ -166,6 +166,17 @@ class MemoryHierarchy
                           core, cb);
     }
 
+    /**
+     * Notified at issue time with each new transaction's (already
+     * known) completion cycle. The event loop schedules exactly one
+     * completion event per transaction instead of polling
+     * nextCompletionCycle() and re-arming on every earlier arrival —
+     * the pump churn that dominated overlapped-walk wall-clock.
+     * Non-owning; nullptr detaches.
+     */
+    using CompletionSink = FunctionRef<void(Cycles)>;
+    void setCompletionSink(CompletionSink sink) { completion_sink = sink; }
+
     /** Any transactions issued but not yet drained? */
     bool hasPending() const { return !pending.empty(); }
 
@@ -249,6 +260,7 @@ class MemoryHierarchy
     };
 
     MemHierarchyConfig cfg;
+    CompletionSink completion_sink;
     bool attr_enabled = true;
     FaultPlan *fault_plan = nullptr;
     TraceBuffer *tracer_ = nullptr;
@@ -259,9 +271,16 @@ class MemoryHierarchy
     DramModel dram_;
 
     std::vector<PendingTxn> pending;
-    /** Drained transactions kept for reuse: their miss_done capacity
-     *  survives, so steady-state issue/drain cycles never allocate. */
-    std::vector<PendingTxn> txn_pool;
+    /**
+     * Drained transactions kept for reuse, one free list per issuing
+     * core: their miss_done capacity survives, so steady-state
+     * issue/drain cycles never allocate, and each core's slots stay in
+     * that core's working set (no free-list cache line ping-pongs
+     * between the host threads a sharded simulation may one day issue
+     * from — today issue and drain both happen on the coordinator, so
+     * this is pure locality).
+     */
+    std::vector<std::vector<PendingTxn>> txn_pools;
     TxnId next_txn_id = 1;
 
     /** issueBatch() working sets, reused across calls (capacity

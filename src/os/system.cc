@@ -157,6 +157,7 @@ NestedSystem::blockCovered(std::uint64_t block, double coverage,
 void
 NestedSystem::guestMap(Addr gva, Addr gpa, PageSize size)
 {
+    ++mutation_stamp;
     if (guest_radix) {
         guest_radix->map(gva, gpa, size);
     } else if (guest_hpt) {
@@ -171,6 +172,7 @@ NestedSystem::guestMap(Addr gva, Addr gpa, PageSize size)
 void
 NestedSystem::hostMap(Addr gpa, Addr hpa, PageSize size)
 {
+    ++mutation_stamp;
     if (host_radix) {
         host_radix->map(gpa, hpa, size);
     } else if (host_ecpt) {
@@ -279,6 +281,7 @@ NestedSystem::hostFaultIn(Addr gpa)
 void
 NestedSystem::guestUnmap(Addr page, PageSize size)
 {
+    ++mutation_stamp;
     if (guest_radix) {
         guest_radix->unmap(page, size);
     } else if (guest_hpt) {
@@ -292,6 +295,7 @@ NestedSystem::guestUnmap(Addr page, PageSize size)
 void
 NestedSystem::hostUnmap(Addr page, PageSize size)
 {
+    ++mutation_stamp;
     if (host_radix) {
         host_radix->unmap(page, size);
     } else if (host_ecpt) {
@@ -450,12 +454,49 @@ NestedSystem::writeProtectPage(Addr gva)
     const Translation g = guestTranslate(gva);
     if (!g.valid)
         return false;
+    // Residency is untouched (the mapping stays valid), but the PTE
+    // flag RMW is still a table mutation: bump conservatively so any
+    // outstanding lookahead verdict re-verifies.
+    ++mutation_stamp;
     if (guest_ecpt)
         return guest_ecpt->writeProtect(pageBase(gva, g.size), g.size);
     // Radix/HPT organizations store no flag word in this model: the
     // downgrade is the invalidation itself (the caller shoots the
     // cached translation down).
     return true;
+}
+
+bool
+NestedSystem::isResident(Addr gva) const
+{
+    // Side-effect-free twin of ensureResident(): no faults, no
+    // statistics, no tracer output — callable from the epoch barrier's
+    // worker threads (the HPT paths use the uncounted peek; the other
+    // organizations' lookups are stat-free already). True means
+    // ensureResident(gva) would be a pure no-op under the current
+    // mutationStamp().
+    Translation g;
+    if (guest_radix)
+        g = guest_radix->lookup(gva);
+    else if (guest_hpt)
+        g = guest_hpt->peek(gva);
+    else
+        g = guest_ecpt->lookup(gva);
+    if (!g.valid)
+        return false;
+    if (!cfg.virtualized)
+        return true;
+    const Addr gpa = g.apply(gva);
+    Translation h;
+    if (host_radix)
+        h = host_radix->lookup(gpa);
+    else if (host_ecpt)
+        h = host_ecpt->lookup(gpa);
+    else if (host_flat)
+        h = host_flat->lookup(gpa);
+    else
+        h = host_hpt->peek(gpa);
+    return h.valid;
 }
 
 bool

@@ -122,6 +122,29 @@ class NestedSystem
     bool ensureResident(Addr gva);
 
     /**
+     * Would ensureResident(@p gva) be a pure no-op right now? Strictly
+     * side-effect free — no faults, no statistics (HPT lookups go
+     * through the uncounted peek), no tracer output — so the
+     * thread-sharded simulator's lookahead workers may call it
+     * concurrently with each other (never with a mutation: the
+     * coordinator, the only mutator, is parked during rendezvous
+     * windows). A true verdict is valid while mutationStamp() is
+     * unchanged.
+     */
+    bool isResident(Addr gva) const;
+
+    /**
+     * Monotonic page-table mutation counter: bumped by every map,
+     * unmap, and permission change on either level (the guestMap /
+     * guestUnmap / hostMap / hostUnmap / writeProtectPage funnels, so
+     * churn, ballooning, migration, THP promotion/demotion, and
+     * demand faults all count). Lookahead residency verdicts carry the
+     * stamp they were computed under; consumers seeing a newer stamp
+     * must re-verify.
+     */
+    std::uint64_t mutationStamp() const { return mutation_stamp; }
+
+    /**
      * Fault in every page of every VMA — the steady state the paper
      * measures in (applications materialize their datasets during
      * initialization; Section 8 measures after warm-up).
@@ -322,6 +345,7 @@ class NestedSystem
 
     std::uint64_t guest_faults = 0;
     std::uint64_t host_faults = 0;
+    std::uint64_t mutation_stamp = 0;
 };
 
 } // namespace necpt

@@ -32,6 +32,7 @@
 #include "common/hash.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/trace_events.hh"
 #include "pt/pte.hh"
 
@@ -144,6 +145,11 @@ class ElasticCuckooTable
     FindResult
     find(std::uint64_t key)
     {
+        // Empty tables answer without hashing: a multi-size lookup
+        // probes every page-size table, and for most workloads all but
+        // one of them stays empty for the whole run.
+        if (live.used == 0 && (!old || old->used == 0))
+            return {};
         // One hash pass covers both generations: the raw 64-bit values
         // are generation-independent, only the modulo differs.
         std::uint64_t raw[HashFamily::max_ways];
@@ -329,12 +335,29 @@ class ElasticCuckooTable
         gen.base.clear();
     }
 
-    /** Compute all ways' raw hashes of @p key in one pass. */
+    /** Compute all ways' raw hashes of @p key in one pass — the d
+     *  premixes feed the four-lane CRC kernel (the hardware hashes all
+     *  ways in parallel; the model now does too). */
     void
     rawHashes(std::uint64_t key, std::uint64_t *out) const
     {
-        for (int w = 0; w < cfg.ways; ++w)
-            out[w] = hashes[w](key);
+        const int d = cfg.ways;
+        int w = 0;
+        for (; w + 4 <= d; w += 4) {
+            std::uint64_t mixed[4];
+            for (int l = 0; l < 4; ++l)
+                mixed[l] = ~__builtin_bswap64(hashes[w + l].premix(key));
+            simd::crc64x4(detail::crc64_tables.t, mixed, out + w);
+        }
+        if (int rem = d - w) {
+            std::uint64_t mixed[4], folded[4];
+            for (int l = 0; l < 4; ++l)
+                mixed[l] = ~__builtin_bswap64(
+                    hashes[w + (l < rem ? l : rem - 1)].premix(key));
+            simd::crc64x4(detail::crc64_tables.t, mixed, folded);
+            for (int l = 0; l < rem; ++l)
+                out[w + l] = folded[l];
+        }
     }
 
     /** Reduce a raw hash to a slot index. The default slot counts are

@@ -1,0 +1,125 @@
+#include "sim/epoch.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/pump.hh"
+
+namespace necpt
+{
+
+EpochBarrier::EpochBarrier(std::vector<CorePump> &pumps,
+                           const ResidencyProbe &probe, int sim_threads,
+                           double epoch_len)
+    : pumps_(&pumps), probe_(&probe),
+      nthreads(std::clamp(sim_threads, 1,
+                          static_cast<int>(pumps.size()))),
+      epoch_len_(epoch_len > 1.0 ? epoch_len : 1.0)
+{
+    // Thread 0 is the coordinator; spawn the rest of the pool. Workers
+    // start parked on cv_work and live for the whole simulation.
+    for (int t = 1; t < nthreads; ++t)
+        workers.emplace_back([this, t] { workerMain(t); });
+}
+
+EpochBarrier::~EpochBarrier()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv_work.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+EpochBarrier::prime()
+{
+    epoch_end = epoch_len_;
+    boundary(0.0);
+}
+
+void
+EpochBarrier::boundary(double next_cycle)
+{
+    // Quantized epoch grid: land on the first boundary past the next
+    // event, never mid-epoch (the epoch length is the shortest time
+    // anything can cross the shared domain, so nothing is missed).
+    while (epoch_end <= next_cycle)
+        epoch_end += epoch_len_;
+
+    bool low = false;
+    for (const CorePump &p : *pumps_) {
+        if (p.workload() && p.ringLow()) {
+            low = true;
+            break;
+        }
+    }
+    if (!low)
+        return;
+
+    ++rendezvous_count;
+    window_stamp = probe_->stamp();
+
+    if (workers.empty()) {
+        // Single-threaded: the coordinator is the whole pool. Same
+        // refill code at the same points — the ring contents (and so
+        // every downstream byte) cannot depend on the thread count.
+        refillAssigned(0);
+        return;
+    }
+
+    // Fork: wake the pool, do the coordinator's own share, then park
+    // until the last worker checks back in. The mutex acquisitions on
+    // both edges publish every ring write between the threads.
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++fork_seq;
+        done_count = 0;
+    }
+    cv_work.notify_all();
+
+    refillAssigned(0);
+
+    std::unique_lock<std::mutex> lock(mtx);
+    cv_done.wait(lock, [this] {
+        return done_count == static_cast<int>(workers.size());
+    });
+}
+
+void
+EpochBarrier::refillAssigned(int thread_id)
+{
+    std::vector<CorePump> &pumps = *pumps_;
+    for (std::size_t i = 0; i < pumps.size(); ++i) {
+        if (static_cast<int>(i) % nthreads != thread_id)
+            continue;
+        pumps[i].refill(window_stamp, *probe_);
+    }
+}
+
+void
+EpochBarrier::workerMain(int thread_id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv_work.wait(lock, [this, seen] {
+                return stopping || fork_seq != seen;
+            });
+            if (stopping)
+                return;
+            seen = fork_seq;
+        }
+        refillAssigned(thread_id);
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++done_count;
+        }
+        cv_done.notify_one();
+    }
+}
+
+} // namespace necpt

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Epoch synchronization for the thread-sharded timing core.
+ *
+ * The sharded simulator (sim/shared_domain.hh, sim/pump.hh) keeps the
+ * *timed* schedule on one coordinator thread — that is what makes the
+ * event stream a pure function of the inputs — and gives the other
+ * host threads the work that is provably schedule-invariant: advancing
+ * each core's private workload stream and pre-computing page-residency
+ * verdicts for the upcoming accesses (the lookahead rings).
+ *
+ * Simulated time is divided into epochs no shorter than the minimum
+ * cross-domain latency (an L3 hit: nothing a core issues can come back
+ * from the shared domain sooner). At an epoch boundary where any ring
+ * has drained low, the coordinator parks at the barrier, the worker
+ * pool refills its assigned rings (pump i -> thread i % sim_threads,
+ * with the coordinator as thread 0), and the coordinator resumes once
+ * every worker checks back in. During the window each worker has
+ * exclusive access to its pumps' rings and read-only access to the
+ * page tables — the coordinator is parked, so no mutation can race a
+ * probe — and the rendezvous mutex publishes every ring write to the
+ * coordinator (TSan-clean by construction, no atomics in the model).
+ *
+ * Determinism: ring entries are pure functions of each core's private
+ * workload stream, and a residency verdict only ever lets the consumer
+ * skip a call that would have been a side-effect-free no-op (stale
+ * verdicts — detected via the page-table mutation stamp — fall back to
+ * the full path). Rendezvous timing therefore cannot perturb any
+ * metric, golden, trace, or timeseries byte: --sim-threads=N is
+ * bit-identical to N=1 for every N.
+ */
+
+#ifndef NECPT_SIM_EPOCH_HH
+#define NECPT_SIM_EPOCH_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace necpt
+{
+
+class CorePump;
+
+/**
+ * The canonical event key of the sharded scheduler. Events across the
+ * per-core pumps and the shared-resource domain are committed in
+ * (cycle, priority, core, sequence) order: cycle is simulated time,
+ * priority separates event classes at the same cycle (coherence -2,
+ * memory pump -1, core steps/retires at their core index, the
+ * interval sampler last), core breaks priority ties between pumps
+ * (never needed today — step/retire priority *is* the core index, and
+ * domain events use priorities no pump carries — but the key states
+ * the invariant), and the globally-allocated sequence number makes the
+ * order total. Identical to the legacy single-heap (cycle, priority,
+ * sequence) order, which is the determinism proof's base case.
+ */
+struct CanonicalKey
+{
+    double cycle = 0.0;
+    std::int64_t prio = 0;
+    int core = 0;
+    std::uint64_t seq = 0;
+
+    /** Strict total order: does this event commit before @p o? */
+    bool
+    before(const CanonicalKey &o) const
+    {
+        if (cycle != o.cycle)
+            return cycle < o.cycle;
+        if (prio != o.prio)
+            return prio < o.prio;
+        if (core != o.core)
+            return core < o.core;
+        return seq < o.seq;
+    }
+};
+
+/**
+ * What a rendezvous worker may ask about the machine: the current
+ * page-table mutation stamp and whether a guest VA is fully resident.
+ * Implementations must be side-effect free — no faults, no statistics,
+ * no tracer output — because probes run on worker threads and their
+ * count depends on rendezvous timing, which --sim-threads changes.
+ */
+class ResidencyProbe
+{
+  public:
+    virtual ~ResidencyProbe() = default;
+
+    /** Monotonic page-table mutation counter; a verdict computed under
+     *  stamp S is valid only while the stamp still reads S. */
+    virtual std::uint64_t stamp() const = 0;
+
+    /** Would ensureResident(@p gva) be a pure no-op right now? */
+    virtual bool resident(Addr gva) const = 0;
+};
+
+/**
+ * The deterministic fork/join rendezvous: sim_threads - 1 persistent
+ * workers plus the coordinator, meeting at epoch boundaries to refill
+ * the lookahead rings.
+ */
+class EpochBarrier
+{
+  public:
+    /**
+     * @param pumps      the per-core pumps whose rings the pool fills
+     * @param probe      residency oracle (side-effect free; consulted
+     *                   only while the coordinator is parked)
+     * @param sim_threads total threads including the coordinator;
+     *                   clamped to [1, pumps.size()]
+     * @param epoch_len  epoch length in cycles (>= the minimum
+     *                   cross-domain latency; the simulator passes the
+     *                   L3 hit latency)
+     */
+    EpochBarrier(std::vector<CorePump> &pumps,
+                 const ResidencyProbe &probe, int sim_threads,
+                 double epoch_len);
+    ~EpochBarrier();
+
+    EpochBarrier(const EpochBarrier &) = delete;
+    EpochBarrier &operator=(const EpochBarrier &) = delete;
+
+    /**
+     * Called by the coordinator with the cycle of the next event to
+     * commit. Cheap no-op inside an epoch; at a boundary, rendezvous
+     * with the worker pool if any ring has drained below its refill
+     * watermark.
+     */
+    void
+    maybeRendezvous(double next_cycle)
+    {
+        if (next_cycle < epoch_end)
+            return;
+        boundary(next_cycle);
+    }
+
+    /** Refill every ring unconditionally (initial priming). */
+    void prime();
+
+    int threads() const { return nthreads; }
+    double epochLength() const { return epoch_len_; }
+    /** Rendezvous (fork/join windows) so far — scaling diagnostics. */
+    std::uint64_t rendezvousCount() const { return rendezvous_count; }
+
+  private:
+    void boundary(double next_cycle);
+    /** Refill the rings assigned to @p thread_id (pump i -> thread
+     *  i % nthreads); runs on the owning thread only. */
+    void refillAssigned(int thread_id);
+    void workerMain(int thread_id);
+
+    std::vector<CorePump> *pumps_;
+    const ResidencyProbe *probe_;
+    int nthreads;
+    double epoch_len_;
+    double epoch_end = 0.0;
+    std::uint64_t rendezvous_count = 0;
+
+    /** Stamp the current window's verdicts are computed under; written
+     *  by the coordinator before forking, read by workers inside the
+     *  window (published by the fork mutex hand-off). */
+    std::uint64_t window_stamp = 0;
+
+    std::mutex mtx;
+    std::condition_variable cv_work; //!< coordinator -> workers: fork
+    std::condition_variable cv_done; //!< workers -> coordinator: join
+    std::uint64_t fork_seq = 0;
+    int done_count = 0;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace necpt
+
+#endif // NECPT_SIM_EPOCH_HH

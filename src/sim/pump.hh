@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Per-core event pump: one core's slice of the sharded timing core.
+ *
+ * The global event scheduler of the single-threaded core is split into
+ * per-core pumps plus a shared-resource domain (sim/shared_domain.hh).
+ * Each pump owns
+ *
+ *  - the core's *event queue*: every Step and Retire event of core c
+ *    carries priority c, so routing by priority partitions the old
+ *    global heap exactly; and
+ *  - the core's *lookahead ring*: the private mailbox the epoch
+ *    barrier's worker threads fill during rendezvous windows with the
+ *    core's upcoming workload accesses and their page-residency
+ *    verdicts, each stamped with the page-table mutation epoch it was
+ *    computed under.
+ *
+ * Determinism: queue ordering uses the same canonical key as the old
+ * single heap (sim/epoch.hh), sequence numbers are drawn from one
+ * shared counter in coordinator commit order, and ring entries are
+ * pure functions of the workload stream — so the merged schedule is
+ * byte-identical to the single-threaded one for any --sim-threads.
+ */
+
+#ifndef NECPT_SIM_PUMP_HH
+#define NECPT_SIM_PUMP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/epoch.hh"
+#include "sim/sched.hh"
+#include "workloads/workload.hh"
+
+namespace necpt
+{
+
+/** Shared scheduling context: the global sequence counter, the
+ *  currently-executing event (parent for dependency edges), and the
+ *  optional edge sink. One instance per simulation, referenced by
+ *  every pump queue and the shared domain's queue — sequence numbers
+ *  are allocated in coordinator commit order, never by workers. */
+struct SchedContext
+{
+    std::uint64_t next_seq = 0;
+    std::uint64_t running_seq = EventScheduler::no_event;
+    EventEdgeSink *edges = nullptr;
+};
+
+/**
+ * One simulated core's event queue plus its lookahead ring.
+ */
+class CorePump
+{
+  public:
+    using Handler = EventScheduler::Handler;
+
+    CorePump(SchedContext &context, int core_index)
+        : ctx(&context), core_(core_index)
+    {}
+
+    int coreIndex() const { return core_; }
+
+    /// @name Event queue (canonical-key ordered)
+    /// @{
+    std::uint64_t
+    at(double cycle, std::int64_t prio, Handler fn, std::uint8_t kind)
+    {
+        const std::uint64_t seq = ctx->next_seq++;
+        heap.push_back(Event{cycle, prio, seq, fn});
+        std::push_heap(heap.begin(), heap.end(), EventAfter{});
+        if (ctx->edges)
+            ctx->edges->onEvent(seq, ctx->running_seq, cycle, prio,
+                                kind);
+        return seq;
+    }
+
+    bool queueEmpty() const { return heap.empty(); }
+
+    /** Canonical key of the queue head; only valid when non-empty. */
+    CanonicalKey
+    headKey() const
+    {
+        const Event &e = heap.front();
+        return CanonicalKey{e.cycle, e.prio, core_, e.seq};
+    }
+
+    /** Pop and run the head event (coordinator thread only). */
+    void
+    runHead()
+    {
+        std::pop_heap(heap.begin(), heap.end(), EventAfter{});
+        Event ev = heap.back();
+        heap.pop_back();
+        ctx->running_seq = ev.seq;
+        ev.fn();
+        ctx->running_seq = EventScheduler::no_event;
+    }
+    /// @}
+
+    /// @name Lookahead ring
+    /// The private phase's product: upcoming accesses of this core's
+    /// workload stream with their residency verdicts. Filled by one
+    /// worker during rendezvous windows (exclusive access — the
+    /// coordinator is parked at the barrier), consumed by the
+    /// coordinator between windows. Never touched by two threads at
+    /// once, so no atomics are needed; the barrier's mutex pair
+    /// publishes the writes.
+    /// @{
+    struct AccessPlan
+    {
+        MemAccess access;
+        /** ensureResident() would be a pure no-op for this address. */
+        bool resident = false;
+        /** Page-table mutation stamp the verdict was computed under;
+         *  a consumer seeing a newer stamp must re-verify. */
+        std::uint64_t stamp = 0;
+    };
+
+    /** Attach the workload stream the ring prefetches from. The pump
+     *  never owns it; the simulator's core state does. */
+    void bindWorkload(Workload *w) { workload_ = w; }
+    Workload *workload() const { return workload_; }
+
+    /** Reserve ring capacity once (steady-state refills are then
+     *  allocation-free on every worker thread). */
+    void
+    reserveRing(std::size_t capacity)
+    {
+        ring.reserve(capacity);
+        ring_capacity = capacity;
+    }
+
+    bool ringEmpty() const { return ring_head >= ring.size(); }
+    std::size_t ringSize() const { return ring.size() - ring_head; }
+    bool
+    ringLow() const
+    {
+        return ring_capacity > 0 && ringSize() < ring_capacity / 4;
+    }
+    std::size_t ringCapacity() const { return ring_capacity; }
+
+    /** Next prefetched access; only valid when !ringEmpty(). */
+    const AccessPlan &ringFront() const { return ring[ring_head]; }
+
+    void
+    ringPop()
+    {
+        ++ring_head;
+        if (ring_head >= ring.size()) {
+            ring.clear();
+            ring_head = 0;
+        }
+    }
+
+    /** Worker-side refill (rendezvous window only): advance the bound
+     *  workload up to the free capacity, recording @p stamp-validated
+     *  residency verdicts from @p probe. Allocation-free once the ring
+     *  is reserved. */
+    void
+    refill(std::uint64_t stamp, const ResidencyProbe &probe)
+    {
+        if (!workload_)
+            return;
+        // Compact consumed entries first so capacity means capacity.
+        if (ring_head > 0) {
+            ring.erase(ring.begin(),
+                       ring.begin()
+                           + static_cast<std::ptrdiff_t>(ring_head));
+            ring_head = 0;
+        }
+        while (ring.size() < ring_capacity) {
+            AccessPlan plan;
+            plan.access = workload_->next();
+            plan.resident = probe.resident(plan.access.vaddr);
+            plan.stamp = stamp;
+            ring.push_back(plan);
+        }
+    }
+    /// @}
+
+  private:
+    struct Event
+    {
+        double cycle;
+        std::int64_t prio;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    /** Same strict weak ordering as the legacy single heap. */
+    struct EventAfter
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    SchedContext *ctx;
+    int core_;
+    std::vector<Event> heap;
+
+    Workload *workload_ = nullptr;
+    std::vector<AccessPlan> ring;
+    std::size_t ring_head = 0;
+    std::size_t ring_capacity = 0;
+};
+
+} // namespace necpt
+
+#endif // NECPT_SIM_PUMP_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared-resource domain of the thread-sharded timing core.
+ *
+ * The legacy single event heap is partitioned: events whose priority
+ * is a core index (steps and retires — priority == core by the
+ * scheduler's contract) live on that core's pump (sim/pump.hh), and
+ * everything touching shared resources lives here on the domain
+ * queue — memory-completion pumps (priority -1: the L3/DRAM side),
+ * coherence churn and shootdown rounds (-2: cross-core invalidation
+ * traffic, which is thereby epoch-aligned — it commits through the
+ * same canonical merge the cores do), and the interval sampler
+ * (int64 max).
+ *
+ * Commit order is the canonical (cycle, priority, core, sequence) key
+ * (sim/epoch.hh): runNext() merges the K pump heads with the domain
+ * head and runs the earliest. Sequence numbers come from the one
+ * shared counter (SchedContext) and every at() call happens on the
+ * coordinator thread inside event handlers, so the merged stream is
+ * byte-identical to the legacy single heap — the heap was only ever a
+ * different container for the same total order.
+ *
+ * The interface mirrors EventScheduler (at / empty / nextCycle /
+ * runNext / runningSeq / setEdgeSink) so the simulator's event loop is
+ * oblivious to the sharding.
+ */
+
+#ifndef NECPT_SIM_SHARED_DOMAIN_HH
+#define NECPT_SIM_SHARED_DOMAIN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/epoch.hh"
+#include "sim/pump.hh"
+#include "sim/sched.hh"
+
+namespace necpt
+{
+
+/**
+ * The domain queue plus the canonical merge over the per-core pumps.
+ */
+class SharedDomain
+{
+  public:
+    using Handler = EventScheduler::Handler;
+
+    /** Wire up after the pump vector is fully built (its address must
+     *  be stable from here on). */
+    void
+    attach(SchedContext *context, std::vector<CorePump> *core_pumps)
+    {
+        ctx = context;
+        pumps = core_pumps;
+        ncores = static_cast<std::int64_t>(core_pumps->size());
+    }
+
+    /**
+     * Enqueue @p fn at @p cycle with tie-break priority @p prio,
+     * routed by priority: core indices go to that core's pump,
+     * everything else to the domain queue.
+     */
+    std::uint64_t
+    at(double cycle, std::int64_t prio, Handler fn,
+       std::uint8_t kind = 0)
+    {
+        NECPT_ASSERT(ctx != nullptr);
+        if (prio >= 0 && prio < ncores)
+            return (*pumps)[static_cast<std::size_t>(prio)].at(
+                cycle, prio, fn, kind);
+        const std::uint64_t seq = ctx->next_seq++;
+        heap.push_back(Event{cycle, prio, seq, fn});
+        std::push_heap(heap.begin(), heap.end(), After{});
+        if (ctx->edges)
+            ctx->edges->onEvent(seq, ctx->running_seq, cycle, prio,
+                                kind);
+        return seq;
+    }
+
+    void setEdgeSink(EventEdgeSink *sink) { ctx->edges = sink; }
+
+    std::uint64_t runningSeq() const { return ctx->running_seq; }
+
+    bool
+    empty() const
+    {
+        if (!heap.empty())
+            return false;
+        for (const CorePump &p : *pumps)
+            if (!p.queueEmpty())
+                return false;
+        return true;
+    }
+
+    /** Cycle of the next event to commit; only valid when !empty(). */
+    double
+    nextCycle() const
+    {
+        int core;
+        return headKey(core).cycle;
+    }
+
+    /** Commit the canonically-earliest event across all queues. */
+    void
+    runNext()
+    {
+        int core;
+        const CanonicalKey key = headKey(core);
+        if (core >= 0) {
+            (*pumps)[static_cast<std::size_t>(core)].runHead();
+            return;
+        }
+        (void)key;
+        std::pop_heap(heap.begin(), heap.end(), After{});
+        Event ev = heap.back();
+        heap.pop_back();
+        ctx->running_seq = ev.seq;
+        ev.fn();
+        ctx->running_seq = EventScheduler::no_event;
+    }
+
+  private:
+    struct Event
+    {
+        double cycle;
+        std::int64_t prio;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    /** Same strict weak ordering as the legacy single heap. */
+    struct After
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Canonical minimum over the K+1 heads. @p src gets the winning
+     *  pump's core index, or -1 for the domain queue. */
+    CanonicalKey
+    headKey(int &src) const
+    {
+        NECPT_ASSERT(!empty());
+        CanonicalKey best{};
+        src = -2;
+        if (!heap.empty()) {
+            const Event &e = heap.front();
+            // The domain's core slot is -1: it never collides with a
+            // pump (domain priorities are outside [0, ncores)), and
+            // the canonical comparator never reaches the core field
+            // on distinct priorities anyway.
+            best = CanonicalKey{e.cycle, e.prio, -1, e.seq};
+            src = -1;
+        }
+        for (std::size_t i = 0; i < pumps->size(); ++i) {
+            const CorePump &p = (*pumps)[i];
+            if (p.queueEmpty())
+                continue;
+            const CanonicalKey k = p.headKey();
+            if (src == -2 || k.before(best)) {
+                best = k;
+                src = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+
+    SchedContext *ctx = nullptr;
+    std::vector<CorePump> *pumps = nullptr;
+    std::int64_t ncores = 0;
+    std::vector<Event> heap;
+};
+
+} // namespace necpt
+
+#endif // NECPT_SIM_SHARED_DOMAIN_HH

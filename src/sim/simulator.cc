@@ -6,7 +6,10 @@
 #include "common/error.hh"
 #include "common/log.hh"
 #include "sim/critical_path.hh"
+#include "sim/epoch.hh"
+#include "sim/pump.hh"
 #include "sim/sched.hh"
+#include "sim/shared_domain.hh"
 #include "sim/timeseries.hh"
 #include "workloads/churn_sources.hh"
 #include "walk/machine.hh"
@@ -34,6 +37,10 @@ Simulator::Simulator(const ExperimentConfig &config,
         throw ConfigError(
             strfmt("max_outstanding_walks must be in [1, 64], got %d",
                    params.max_outstanding_walks));
+    if (params.sim_threads < 1 || params.sim_threads > 64)
+        throw ConfigError(
+            strfmt("sim_threads must be in [1, 64], got %d",
+                   params.sim_threads));
 }
 
 std::unique_ptr<Walker>
@@ -268,6 +275,8 @@ Simulator::runWith(const std::string &label,
             void operator()() const { loop->sampleFire(at); }
         };
 
+        using CompletionSink = MemoryHierarchy::CompletionSink;
+
         /** Scheduler edge-sink tag for an event class. */
         static constexpr std::uint8_t
         evk(SimEventKind kind)
@@ -277,12 +286,16 @@ Simulator::runWith(const std::string &label,
 
         Simulator &sim;
         std::vector<CoreState> cores;
-        EventScheduler sched;
+        /** The sharded scheduler: one pump per core plus the shared
+         *  domain, merged in canonical (cycle, priority, core, seq)
+         *  order — byte-identical to the old single heap. */
+        SchedContext ctx;
+        std::vector<CorePump> pumps;
+        SharedDomain sched;
         std::uint64_t total = 0;
         bool overlap = false;
         bool stats_reset = false;
         std::uint64_t inflight_peak = 0;
-        double pump_armed_at = std::numeric_limits<double>::infinity();
         /** Registry backing the interval sampler (null = sampling off;
          *  owned by runWith, claimed fresh per run). */
         MetricsRegistry *sample_reg = nullptr;
@@ -291,33 +304,26 @@ Simulator::runWith(const std::string &label,
         bool round_active = false;
         int next_initiator = 0;
 
-        // Memory-completion pump (overlap mode): after any event that
-        // leaves transactions pending, one pump event sits at the
-        // earliest completion cycle (priority -1, so walks resume
-        // before any core steps at the same cycle). Stale pumps —
-        // armed before an earlier completion appeared — drain nothing
-        // and re-arm; harmless.
+        // Memory-completion pump (overlap mode): every issued
+        // transaction's completion cycle is known at issue time, so
+        // the hierarchy's completion sink schedules exactly one pump
+        // event per transaction at that cycle (priority -1, so walks
+        // resume before any core steps at the same cycle). A pump
+        // whose work an earlier same-cycle pump already drained is a
+        // no-op. This replaces the poll-and-re-arm pump, whose stale
+        // events dominated overlapped-walk wall-clock.
         void
-        armPump()
+        onTxnIssued(Cycles completes)
         {
-            if (!sim.mem->hasPending())
-                return;
-            const double next =
-                static_cast<double>(sim.mem->nextCompletionCycle());
-            if (next >= pump_armed_at)
-                return;
-            pump_armed_at = next;
-            sched.at(next, -1, PumpEv{this, next},
+            const double at = static_cast<double>(completes);
+            sched.at(at, -1, PumpEv{this, at},
                      evk(SimEventKind::EvPump));
         }
 
         void
         pumpFire(double next)
         {
-            if (pump_armed_at >= next)
-                pump_armed_at = std::numeric_limits<double>::infinity();
             sim.mem->drainUntil(static_cast<Cycles>(next));
-            armPump();
         }
 
         /// @name Translation churn (events at priority -2: mutations
@@ -452,8 +458,26 @@ Simulator::runWith(const std::string &label,
                 stats_reset = true;
             }
 
-            const MemAccess access = cs.workload->next();
-            sim.sys->ensureResident(access.vaddr);
+            // Next access: from the core's lookahead ring when primed
+            // (the pump owns the same workload stream, so order is
+            // preserved), straight from the workload otherwise. A
+            // fresh resident verdict lets us skip ensureResident —
+            // observably a pure no-op then; stale or negative verdicts
+            // take the full path, so the bytes cannot depend on when
+            // (or on which thread) the ring was filled.
+            CorePump &pump = pumps[core];
+            MemAccess access;
+            if (!pump.ringEmpty()) {
+                const CorePump::AccessPlan plan = pump.ringFront();
+                pump.ringPop();
+                access = plan.access;
+                if (!plan.resident
+                    || plan.stamp != sim.sys->mutationStamp())
+                    sim.sys->ensureResident(access.vaddr);
+            } else {
+                access = cs.workload->next();
+                sim.sys->ensureResident(access.vaddr);
+            }
 
             cs.cycle += params.base_cpi * access.inst_gap;
             cs.instructions += access.inst_gap + 1;
@@ -521,7 +545,6 @@ Simulator::runWith(const std::string &label,
                     cs.park_start = cs.cycle;
                 }
             }
-            armPump();
         }
 
         /** Completion is a scheduled event at the walk's end cycle
@@ -550,6 +573,11 @@ Simulator::runWith(const std::string &label,
         void
         retire(int core, WalkMachine *mp, double end)
         {
+            // Machines are pinned to their core's arena: this retire
+            // event carries priority == core, so it committed through
+            // that core's pump, and the machine it releases recycles
+            // into that same core's walker pool.
+            NECPT_ASSERT(sim.walkers[core]->coreIndex() == core);
             if (sim.params.critical_path)
                 sim.params.critical_path->noteCoreEvent(
                     sched.runningSeq(), core);
@@ -623,20 +651,30 @@ Simulator::runWith(const std::string &label,
         exportMetrics(sample_reg);
         loop.sample_reg = &sample_reg;
     }
-    if (params.critical_path)
-        loop.sched.setEdgeSink(params.critical_path);
     loop.cores.resize(static_cast<std::size_t>(params.cores));
+    loop.pumps.reserve(static_cast<std::size_t>(params.cores));
     for (int core = 0; core < params.cores; ++core) {
         Loop::CoreState &cs = loop.cores[core];
         cs.workload = factory(0xB0B + static_cast<std::uint64_t>(core));
         cs.workload->setup(*sys);
         cs.done = Loop::DoneHandler{&loop, core};
+        loop.pumps.emplace_back(loop.ctx, core);
     }
+    loop.sched.attach(&loop.ctx, &loop.pumps);
+    if (params.critical_path)
+        loop.sched.setEdgeSink(params.critical_path);
     if (params.prefault)
         sys->prefaultAll();
 
     loop.total = params.warmup_accesses + params.measure_accesses;
     loop.overlap = params.max_outstanding_walks > 1;
+    // Overlap mode wires the hierarchy's completion sink into the
+    // scheduler: one pump event per transaction, armed at issue with
+    // the analytically known completion cycle. Serial mode drains
+    // synchronously inside batchAccess and needs no pump at all.
+    if (loop.overlap)
+        mem->setCompletionSink(
+            Loop::CompletionSink::bind<&Loop::onTxnIssued>(&loop));
     loop.stats_reset = params.warmup_accesses == 0;
     if (loop.stats_reset)
         sys->quiesce();
@@ -666,10 +704,53 @@ Simulator::runWith(const std::string &label,
                       Loop::evk(SimEventKind::EvSample));
     }
 
-    while (!loop.sched.empty())
+    // Lookahead residency oracle. HPT organizations keep verdicts off:
+    // ensureResident's guest/host lookups there count probe statistics
+    // (avgProbes), so skipping the call would be observable — every
+    // other organization's already-resident path is side-effect free.
+    struct SysProbe final : ResidencyProbe
+    {
+        NestedSystem *sys = nullptr;
+        bool verdicts = true;
+
+        std::uint64_t
+        stamp() const override
+        {
+            return sys->mutationStamp();
+        }
+
+        bool
+        resident(Addr gva) const override
+        {
+            return verdicts && sys->isResident(gva);
+        }
+    };
+    SysProbe probe;
+    probe.sys = sys.get();
+    probe.verdicts = !sys->guestHpt() && !sys->hostHpt();
+
+    // Each pump prefetches its own core's workload stream; the ring
+    // capacity bounds how far a rendezvous window runs ahead. Epochs
+    // are one L3 hit long — the minimum latency anything takes through
+    // the shared domain.
+    constexpr std::size_t ring_capacity = 1024;
+    for (int core = 0; core < params.cores; ++core) {
+        loop.pumps[static_cast<std::size_t>(core)].bindWorkload(
+            loop.cores[static_cast<std::size_t>(core)].workload.get());
+        loop.pumps[static_cast<std::size_t>(core)].reserveRing(
+            ring_capacity);
+    }
+    EpochBarrier barrier(loop.pumps, probe, params.sim_threads,
+                         static_cast<double>(cfg.memory.l3.latency));
+    barrier.prime();
+
+    while (!loop.sched.empty()) {
+        barrier.maybeRendezvous(loop.sched.nextCycle());
         loop.sched.runNext();
+    }
     // Defensive: any transaction the pump chain did not cover (e.g.
     // background refills issued by the very last completion).
+    mem->setCompletionSink(nullptr);
     mem->drainAll();
     for (auto &cs : loop.cores)
         NECPT_ASSERT(cs.inflight == 0 && cs.machines.empty());

@@ -85,6 +85,16 @@ struct SimParams
     int max_outstanding_walks = 1;
 
     /**
+     * Host worker threads the simulation shards across (the timing
+     * core stays on one coordinator thread; the extra threads fill the
+     * per-core lookahead rings during epoch rendezvous windows — see
+     * sim/epoch.hh). Clamped to the simulated core count at run time.
+     * Any value produces bit-identical metrics, goldens, traces, and
+     * timeseries: the sharding is wall-clock-only by construction.
+     */
+    int sim_threads = 1;
+
+    /**
      * Fault injection (off by default). When any site is armed the
      * Simulator builds a FaultPlan seeded by @ref fault_seed (falling
      * back to @ref seed when zero) and threads it through the pools,

@@ -73,6 +73,9 @@ usage(const char *prog)
         "  --cores N           simulated cores     (default 1)\n"
         "  --mlp N             max in-flight walks per core\n"
         "                      (default 1 = serialized walks)\n"
+        "  --sim-threads N     host threads the simulation shards\n"
+        "                      across (default 1; results are\n"
+        "                      bit-identical for any N)\n"
         "  --seed N            simulation seed\n"
         "  --churn SPEC        arm translation churn + shootdowns:\n"
         "                      migrate:PERIOD[:PAGES], balloon:...,\n"
@@ -134,6 +137,8 @@ run(int argc, char **argv)
         else if (arg == "--cores") params.cores = std::stoi(value());
         else if (arg == "--mlp")
             params.max_outstanding_walks = std::stoi(value());
+        else if (arg == "--sim-threads")
+            params.sim_threads = std::stoi(value());
         else if (arg == "--seed") params.seed = std::stoull(value());
         else if (arg == "--churn")
             params.churn = parseChurnSpec(value());

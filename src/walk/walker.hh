@@ -203,6 +203,17 @@ class Walker
     const WalkerStats &stats() const { return stats_; }
 
     /**
+     * The simulated core this walker (and every machine it pools)
+     * belongs to. Walk machines are pinned to their walker's core
+     * arena: startWalk() recycles only machines this walker released,
+     * so machine state never migrates between cores — the invariant
+     * the thread-sharded timing core's per-core event pumps rely on
+     * (a core's step/retire events only ever touch that core's
+     * arena; cross-core traffic goes through the shared domain).
+     */
+    int coreIndex() const { return core; }
+
+    /**
      * Toggle per-walk cycle attribution (on by default). Disabling
      * reduces every charge to one untaken branch — the hot path runs
      * exactly as it did before attribution existed. The owner should

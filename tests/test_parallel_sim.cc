@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The determinism contract of the thread-sharded timing core.
+ *
+ * SimParams::sim_threads shards wall-clock work (lookahead-ring
+ * refills during epoch rendezvous) across host threads while the
+ * coordinator thread runs every event — so any thread count must be
+ * bit-identical to the single-threaded schedule. These tests pin
+ * that contract at full strength: the complete scalar metric
+ * snapshot, the canonical walk trace, and the sampled timeseries are
+ * compared byte-for-byte across sim-threads {1, 2, 8} at mlp {1, 4},
+ * with translation churn armed and fault injection forcing resize
+ * windows, kick exhaustion, memory spikes, and dropped shootdown
+ * acks. If rendezvous timing could perturb even one event, these
+ * comparisons — not just a cycle count — would catch it.
+ *
+ * Alongside the end-to-end pins, unit tests cover the canonical
+ * (cycle, priority, core, sequence) ordering key that makes the
+ * K+1-way merge equivalent to the legacy single heap, and the
+ * barrier's thread-count clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coherence/churn.hh"
+#include "common/fault.hh"
+#include "common/metrics.hh"
+#include "common/trace_events.hh"
+#include "sim/config.hh"
+#include "sim/epoch.hh"
+#include "sim/pump.hh"
+#include "sim/simulator.hh"
+#include "sim/timeseries.hh"
+
+namespace necpt
+{
+
+namespace
+{
+
+/** Everything observable from one run, rendered to comparable form. */
+struct RunOutputs
+{
+    std::string snapshot;   //!< result fields + full scalar registry
+    std::string trace;      //!< canonical Chrome trace JSON bytes
+    std::vector<std::string> ts_names;
+    std::vector<std::vector<double>> ts_rows;
+};
+
+RunOutputs
+runOnce(int sim_threads, int mlp)
+{
+    SimParams params;
+    params.warmup_accesses = 1000;
+    params.measure_accesses = 5000;
+    params.cores = 4;
+    params.max_outstanding_walks = mlp;
+    params.sim_threads = sim_threads;
+    params.scale_denominator = 64;
+    // Every deterministic perturbation source at once: churn rounds
+    // land as domain events, faults stretch and divert walks.
+    params.churn = parseChurnSpec(
+        "migrate:5000:8,balloon:20000:16,protect:15000:4,batch:8");
+    params.faults =
+        parseFaultSpec("kicks:0.02,resize:0.01,mem:0.01:400,"
+                       "shootdown:0.05");
+
+    TraceBuffer tracer(TraceBuffer::default_capacity, 16);
+    params.tracer = &tracer;
+    TimeSeriesBuffer series(2000);
+    params.timeseries = &series;
+
+    Simulator sim(makeConfig(ConfigId::NestedEcpt), params);
+    const SimResult result = sim.run("GUPS");
+
+    MetricsRegistry reg;
+    sim.exportMetrics(reg);
+
+    RunOutputs out;
+    std::ostringstream snap;
+    char value[64];
+    auto emit = [&](const std::string &name, double v) {
+        std::snprintf(value, sizeof value, "%.17g", v);
+        snap << name << " " << value << "\n";
+    };
+    emit("result.cycles", static_cast<double>(result.cycles));
+    emit("result.instructions",
+         static_cast<double>(result.instructions));
+    emit("result.walks", static_cast<double>(result.walks));
+    emit("result.mmu_requests",
+         static_cast<double>(result.mmu_requests));
+    emit("result.mmu_busy_cycles",
+         static_cast<double>(result.mmu_busy_cycles));
+    for (const auto &[name, v] : reg.scalarSnapshot())
+        emit(name, v);
+    out.snapshot = snap.str();
+
+    const std::string trace_path = "parallel_sim_trace_st"
+        + std::to_string(sim_threads) + "_mlp" + std::to_string(mlp)
+        + ".json";
+    EXPECT_TRUE(writeChromeTrace(trace_path, tracer, "sim",
+                                 /*canonical=*/true));
+    std::ifstream in(trace_path, std::ios::binary);
+    std::stringstream bytes;
+    bytes << in.rdbuf();
+    out.trace = bytes.str();
+    std::remove(trace_path.c_str());
+
+    out.ts_names = series.series();
+    out.ts_rows = series.samples();
+    return out;
+}
+
+/** sim-threads=1 reference outputs, computed once per mlp. */
+const RunOutputs &
+reference(int mlp)
+{
+    static const RunOutputs serialized = runOnce(1, 1);
+    static const RunOutputs overlapped = runOnce(1, 4);
+    return mlp == 1 ? serialized : overlapped;
+}
+
+void
+expectIdentical(const RunOutputs &ref, const RunOutputs &got,
+                int sim_threads, int mlp)
+{
+    SCOPED_TRACE("sim_threads=" + std::to_string(sim_threads)
+                 + " mlp=" + std::to_string(mlp));
+    EXPECT_EQ(ref.snapshot, got.snapshot)
+        << "scalar snapshot diverged from sim-threads=1";
+    EXPECT_EQ(ref.trace, got.trace)
+        << "canonical walk trace diverged from sim-threads=1";
+    EXPECT_EQ(ref.ts_names, got.ts_names);
+    EXPECT_EQ(ref.ts_rows, got.ts_rows)
+        << "timeseries samples diverged from sim-threads=1";
+}
+
+class ParallelSimDeterminism : public ::testing::TestWithParam<int>
+{};
+
+} // namespace
+
+// mlp=1: serialized walks — the legacy schedule, now flowing through
+// the per-core pumps and the shared domain. mlp=4: overlapped walk
+// machines plus per-transaction completion events. Both must be
+// byte-identical at any host thread count (8 exceeds the 4 simulated
+// cores, so this also exercises the worker clamp in vivo).
+TEST_P(ParallelSimDeterminism, SerializedWalksBitIdentical)
+{
+    expectIdentical(reference(1), runOnce(GetParam(), 1), GetParam(), 1);
+}
+
+TEST_P(ParallelSimDeterminism, OverlappedWalksBitIdentical)
+{
+    expectIdentical(reference(4), runOnce(GetParam(), 4), GetParam(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSimDeterminism,
+                         ::testing::Values(2, 8));
+
+// ---------------------------------------------------------------------
+// Canonical ordering key: the total order every queue agrees on.
+// ---------------------------------------------------------------------
+
+TEST(CanonicalKey, OrdersByCycleThenPrioThenCoreThenSeq)
+{
+    const CanonicalKey base{100.0, 0, 1, 50};
+
+    // Cycle dominates everything.
+    EXPECT_TRUE((CanonicalKey{99.0, 5, 7, 999}).before(base));
+    EXPECT_FALSE((CanonicalKey{101.0, -2, 0, 0}).before(base));
+
+    // Same cycle: lower priority first (domain events at -2/-1 land
+    // before any core's step/retire at prio == core >= 0).
+    EXPECT_TRUE((CanonicalKey{100.0, -2, 3, 999}).before(base));
+    EXPECT_TRUE((CanonicalKey{100.0, -1, 3, 999}).before(base));
+    EXPECT_FALSE((CanonicalKey{100.0, 1, 1, 50}).before(base));
+
+    // Same cycle and priority: lower core index first.
+    EXPECT_TRUE((CanonicalKey{100.0, 0, 0, 999}).before(base));
+    EXPECT_FALSE((CanonicalKey{100.0, 0, 2, 0}).before(base));
+
+    // Full tie on (cycle, prio, core): scheduling sequence decides —
+    // FIFO among equals, exactly like the legacy single heap.
+    EXPECT_TRUE((CanonicalKey{100.0, 0, 1, 49}).before(base));
+    EXPECT_FALSE((CanonicalKey{100.0, 0, 1, 50}).before(base));
+    EXPECT_FALSE((CanonicalKey{100.0, 0, 1, 51}).before(base));
+}
+
+TEST(CanonicalKey, IrreflexiveAndAsymmetric)
+{
+    const CanonicalKey a{10.0, -1, 0, 3};
+    const CanonicalKey b{10.0, -1, 0, 4};
+    EXPECT_FALSE(a.before(a));
+    EXPECT_TRUE(a.before(b));
+    EXPECT_FALSE(b.before(a));
+}
+
+// ---------------------------------------------------------------------
+// EpochBarrier basics: clamping and idle behavior.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct NullProbe final : ResidencyProbe
+{
+    std::uint64_t stamp() const override { return 0; }
+    bool resident(Addr) const override { return true; }
+};
+
+} // namespace
+
+TEST(EpochBarrier, ClampsWorkerCountToPumps)
+{
+    SchedContext ctx;
+    std::vector<CorePump> pumps;
+    pumps.reserve(4);
+    for (int c = 0; c < 4; ++c)
+        pumps.emplace_back(ctx, c);
+    const NullProbe probe;
+
+    // More host threads than simulated cores: clamp to the pump count.
+    EpochBarrier wide(pumps, probe, 8, 56.0);
+    EXPECT_EQ(wide.threads(), 4);
+
+    // Degenerate requests clamp up to the serial coordinator.
+    EpochBarrier narrow(pumps, probe, 0, 56.0);
+    EXPECT_EQ(narrow.threads(), 1);
+
+    EXPECT_DOUBLE_EQ(wide.epochLength(), 56.0);
+}
+
+TEST(EpochBarrier, NoRendezvousWithoutBoundWorkloads)
+{
+    SchedContext ctx;
+    std::vector<CorePump> pumps;
+    pumps.reserve(2);
+    for (int c = 0; c < 2; ++c)
+        pumps.emplace_back(ctx, c);
+    const NullProbe probe;
+
+    EpochBarrier barrier(pumps, probe, 2, 56.0);
+    barrier.prime();
+    // No pump has a workload bound, so boundaries are pure epoch-grid
+    // arithmetic: crossing many epochs must trigger zero rendezvous.
+    for (double cycle = 0.0; cycle < 10'000.0; cycle += 100.0)
+        barrier.maybeRendezvous(cycle);
+    EXPECT_EQ(barrier.rendezvousCount(), 0u);
+}
+
+} // namespace necpt

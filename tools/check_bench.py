@@ -10,12 +10,28 @@ $GITHUB_STEP_SUMMARY when set, so CI surfaces it on the job page) and
 flags any entry whose rate dropped more than --max-drop (default 10%)
 below the baseline.
 
-Exit code: 1 if a regression was flagged, unless --warn-only. CI runs
-warn-only — wall-clock rates on shared runners are noisy, and the gate
-is advisory; the artifact series is the durable record.
+Beyond the relative diff, two absolute gates make the check a real
+quality bar rather than a drift detector:
+
+  --min-rate "NAME=VALUE"   the named entry's rate must be >= VALUE
+                            (repeatable; an absolute floor survives
+                            baseline regeneration, which a relative
+                            diff alone does not)
+  --require-order "A>B"     entry A's rate must be strictly greater
+                            than entry B's (repeatable; e.g. the
+                            overlapped-walk configuration must beat
+                            the serialized one in wall clock, or the
+                            parallelism is decorative)
+
+Exit code: 1 if any regression or gate violation was flagged, unless
+--warn-only. The release CI leg runs the gates in failing mode; noisy
+shared-runner wall clocks are absorbed by setting the floors well
+below steady-state rates rather than by warn-only.
 
 Usage:
-    tools/check_bench.py CURRENT BASELINE [--max-drop 0.10] [--warn-only]
+    tools/check_bench.py CURRENT BASELINE [--max-drop 0.10]
+        [--min-rate NAME=VALUE]... [--require-order A>B]...
+        [--warn-only]
 """
 
 import argparse
@@ -68,6 +84,14 @@ def main():
     parser.add_argument("--max-attr-shift", type=float, default=0.05,
                         help="tolerated per-cause attribution share "
                              "shift (default 0.05 = 5pp)")
+    parser.add_argument("--min-rate", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="absolute floor: the named entry's rate "
+                             "must be >= VALUE (repeatable)")
+    parser.add_argument("--require-order", action="append", default=[],
+                        metavar="A>B",
+                        help="entry A's rate must be strictly greater "
+                             "than entry B's (repeatable)")
     args = parser.parse_args()
 
     unit, current, current_attr = load(args.current)
@@ -101,6 +125,59 @@ def main():
     for name in current:
         if name not in baseline:
             lines.append(f"| {name} | (new) | {current[name]:.0f} | |")
+
+    # Absolute floors: independent of the baseline file, so they hold
+    # even across a baseline regeneration.
+    gate_lines = []
+    for spec in args.min_rate:
+        name, sep, value = spec.rpartition("=")
+        if not sep:
+            sys.exit(f"--min-rate {spec!r}: expected NAME=VALUE")
+        floor = float(value)
+        if name not in current:
+            regressions.append(f"{name}: missing (floor {floor:.0f})")
+            gate_lines.append(f"| floor | {name} | >= {floor:.0f} | "
+                              f"MISSING :warning: |")
+            continue
+        rate = current[name]
+        ok = rate >= floor
+        if not ok:
+            regressions.append(
+                f"{name}: {rate:.0f} {unit} below absolute floor "
+                f"{floor:.0f}")
+        gate_lines.append(
+            f"| floor | {name} | >= {floor:.0f} | {rate:.0f}"
+            f"{'' if ok else ' :warning:'} |")
+
+    # Ordering gates: A must be strictly faster than B in this run.
+    for spec in args.require_order:
+        fast, sep, slow = spec.partition(">")
+        if not sep:
+            sys.exit(f"--require-order {spec!r}: expected A>B")
+        fast, slow = fast.strip(), slow.strip()
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            regressions.append(
+                f"order {spec!r}: missing entries {missing}")
+            gate_lines.append(f"| order | {fast} > {slow} | | "
+                              f"MISSING :warning: |")
+            continue
+        ok = current[fast] > current[slow]
+        if not ok:
+            regressions.append(
+                f"order violated: {fast} ({current[fast]:.0f}) is not "
+                f"faster than {slow} ({current[slow]:.0f})")
+        gate_lines.append(
+            f"| order | {fast} > {slow} | {current[fast]:.0f} vs "
+            f"{current[slow]:.0f} | {'ok' if ok else ':warning:'} |")
+    if gate_lines:
+        lines += [
+            "",
+            "### Absolute gates",
+            "",
+            "| kind | gate | requirement | result |",
+            "| --- | --- | --- | --- |",
+        ] + gate_lines
 
     # Attribution profile diff: where did the cycles move? A share
     # shift above the threshold is flagged alongside the rate check so
