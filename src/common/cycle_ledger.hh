@@ -42,9 +42,10 @@ enum class AttrCause : std::uint8_t
     DramService, //!< row activate/precharge + column access
     DramBus,     //!< channel bus wait + data burst
     Fault,       //!< injected memory latency spikes
+    Coalesce,    //!< waiting on a same-page walk already in flight
 };
 
-constexpr int num_attr_causes = 10;
+constexpr int num_attr_causes = 11;
 
 /** Dotted-name component for one cause ("attr.<name>.…"). */
 inline const char *
@@ -61,6 +62,7 @@ attrCauseName(AttrCause cause)
       case AttrCause::DramService: return "dram_service";
       case AttrCause::DramBus: return "dram_bus";
       case AttrCause::Fault: return "fault";
+      case AttrCause::Coalesce: return "coalesce";
     }
     return "?";
 }

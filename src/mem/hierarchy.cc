@@ -18,7 +18,8 @@ MemoryHierarchy::MemoryHierarchy(const MemHierarchyConfig &config, int cores)
         l2s.push_back(std::make_unique<SetAssocCache>(cfg.l2));
     }
     l3_ = std::make_unique<SetAssocCache>(cfg.l3);
-    txn_pools.resize(static_cast<std::size_t>(cores));
+    live_by_core.resize(static_cast<std::size_t>(cores));
+    free_by_core.resize(static_cast<std::size_t>(cores));
 }
 
 namespace
@@ -114,13 +115,17 @@ TxnId
 MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
                             TxnCallback cb)
 {
-    PendingTxn txn;
-    std::vector<PendingTxn> &pool =
-        txn_pools[static_cast<std::size_t>(core)];
-    if (!pool.empty()) {
-        txn = std::move(pool.back());
-        pool.pop_back();
+    std::vector<std::uint32_t> &free_list =
+        free_by_core[static_cast<std::size_t>(core)];
+    std::uint32_t slot;
+    if (!free_list.empty()) {
+        slot = free_list.back();
+        free_list.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots.size());
+        slots.emplace_back();
     }
+    PendingTxn &txn = slots[slot];
     txn.id = next_txn_id++;
     txn.core = core;
     txn.issued = now;
@@ -150,12 +155,9 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
     // the legacy single-batch timing is reproduced exactly.)
     std::vector<Cycles> &outstanding = outstanding_scratch;
     outstanding.clear();
-    for (const PendingTxn &p : pending) {
-        if (p.core != core)
-            continue;
-        for (Cycles d : p.miss_done)
+    for (std::uint32_t s : live_by_core[static_cast<std::size_t>(core)])
+        for (Cycles d : slots[s].miss_done)
             outstanding.push_back(d);
-    }
     const int mshrs = cfg.l2.mshrs;
     Cycles finish = now;
 
@@ -230,7 +232,10 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
     result.latency = finish - now;
     txn.completes = finish;
     const TxnId id = txn.id;
-    pending.push_back(std::move(txn));
+    live_by_core[static_cast<std::size_t>(core)].push_back(slot);
+    completions.push_back(CompletionKey{finish, id, slot});
+    std::push_heap(completions.begin(), completions.end(),
+                   CompletesLater{});
     if (completion_sink)
         completion_sink(finish);
     return id;
@@ -239,52 +244,49 @@ MemoryHierarchy::issueBatch(AddrSpan addrs, Cycles now, int core,
 Cycles
 MemoryHierarchy::nextCompletionCycle() const
 {
-    NECPT_ASSERT(!pending.empty());
-    Cycles best = pending.front().completes;
-    for (const PendingTxn &p : pending)
-        best = std::min(best, p.completes);
-    return best;
+    NECPT_ASSERT(!completions.empty());
+    return completions.front().completes;
 }
 
 void
 MemoryHierarchy::drainUntil(Cycles upto)
 {
-    for (;;) {
-        // Earliest (completes, id) pending transaction due by @p upto.
-        std::size_t best = pending.size();
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-            if (pending[i].completes > upto)
-                continue;
-            if (best == pending.size()
-                || pending[i].completes < pending[best].completes
-                || (pending[i].completes == pending[best].completes
-                    && pending[i].id < pending[best].id)) {
-                best = i;
-            }
-        }
-        if (best == pending.size())
-            return;
-        // Remove before invoking: the callback may issue follow-up
-        // transactions that must not see this one as live.
-        PendingTxn txn = std::move(pending[best]);
-        pending.erase(pending.begin()
-                      + static_cast<std::ptrdiff_t>(best));
-        if (txn.cb)
-            txn.cb(txn.batch, txn.completes);
-        // Recycle the slot into the issuing core's free list: keeping
-        // miss_done's capacity is what makes the steady-state
-        // issue/drain loop allocation-free.
+    // The completion heap pops in (completes, id) order — the same
+    // canonical order the old scanning implementation selected — and
+    // transactions a callback issues land on the heap mid-loop, so
+    // they drain in this very call when due by @p upto.
+    while (!completions.empty()
+           && completions.front().completes <= upto) {
+        std::pop_heap(completions.begin(), completions.end(),
+                      CompletesLater{});
+        const CompletionKey key = completions.back();
+        completions.pop_back();
+        PendingTxn &txn = slots[key.slot];
+        // Retire before invoking: the callback may issue follow-up
+        // transactions that must not see this one as live (its MSHR
+        // intervals are released) and may reuse the freed slot — so
+        // copy out what the callback needs first.
+        const TxnCallback cb = txn.cb;
+        const BatchResult batch = txn.batch;
+        const Cycles completes = txn.completes;
         txn.cb = nullptr;
         txn.miss_done.clear();
-        txn_pools[static_cast<std::size_t>(txn.core)].push_back(
-            std::move(txn));
+        std::vector<std::uint32_t> &live =
+            live_by_core[static_cast<std::size_t>(txn.core)];
+        live.erase(std::find(live.begin(), live.end(), key.slot));
+        // Recycling keeps miss_done's capacity, which is what makes
+        // the steady-state issue/drain loop allocation-free.
+        free_by_core[static_cast<std::size_t>(txn.core)].push_back(
+            key.slot);
+        if (cb)
+            cb(batch, completes);
     }
 }
 
 void
 MemoryHierarchy::drainAll()
 {
-    while (!pending.empty())
+    while (!completions.empty())
         drainUntil(nextCompletionCycle());
 }
 

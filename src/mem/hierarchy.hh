@@ -178,7 +178,7 @@ class MemoryHierarchy
     void setCompletionSink(CompletionSink sink) { completion_sink = sink; }
 
     /** Any transactions issued but not yet drained? */
-    bool hasPending() const { return !pending.empty(); }
+    bool hasPending() const { return !completions.empty(); }
 
     /** Earliest completion cycle among pending transactions. */
     Cycles nextCompletionCycle() const;
@@ -270,17 +270,47 @@ class MemoryHierarchy
     std::unique_ptr<SetAssocCache> l3_;
     DramModel dram_;
 
-    std::vector<PendingTxn> pending;
     /**
-     * Drained transactions kept for reuse, one free list per issuing
-     * core: their miss_done capacity survives, so steady-state
-     * issue/drain cycles never allocate, and each core's slots stay in
-     * that core's working set (no free-list cache line ping-pongs
-     * between the host threads a sharded simulation may one day issue
-     * from — today issue and drain both happen on the coordinator, so
-     * this is pure locality).
+     * Transaction store, tuned for the overlapped-walk hot loop where
+     * several transactions per core are in flight at once:
+     *
+     *  - @ref slots holds every transaction in a stable slot (drained
+     *    slots go on the issuing core's free list, so miss_done
+     *    capacity survives and steady-state issue/drain never
+     *    allocates);
+     *  - @ref completions is a min-heap of (completes, id) over the
+     *    live slots — drainUntil() pops it instead of scanning, and
+     *    the heap order IS the canonical completion order, so the
+     *    drain sequence is unchanged from the scanning implementation;
+     *  - @ref live_by_core lists each core's in-flight slots, so
+     *    issueBatch()'s MSHR seed walks only the issuing core's
+     *    transactions instead of everyone's.
      */
-    std::vector<std::vector<PendingTxn>> txn_pools;
+    std::vector<PendingTxn> slots;
+
+    /** Heap entry: completion key plus the slot it resolves to. */
+    struct CompletionKey
+    {
+        Cycles completes = 0;
+        TxnId id = invalid_txn;
+        std::uint32_t slot = 0;
+    };
+
+    /** Min-heap comparator: does @p a complete after @p b? */
+    struct CompletesLater
+    {
+        bool
+        operator()(const CompletionKey &a, const CompletionKey &b) const
+        {
+            if (a.completes != b.completes)
+                return a.completes > b.completes;
+            return a.id > b.id;
+        }
+    };
+
+    std::vector<CompletionKey> completions;
+    std::vector<std::vector<std::uint32_t>> live_by_core;
+    std::vector<std::vector<std::uint32_t>> free_by_core;
     TxnId next_txn_id = 1;
 
     /** issueBatch() working sets, reused across calls (capacity

@@ -562,6 +562,12 @@ NestedSystem::quiesce()
         guest_ecpt->quiesce();
     if (host_ecpt)
         host_ecpt->quiesce();
+    // Completing in-flight elastic resizes retires the old table
+    // generations, which changes the probe-address sets hardware would
+    // fetch — a layout mutation even though no mapping changed. Bump
+    // the stamp so speculative probe precomputations (walk/spec_plan.hh)
+    // computed against the pre-quiesce layout are discarded.
+    ++mutation_stamp;
 }
 
 Translation
@@ -597,6 +603,41 @@ NestedSystem::hostTranslate(Addr gpa)
         NECPT_ASSERT(h.valid);
     }
     return h;
+}
+
+Translation
+NestedSystem::peekFullTranslate(Addr gva) const
+{
+    // Strictly side-effect free (see the header contract): guest
+    // lookups through the HPT use the uncounted peek, the host side
+    // goes through hostPeek's peek chain, and nothing faults in. The
+    // composition mirrors fullTranslate() exactly, so under an
+    // unchanged mutationStamp() a valid result here is byte-identical
+    // to what fullTranslate() would produce (which, with both lookups
+    // hitting, is itself mutation-free).
+    Translation g;
+    if (guest_radix)
+        g = guest_radix->lookup(gva);
+    else if (guest_hpt)
+        g = guest_hpt->peek(gva);
+    else
+        g = guest_ecpt->lookup(gva);
+    if (!g.valid)
+        return {};
+    if (!cfg.virtualized)
+        return g;
+    const Addr gpa = g.apply(gva);
+    Translation h;
+    if (host_hpt)
+        h = host_hpt->peek(gpa);
+    else
+        h = hostPeek(gpa);
+    if (!h.valid)
+        return {};
+    const PageSize eff = static_cast<int>(g.size) < static_cast<int>(h.size)
+                             ? g.size : h.size;
+    const Addr hpa = h.apply(gpa);
+    return {hpa - pageOffset(gva, eff), eff, true};
 }
 
 Translation

@@ -138,9 +138,11 @@ class NestedSystem
      * unmap, and permission change on either level (the guestMap /
      * guestUnmap / hostMap / hostUnmap / writeProtectPage funnels, so
      * churn, ballooning, migration, THP promotion/demotion, and
-     * demand faults all count). Lookahead residency verdicts carry the
-     * stamp they were computed under; consumers seeing a newer stamp
-     * must re-verify.
+     * demand faults all count), plus quiesce() — retiring old table
+     * generations changes probe-address layouts without touching any
+     * mapping. Lookahead residency verdicts and speculative walk plans
+     * carry the stamp they were computed under; consumers seeing a
+     * newer stamp must re-verify.
      */
     std::uint64_t mutationStamp() const { return mutation_stamp; }
 
@@ -229,6 +231,16 @@ class NestedSystem
      * min(guest, host) — the granularity a nested TLB entry covers.
      */
     Translation fullTranslate(Addr gva);
+
+    /**
+     * Side-effect-free twin of fullTranslate(): never faults backing
+     * in (an unmapped host page yields an invalid result instead), no
+     * statistics (HPT paths go through the uncounted peek), no tracer
+     * output. Callable from the epoch barrier's worker threads; while
+     * mutationStamp() is unchanged, a *valid* result is exactly what
+     * fullTranslate() would return.
+     */
+    Translation peekFullTranslate(Addr gva) const;
     /// @}
 
     /// @name Structure access for walkers

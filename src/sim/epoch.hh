@@ -6,8 +6,14 @@
  * *timed* schedule on one coordinator thread — that is what makes the
  * event stream a pure function of the inputs — and gives the other
  * host threads the work that is provably schedule-invariant: advancing
- * each core's private workload stream and pre-computing page-residency
- * verdicts for the upcoming accesses (the lookahead rings).
+ * each core's private workload stream, pre-computing page-residency
+ * verdicts for the upcoming accesses (the lookahead rings), and — when
+ * the simulator enables it — *speculative walk plans*
+ * (walk/spec_plan.hh): the pure-function slice of each upcoming
+ * access's page walk (cuckoo probe-address hashing, functional
+ * translations), precomputed under the window's mutation stamp so the
+ * walk machine can consume it instead of recomputing on the
+ * coordinator's critical path.
  *
  * Simulated time is divided into epochs no shorter than the minimum
  * cross-domain latency (an L3 hit: nothing a core issues can come back
@@ -25,9 +31,14 @@
  * workload stream, and a residency verdict only ever lets the consumer
  * skip a call that would have been a side-effect-free no-op (stale
  * verdicts — detected via the page-table mutation stamp — fall back to
- * the full path). Rendezvous timing therefore cannot perturb any
- * metric, golden, trace, or timeseries byte: --sim-threads=N is
- * bit-identical to N=1 for every N.
+ * the full path). Speculative walk plans follow the same protocol: a
+ * plan is a pure function of (address, page tables at the stamp), and
+ * every consumption site re-checks the stamp at its own commit time,
+ * falling back to inline recomputation on mismatch — so a consumed
+ * plan is byte-for-byte the value the inline path would have produced.
+ * Rendezvous timing therefore cannot perturb any metric, golden,
+ * trace, or timeseries byte: --sim-threads=N is bit-identical to N=1
+ * for every N.
  */
 
 #ifndef NECPT_SIM_EPOCH_HH

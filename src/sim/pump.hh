@@ -13,13 +13,20 @@
  *    barrier's worker threads fill during rendezvous windows with the
  *    core's upcoming workload accesses and their page-residency
  *    verdicts, each stamped with the page-table mutation epoch it was
- *    computed under.
+ *    computed under; and, when spec planning is enabled, an
+ *    index-parallel ring of *speculative walk plans*
+ *    (walk/spec_plan.hh) — the pure-function slice of each upcoming
+ *    access's would-be page walk (probe-address hashing, functional
+ *    translations), precomputed under the same stamp so the walk
+ *    machine can consume it instead of recomputing.
  *
  * Determinism: queue ordering uses the same canonical key as the old
  * single heap (sim/epoch.hh), sequence numbers are drawn from one
- * shared counter in coordinator commit order, and ring entries are
- * pure functions of the workload stream — so the merged schedule is
- * byte-identical to the single-threaded one for any --sim-threads.
+ * shared counter in coordinator commit order, and ring entries —
+ * verdicts and walk plans alike — are pure functions of (workload
+ * stream, page tables at the recorded stamp), consumed only while that
+ * stamp is provably current — so the merged schedule is byte-identical
+ * to the single-threaded one for any --sim-threads.
  */
 
 #ifndef NECPT_SIM_PUMP_HH
@@ -30,8 +37,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/function_ref.hh"
 #include "sim/epoch.hh"
 #include "sim/sched.hh"
+#include "walk/spec_plan.hh"
 #include "workloads/workload.hh"
 
 namespace necpt
@@ -145,20 +154,57 @@ class CorePump
     /** Next prefetched access; only valid when !ringEmpty(). */
     const AccessPlan &ringFront() const { return ring[ring_head]; }
 
+    /** Speculative walk plan for the front access (null when spec
+     *  planning is off). Valid — like ringFront()'s referent — until
+     *  the next refill(): ringPop() only advances the head, it never
+     *  recycles storage, so a consumer may hold the pointer across the
+     *  pop for the rest of its step. */
+    const SpecWalkPlan *
+    ringFrontSpec() const
+    {
+        return ring_head < plans.size() ? &plans[ring_head] : nullptr;
+    }
+
     void
     ringPop()
     {
+        // Consumed entries stay in place until the next refill()
+        // compacts them — ringFront()/ringFrontSpec() referents must
+        // outlive the pop (see ringFrontSpec), and refills only happen
+        // at epoch boundaries, never mid-step.
         ++ring_head;
-        if (ring_head >= ring.size()) {
-            ring.clear();
-            ring_head = 0;
-        }
     }
+
+    /**
+     * Turn on speculative walk-plan precomputation: every refilled
+     * ring entry gets a SpecWalkPlan computed by @p p alongside its
+     * residency verdict (same rendezvous window, same exclusive-access
+     * guarantee). The planner must be side-effect free and thread-safe
+     * for concurrent const table reads — it runs on whichever epoch
+     * worker owns this pump. Call after reserveRing().
+     */
+    using SpecPlanner = FunctionRef<void(
+        Addr, std::uint64_t, std::vector<Addr> &, SpecWalkPlan &)>;
+
+    void
+    enableSpecPlans(SpecPlanner p)
+    {
+        spec_planner = p;
+        plans.reserve(ring_capacity);
+        // Generously sized for probeAddrs' worst case (all ways, both
+        // generations); reserved once so worker refills never touch
+        // the heap.
+        spec_scratch.reserve(2 * SpecProbeSet::max_plan_ways
+                             * SpecProbeSet::max_gens);
+    }
+
+    bool specPlansEnabled() const { return bool(spec_planner); }
 
     /** Worker-side refill (rendezvous window only): advance the bound
      *  workload up to the free capacity, recording @p stamp-validated
-     *  residency verdicts from @p probe. Allocation-free once the ring
-     *  is reserved. */
+     *  residency verdicts from @p probe — and, when spec planning is
+     *  on, the matching speculative walk plans. Allocation-free once
+     *  the ring is reserved. */
     void
     refill(std::uint64_t stamp, const ResidencyProbe &probe)
     {
@@ -169,6 +215,11 @@ class CorePump
             ring.erase(ring.begin(),
                        ring.begin()
                            + static_cast<std::ptrdiff_t>(ring_head));
+            if (!plans.empty())
+                plans.erase(plans.begin(),
+                            plans.begin()
+                                + static_cast<std::ptrdiff_t>(
+                                      ring_head));
             ring_head = 0;
         }
         while (ring.size() < ring_capacity) {
@@ -177,6 +228,11 @@ class CorePump
             plan.resident = probe.resident(plan.access.vaddr);
             plan.stamp = stamp;
             ring.push_back(plan);
+            if (spec_planner) {
+                plans.emplace_back();
+                spec_planner(plan.access.vaddr, stamp, spec_scratch,
+                             plans.back());
+            }
         }
     }
     /// @}
@@ -212,6 +268,15 @@ class CorePump
     std::vector<AccessPlan> ring;
     std::size_t ring_head = 0;
     std::size_t ring_capacity = 0;
+
+    /** Speculative walk plans, index-parallel to `ring` (empty when
+     *  spec planning is off). Filled by the same worker in the same
+     *  window, under the same publication rules. */
+    std::vector<SpecWalkPlan> plans;
+    /** Reusable probe-address scratch for the planner (this pump's
+     *  worker only — never shared, so concurrent refills don't race). */
+    std::vector<Addr> spec_scratch;
+    SpecPlanner spec_planner;
 };
 
 } // namespace necpt

@@ -5,12 +5,13 @@
  * The legacy single event heap is partitioned: events whose priority
  * is a core index (steps and retires — priority == core by the
  * scheduler's contract) live on that core's pump (sim/pump.hh), and
- * everything touching shared resources lives here on the domain
- * queue — memory-completion pumps (priority -1: the L3/DRAM side),
- * coherence churn and shootdown rounds (-2: cross-core invalidation
- * traffic, which is thereby epoch-aligned — it commits through the
- * same canonical merge the cores do), and the interval sampler
- * (int64 max).
+ * everything touching shared resources lives here — coherence churn
+ * and shootdown rounds on the domain queue (-2: cross-core
+ * invalidation traffic, which is thereby epoch-aligned — it commits
+ * through the same canonical merge the cores do), the interval
+ * sampler (int64 max), and memory-completion pumps (priority -1: the
+ * L3/DRAM side) on a dedicated cycle calendar (armPump) that skips
+ * the Handler machinery entirely.
  *
  * Commit order is the canonical (cycle, priority, core, sequence) key
  * (sim/epoch.hh): runNext() merges the K pump heads with the domain
@@ -30,8 +31,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "common/function_ref.hh"
 #include "common/log.hh"
 #include "sim/epoch.hh"
 #include "sim/pump.hh"
@@ -47,6 +50,9 @@ class SharedDomain
 {
   public:
     using Handler = EventScheduler::Handler;
+
+    /** Callback for memory-completion pumps (see armPump). */
+    using PumpSink = FunctionRef<void(double)>;
 
     /** Wire up after the pump vector is fully built (its address must
      *  be stable from here on). */
@@ -68,6 +74,10 @@ class SharedDomain
        std::uint8_t kind = 0)
     {
         NECPT_ASSERT(ctx != nullptr);
+        // Priority -1 is reserved for the pump calendar (armPump):
+        // a heap event there would be order-ambiguous against it.
+        NECPT_ASSERT(prio != -1);
+        head_valid = false;
         if (prio >= 0 && prio < ncores)
             return (*pumps)[static_cast<std::size_t>(prio)].at(
                 cycle, prio, fn, kind);
@@ -82,12 +92,48 @@ class SharedDomain
 
     void setEdgeSink(EventEdgeSink *sink) { ctx->edges = sink; }
 
+    /**
+     * Register the handler every pump calendar entry fires into, and
+     * the edge-sink kind tag its fires report (SimEventKind::EvPump).
+     */
+    void
+    setPumpSink(PumpSink sink, std::uint8_t kind = 0)
+    {
+        pump_sink = sink;
+        pump_kind = kind;
+    }
+
+    /**
+     * Schedule a memory-completion pump at @p cycle (priority -1).
+     *
+     * Pumps are the one event class hot enough to deserve a bypass of
+     * the Handler machinery: every overlapped-walk memory transaction
+     * arms one, and each is the *same* call (drainUntil at its cycle).
+     * So instead of a 64-byte closure on the domain heap, a pump is a
+     * bare double on a min-heap of cycles, fanned into the registered
+     * sink at commit time. Entries sharing a cycle collapse into one
+     * sink call — the duplicates were no-op drains anyway — and fires
+     * allocate their sequence number at commit, which no other event
+     * can observe: priority -1 is calendar-exclusive, so a sequence
+     * comparison against a pump never happens, and renumbering the
+     * remaining events preserves their relative order.
+     */
+    void
+    armPump(double cycle)
+    {
+        NECPT_ASSERT(pump_sink);
+        head_valid = false;
+        pump_heap.push_back(cycle);
+        std::push_heap(pump_heap.begin(), pump_heap.end(),
+                       std::greater<double>{});
+    }
+
     std::uint64_t runningSeq() const { return ctx->running_seq; }
 
     bool
     empty() const
     {
-        if (!heap.empty())
+        if (!heap.empty() || !pump_heap.empty())
             return false;
         for (const CorePump &p : *pumps)
             if (!p.queueEmpty())
@@ -95,25 +141,46 @@ class SharedDomain
         return true;
     }
 
-    /** Cycle of the next event to commit; only valid when !empty(). */
+    /** Cycle of the next event to commit; only valid when !empty().
+     *  The winning head is memoized: the event loop asks nextCycle()
+     *  then immediately runNext(), and nothing between the two can
+     *  mutate a queue (at() and runHead() both invalidate), so the
+     *  K+1-way canonical merge runs once per committed event instead
+     *  of twice. */
     double
     nextCycle() const
     {
-        int core;
-        return headKey(core).cycle;
+        refreshHead();
+        return head_key.cycle;
     }
 
     /** Commit the canonically-earliest event across all queues. */
     void
     runNext()
     {
-        int core;
-        const CanonicalKey key = headKey(core);
+        refreshHead();
+        const int core = head_src;
+        head_valid = false;
         if (core >= 0) {
             (*pumps)[static_cast<std::size_t>(core)].runHead();
             return;
         }
-        (void)key;
+        if (core == -3) {
+            const double cyc = pump_heap.front();
+            do {
+                std::pop_heap(pump_heap.begin(), pump_heap.end(),
+                              std::greater<double>{});
+                pump_heap.pop_back();
+            } while (!pump_heap.empty() && pump_heap.front() == cyc);
+            const std::uint64_t seq = ctx->next_seq++;
+            if (ctx->edges)
+                ctx->edges->onEvent(seq, EventScheduler::no_event, cyc,
+                                    -1, pump_kind);
+            ctx->running_seq = seq;
+            pump_sink(cyc);
+            ctx->running_seq = EventScheduler::no_event;
+            return;
+        }
         std::pop_heap(heap.begin(), heap.end(), After{});
         Event ev = heap.back();
         heap.pop_back();
@@ -145,8 +212,19 @@ class SharedDomain
         }
     };
 
-    /** Canonical minimum over the K+1 heads. @p src gets the winning
-     *  pump's core index, or -1 for the domain queue. */
+    /** Recompute the memoized winning head if stale. */
+    void
+    refreshHead() const
+    {
+        if (!head_valid) {
+            head_key = headKey(head_src);
+            head_valid = true;
+        }
+    }
+
+    /** Canonical minimum over the K+1 heads (plus the pump calendar).
+     *  @p src gets the winning pump's core index, -1 for the domain
+     *  queue, or -3 for the pump calendar. */
     CanonicalKey
     headKey(int &src) const
     {
@@ -161,6 +239,17 @@ class SharedDomain
             // on distinct priorities anyway.
             best = CanonicalKey{e.cycle, e.prio, -1, e.seq};
             src = -1;
+        }
+        if (!pump_heap.empty()) {
+            // Calendar entries carry only a cycle; their canonical key
+            // is (cycle, -1, -, -), and since priority -1 is calendar-
+            // exclusive (asserted in at()) the comparison never falls
+            // through to the core or sequence fields.
+            const CanonicalKey k{pump_heap.front(), -1, -1, 0};
+            if (src == -2 || k.before(best)) {
+                best = k;
+                src = -3;
+            }
         }
         for (std::size_t i = 0; i < pumps->size(); ++i) {
             const CorePump &p = (*pumps)[i];
@@ -179,6 +268,14 @@ class SharedDomain
     std::vector<CorePump> *pumps = nullptr;
     std::int64_t ncores = 0;
     std::vector<Event> heap;
+    /** Min-heap of pump cycles (see armPump). */
+    std::vector<double> pump_heap;
+    PumpSink pump_sink;
+    std::uint8_t pump_kind = 0;
+    /** Memoized result of headKey() (see nextCycle()). */
+    mutable bool head_valid = false;
+    mutable CanonicalKey head_key{};
+    mutable int head_src = -2;
 };
 
 } // namespace necpt

@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "sim/coalescer.hh"
 #include "sim/critical_path.hh"
 #include "sim/epoch.hh"
 #include "sim/pump.hh"
@@ -227,6 +228,9 @@ Simulator::runWith(const std::string &label,
              *  cycles this core has spent parked in total. */
             double park_start = 0.0;
             double stall_cycles = 0.0;
+            /** Walk-MSHR (walk_coalescing): one entry per in-flight
+             *  walk; same-page misses park here instead of walking. */
+            WalkCoalescer coalescer;
             DoneHandler done;
         };
 
@@ -235,13 +239,6 @@ Simulator::runWith(const std::string &label,
             Loop *loop;
             int core;
             void operator()() const { loop->step(core); }
-        };
-
-        struct PumpEv
-        {
-            Loop *loop;
-            double next;
-            void operator()() const { loop->pumpFire(next); }
         };
 
         struct RetireEv
@@ -294,6 +291,7 @@ Simulator::runWith(const std::string &label,
         SharedDomain sched;
         std::uint64_t total = 0;
         bool overlap = false;
+        bool coalescing = false; //!< overlap && params.walk_coalescing
         bool stats_reset = false;
         std::uint64_t inflight_peak = 0;
         /** Registry backing the interval sampler (null = sampling off;
@@ -306,23 +304,34 @@ Simulator::runWith(const std::string &label,
 
         // Memory-completion pump (overlap mode): every issued
         // transaction's completion cycle is known at issue time, so
-        // the hierarchy's completion sink schedules exactly one pump
-        // event per transaction at that cycle (priority -1, so walks
-        // resume before any core steps at the same cycle). A pump
-        // whose work an earlier same-cycle pump already drained is a
-        // no-op. This replaces the poll-and-re-arm pump, whose stale
-        // events dominated overlapped-walk wall-clock.
+        // the hierarchy's completion sink arms a calendar pump at that
+        // cycle (priority -1, so walks resume before any core steps at
+        // the same cycle). The scheduler's pump calendar collapses
+        // same-cycle entries into one pumpFire — one drainUntil(at)
+        // covers every transaction completing at that cycle — and
+        // carries bare cycles instead of Handler closures, which is
+        // what makes overlapped-walk event overhead affordable. The
+        // pump_armed guard additionally skips re-arming the cycle
+        // whose pump is still pending; pumpFire clears it before
+        // draining, so a transaction issued *by* that pump for the
+        // same cycle arms a fresh entry rather than being lost.
+        double pump_armed = -1.0;
+
         void
         onTxnIssued(Cycles completes)
         {
             const double at = static_cast<double>(completes);
-            sched.at(at, -1, PumpEv{this, at},
-                     evk(SimEventKind::EvPump));
+            if (at == pump_armed)
+                return;
+            pump_armed = at;
+            sched.armPump(at);
         }
 
         void
         pumpFire(double next)
         {
+            if (pump_armed == next)
+                pump_armed = -1.0;
             sim.mem->drainUntil(static_cast<Cycles>(next));
         }
 
@@ -467,8 +476,15 @@ Simulator::runWith(const std::string &label,
             // (or on which thread) the ring was filled.
             CorePump &pump = pumps[core];
             MemAccess access;
+            // Speculative walk plan riding with the ring entry (null
+            // when spec planning is off or the ring ran dry). The
+            // pointer stays valid across ringPop — entries recycle
+            // only at refills, which happen at epoch boundaries, never
+            // mid-step — so it can be handed to startWalk below.
+            const SpecWalkPlan *spec = nullptr;
             if (!pump.ringEmpty()) {
                 const CorePump::AccessPlan plan = pump.ringFront();
+                spec = pump.ringFrontSpec();
                 pump.ringPop();
                 access = plan.access;
                 if (!plan.resident
@@ -522,11 +538,33 @@ Simulator::runWith(const std::string &label,
                 return;
             }
 
+            // Walk-MSHR merge: a walk for this 4KB page is already in
+            // flight — park on its coalescer entry instead of walking
+            // again. The waiter's TLB install + data access happen when
+            // the primary retires; it neither counts toward the MLP cap
+            // nor parks the core (merging is the parallelism win).
+            if (coalescing) {
+                const Addr page = WalkCoalescer::pageOf(access.vaddr);
+                if (WalkCoalescer::Entry *e = cs.coalescer.find(page)) {
+                    e->waiters.push_back({access.vaddr, cs.cycle});
+                    if (cs.accesses < total)
+                        sched.at(cs.cycle, core, StepEv{this, core},
+                                 evk(SimEventKind::EvStep));
+                    return;
+                }
+            }
+
             // Overlap mode, L2-TLB miss: issue a resumable walk and
             // keep going. The access's data fetch rides on the
-            // completion.
+            // completion. The speculative plan (if any) lets the walk
+            // machine skip the hash/lookup work the epoch workers
+            // already did — stamp-checked per step, byte-identical
+            // either way.
             WalkMachinePtr m = sim.walkers[core]->startWalk(
-                access.vaddr, static_cast<Cycles>(cs.cycle));
+                access.vaddr, static_cast<Cycles>(cs.cycle), spec);
+            if (coalescing)
+                cs.coalescer.open(WalkCoalescer::pageOf(access.vaddr),
+                                  m.get());
             if (sim.coherence)
                 m->setCoherenceEpoch(sim.coherence->epoch());
             ++cs.inflight;
@@ -619,6 +657,37 @@ Simulator::runWith(const std::string &label,
                 owner.watermark,
                 end + static_cast<double>(data.latency)
                           * sim.params.data_exposure);
+            // Fan the translation out to every coalesced waiter, in
+            // append order: data fetch at the primary's completion
+            // (post-replay, so a waiter can never retire a translation
+            // its primary had to redo), and the waiter's whole latency
+            // binned as AttrCause::Coalesce. No per-waiter TLB
+            // install: the primary installed the same 4K page at this
+            // very cycle just above, so repeating it would only touch
+            // the LRU state it already owns.
+            if (coalescing) {
+                WalkCoalescer::Entry *entry =
+                    owner.coalescer.byPrimary(mp);
+                NECPT_ASSERT(entry != nullptr);
+                if (!entry->waiters.empty()) {
+                    for (const WalkCoalescer::Waiter &w :
+                         entry->waiters) {
+                        const AccessResult wd = sim.mem->access(
+                            tr.apply(w.va), static_cast<Cycles>(end),
+                            Requester::Core, core);
+                        owner.watermark = std::max(
+                            owner.watermark,
+                            end + static_cast<double>(wd.latency)
+                                      * sim.params.data_exposure);
+                        sim.walkers[core]->recordCoalescedWalk(
+                            static_cast<Cycles>(
+                                std::max(0.0, end - w.issue_cycle)));
+                    }
+                    sim.walkers[core]->noteCoalesceFanout(
+                        entry->waiters.size());
+                }
+                owner.coalescer.close(entry);
+            }
             --owner.inflight;
             // Dropping the pointer recycles the machine into its
             // walker's pool.
@@ -661,6 +730,9 @@ Simulator::runWith(const std::string &label,
         loop.pumps.emplace_back(loop.ctx, core);
     }
     loop.sched.attach(&loop.ctx, &loop.pumps);
+    loop.sched.setPumpSink(
+        SharedDomain::PumpSink::bind<&Loop::pumpFire>(&loop),
+        Loop::evk(SimEventKind::EvPump));
     if (params.critical_path)
         loop.sched.setEdgeSink(params.critical_path);
     if (params.prefault)
@@ -668,6 +740,10 @@ Simulator::runWith(const std::string &label,
 
     loop.total = params.warmup_accesses + params.measure_accesses;
     loop.overlap = params.max_outstanding_walks > 1;
+    // Coalescing is meaningful only when walks overlap: the serialized
+    // model never has a second same-page miss in flight, and gating it
+    // keeps mlp=1 runs byte-identical with the flag set either way.
+    loop.coalescing = loop.overlap && params.walk_coalescing;
     // Overlap mode wires the hierarchy's completion sink into the
     // scheduler: one pump event per transaction, armed at issue with
     // the analytically known completion cycle. Serial mode drains
@@ -740,6 +816,36 @@ Simulator::runWith(const std::string &label,
         loop.pumps[static_cast<std::size_t>(core)].reserveRing(
             ring_capacity);
     }
+
+    // Epoch-window walk execution: with walks overlapped, a nested-
+    // ECPT machine, and real worker threads to farm it to, rendezvous
+    // workers also precompute each ring-ahead access's speculative
+    // walk plan (probe-address hashing + functional translations —
+    // the stat-free pure-function slice of a walk; walk/spec_plan.hh).
+    // Consumption is stamp-validated per step, so bytes are identical
+    // whether plans exist or not — which is exactly why the gate can
+    // be this selective without forking behavior.
+    struct SpecSource
+    {
+        const NestedSystem *sys = nullptr;
+
+        void
+        plan(Addr gva, std::uint64_t stamp, std::vector<Addr> &scratch,
+             SpecWalkPlan &out)
+        {
+            computeSpecWalkPlan(*sys, gva, stamp, scratch, out);
+        }
+    };
+    SpecSource spec_source;
+    spec_source.sys = sys.get();
+    if (loop.overlap && params.sim_threads > 1
+        && cfg.walker == WalkerKind::NestedEcpt) {
+        for (CorePump &p : loop.pumps)
+            p.enableSpecPlans(
+                CorePump::SpecPlanner::bind<&SpecSource::plan>(
+                    &spec_source));
+    }
+
     EpochBarrier barrier(loop.pumps, probe, params.sim_threads,
                          static_cast<double>(cfg.memory.l3.latency));
     barrier.prime();
@@ -753,7 +859,8 @@ Simulator::runWith(const std::string &label,
     mem->setCompletionSink(nullptr);
     mem->drainAll();
     for (auto &cs : loop.cores)
-        NECPT_ASSERT(cs.inflight == 0 && cs.machines.empty());
+        NECPT_ASSERT(cs.inflight == 0 && cs.machines.empty()
+                     && cs.coalescer.empty());
     const bool overlap = loop.overlap;
     const std::uint64_t inflight_peak = loop.inflight_peak;
 
@@ -829,6 +936,7 @@ Simulator::fillResult(SimResult &result)
         for (int c = 0; c < num_attr_causes; ++c)
             ws.attr_cycles[static_cast<std::size_t>(c)] +=
                 s.attr_cycles[static_cast<std::size_t>(c)];
+        ws.coalesced.inc(s.coalesced.value());
     }
     result.mmu_busy_cycles = ws.busy_cycles;
     result.walks = ws.walks.value();
@@ -976,6 +1084,9 @@ Simulator::fillResult(SimResult &result)
     for (int s = 0; s < 3; ++s)
         m["walk.step" + std::to_string(s + 1) + ".cycles"] =
             static_cast<double>(ws.step_lat[s]);
+    // Walk-MSHR merges (0 unless walk_coalescing is on — the key is
+    // emitted unconditionally so metric sets stay schema-stable).
+    m["walk.coalesced"] = static_cast<double>(ws.coalesced.value());
 
     // Coherence scalars exist only when churn is armed, so churn-off
     // runs emit byte-identical metric maps.

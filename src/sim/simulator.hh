@@ -80,9 +80,27 @@ struct SimParams
      * model; higher values let independent L2-TLB misses overlap:
      * each miss issues a resumable walk machine and the core parks
      * only when the cap is reached. Concurrent walks for the same
-     * page are not coalesced (each models its own probe traffic).
+     * page are not coalesced unless @ref walk_coalescing is set
+     * (each models its own probe traffic).
      */
     int max_outstanding_walks = 1;
+
+    /**
+     * MSHR-style same-page walk coalescing (off by default). With
+     * overlapped walks enabled, an L2-TLB miss whose 4KB guest page
+     * already has a walk in flight on this core parks on that walk's
+     * coalescer entry instead of issuing a duplicate machine; when the
+     * primary retires, its translation fans out to every waiter (TLB
+     * install + data access at completion). A waiter is recorded as a
+     * walk whose entire latency bins to AttrCause::Coalesce, so the
+     * walks ≈ L2-TLB-misses invariant and cycle-ledger conservation
+     * both hold exactly. Waiters do not count toward the
+     * max_outstanding_walks cap — that is the parallelism the MSHR
+     * merge buys. Off, the simulation is byte-identical to a build
+     * without the feature; on, it is deterministic at any
+     * --jobs/--sim-threads.
+     */
+    bool walk_coalescing = false;
 
     /**
      * Host worker threads the simulation shards across (the timing

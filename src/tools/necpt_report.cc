@@ -130,9 +130,11 @@ select { font: inherit; margin: 0 0 .6em; }
 const char *report_js = R"js(
 'use strict';
 const CAUSES = ['tlb','probe','compute','issue','mshr','cache',
-                'dram_queue','dram_service','dram_bus','fault'];
+                'dram_queue','dram_service','dram_bus','fault',
+                'coalesce'];
 const COLORS = ['#4c78a8','#72b7b2','#eeca3b','#f58518','#e45756',
-                '#54a24b','#b279a2','#9d755d','#bab0ac','#d62728'];
+                '#54a24b','#b279a2','#9d755d','#bab0ac','#d62728',
+                '#17becf'];
 const $ = (sel, el) => (el || document).querySelector(sel);
 const el = (tag, attrs, text) => {
   const e = document.createElement(tag);

@@ -73,6 +73,9 @@ usage(const char *prog)
         "  --cores N           simulated cores     (default 1)\n"
         "  --mlp N             max in-flight walks per core\n"
         "                      (default 1 = serialized walks)\n"
+        "  --coalesce          walk-MSHR same-page coalescing: misses\n"
+        "                      for a page whose walk is in flight park\n"
+        "                      on it instead of walking (needs --mlp>1)\n"
         "  --sim-threads N     host threads the simulation shards\n"
         "                      across (default 1; results are\n"
         "                      bit-identical for any N)\n"
@@ -137,6 +140,7 @@ run(int argc, char **argv)
         else if (arg == "--cores") params.cores = std::stoi(value());
         else if (arg == "--mlp")
             params.max_outstanding_walks = std::stoi(value());
+        else if (arg == "--coalesce") params.walk_coalescing = true;
         else if (arg == "--sim-threads")
             params.sim_threads = std::stoi(value());
         else if (arg == "--seed") params.seed = std::stoull(value());
@@ -277,6 +281,16 @@ run(int argc, char **argv)
         std::printf("  in-flight walks   %.2f avg, %llu peak\n",
                     result.walk_inflight_avg,
                     (unsigned long long)result.walk_inflight_max);
+    if (params.walk_coalescing) {
+        const auto it = result.metrics.find("walk.coalesced");
+        const double merged =
+            it != result.metrics.end() ? it->second : 0.0;
+        std::printf("  coalesced walks   %.0f  (%.1f%% of walks)\n",
+                    merged,
+                    result.walks ? 100.0 * merged
+                            / static_cast<double>(result.walks)
+                                 : 0.0);
+    }
     if (result.step_avg[0] > 0)
         std::printf("  step accesses     %.1f / %.1f / %.1f\n",
                     result.step_avg[0], result.step_avg[1],

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Speculative walk-plan precomputation (epoch-window walk execution).
+ *
+ * The thread-sharded timing core's rendezvous workers already advance
+ * each core's workload stream and residency verdicts (sim/epoch.hh).
+ * This header defines the next thing they precompute: the pure-function
+ * slice of a nested-ECPT walk for each ring-ahead access — probe
+ * addresses for every (page size, way) slot of the guest and Step-3
+ * host tables (the hash-unit work), plus the functional guest and full
+ * translations. Everything here is a pure function of (address, page
+ * tables), so a plan stamped with the page-table mutation epoch it was
+ * computed under can be consumed verbatim by the walk machine as long
+ * as the stamp still matches — and must be discarded otherwise. What a
+ * plan deliberately does NOT contain is anything CWC-dependent: way
+ * masks come from the walker-private Cuckoo Walk Caches at walk time,
+ * and the machine selects the matching precomputed addresses.
+ *
+ * Kept dependency-light (types + Translation only) so the per-core
+ * pumps (sim/pump.hh) can embed plans in their lookahead rings without
+ * pulling in the walker stack.
+ */
+
+#ifndef NECPT_WALK_SPEC_PLAN_HH
+#define NECPT_WALK_SPEC_PLAN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "pt/pte.hh"
+
+namespace necpt
+{
+
+/**
+ * Precomputed probe addresses of one ECPT for one lookup key: for each
+ * (page size, way) slot, the addresses ElasticCuckooTable::probeAddrs
+ * would emit (one per generation; two while an elastic resize is in
+ * flight). The consumer applies its CWC-derived way mask and reads the
+ * matching slots — byte-identical to planning inline, because both
+ * sides iterate sizes then ways in ascending order.
+ */
+struct SpecProbeSet
+{
+    /** Geometry bound: tables with more ways fall back to inline
+     *  planning (ok stays false). Table 2 uses d = 3. */
+    static constexpr int max_plan_ways = 4;
+    /** Generations a key can live in (live + migrating old). */
+    static constexpr int max_gens = 2;
+
+    std::uint8_t count[num_page_sizes][max_plan_ways] = {};
+    Addr addr[num_page_sizes][max_plan_ways][max_gens] = {};
+    /** False when the set was not (or could not be) computed. */
+    bool ok = false;
+};
+
+/**
+ * One ring-ahead access's precomputed walk slice, stamp-validated.
+ * Consumed by NestedEcptWalker's machine at the points marked in
+ * nested_ecpt.cc; every consumption site re-checks the stamp against
+ * the system's current mutationStamp() because churn can mutate the
+ * tables between the asynchronous walk steps.
+ */
+struct SpecWalkPlan
+{
+    /** Page-table mutation stamp the plan was computed under. */
+    std::uint64_t stamp = 0;
+    /** The guest VA the plan is for (defensive cross-check). */
+    Addr gva = 0;
+    /** Step-1 gECPT candidate-slot addresses (guest-physical). */
+    SpecProbeSet guest;
+    /** guestTranslate(gva) — valid flag included (an unmapped page
+     *  yields an invalid translation here AND inline). */
+    Translation guest_tr;
+    /** guest_tr.apply(gva): the data page's gPA (when guest_tr is
+     *  valid — host3 is only computed then). */
+    Addr gpa_data = 0;
+    /** Step-3 hECPT probe addresses for gpa_data (host-physical). */
+    SpecProbeSet host3;
+    /** peekFullTranslate(gva): usable only when valid — an invalid
+     *  peek may mean the inline path would demand-fault the backing
+     *  in, which a speculative worker must never do. */
+    Translation full_tr;
+    /** The plan was computed at all (planner ran and geometry fit). */
+    bool valid = false;
+};
+
+} // namespace necpt
+
+#endif // NECPT_WALK_SPEC_PLAN_HH

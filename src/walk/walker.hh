@@ -89,6 +89,15 @@ struct WalkerStats
     Cycles busy_cycles = 0;   //!< sum of walk latencies (Figure 10)
     Histogram walk_latency{20, 64}; //!< Figure 11 bins (20-cycle wide)
 
+    /** Walk-MSHR coalescing (SimParams::walk_coalescing): waiters
+     *  merged onto an in-flight same-page walk instead of walking
+     *  themselves, and the waiters-per-primary distribution (sampled
+     *  once per primary that had at least one waiter). A waiter counts
+     *  as a walk — its whole latency bins to AttrCause::Coalesce — so
+     *  walks ≈ L2-TLB-misses and ledger conservation both survive. */
+    Counter coalesced;
+    Histogram coalesce_waiters{1, 16};
+
     /** Cycle attribution: total walk cycles per cause, and each
      *  cause's per-walk distribution ("attr.<cause>" registry names).
      *  Conservation: the attr_cycles sum equals busy_cycles whenever
@@ -122,6 +131,8 @@ struct WalkerStats
         mmu_requests.reset();
         busy_cycles = 0;
         walk_latency.reset();
+        coalesced.reset();
+        coalesce_waiters.reset();
         for (int i = 0; i < 4; ++i) {
             guest_kind[i].reset();
             host_kind[i].reset();
@@ -139,6 +150,7 @@ struct WalkerStats
 
 class WalkMachine;
 class ImmediateWalkMachine;
+struct SpecWalkPlan;
 
 /** Returns a machine to its owner's pool (or deletes an unpooled one).
  *  Defined in walk/machine.hh — TUs destroying a WalkMachinePtr must
@@ -177,6 +189,24 @@ class Walker
      * must not outlive it; releasing the handle recycles it.
      */
     virtual WalkMachinePtr startWalk(Addr gva, Cycles now);
+
+    /**
+     * startWalk with an optional speculative precomputation for @p gva
+     * (walk/spec_plan.hh), produced by the epoch barrier's rendezvous
+     * workers. A plan is a pure function of (gva, page tables) stamped
+     * with the mutation epoch it was computed under; walkers that
+     * understand plans consume the stamp-valid parts and recompute the
+     * rest, so the simulated bytes never depend on whether (or when) a
+     * plan was supplied. The base implementation ignores the plan.
+     * @p spec may be null and is only borrowed for the duration of the
+     * call — the walk machine copies what it keeps.
+     */
+    virtual WalkMachinePtr
+    startWalk(Addr gva, Cycles now, const SpecWalkPlan *spec)
+    {
+        (void)spec;
+        return startWalk(gva, now);
+    }
 
     /** Human-readable configuration name. */
     virtual std::string name() const = 0;
@@ -258,6 +288,11 @@ class Walker
         });
         reg.addHistogram(p + "latency", &s->walk_latency,
                          "walk latency distribution (Figure 11 bins)");
+        reg.addCounter(p + "coalesced",
+                       [s] { return s->coalesced.value(); },
+                       "walks merged onto an in-flight same-page walk");
+        reg.addHistogram(p + "coalesce.waiters", &s->coalesce_waiters,
+                         "waiters fanned out per coalesced primary");
         for (int k = 0; k < 4; ++k) {
             const char *kn = walkKindName(static_cast<WalkKind>(k));
             reg.addCounter(p + "kind.guest." + kn,
@@ -287,6 +322,38 @@ class Walker
             reg.addHistogram(ap, &s->attr_hist[c],
                              "per-walk cycles of this cause");
         }
+    }
+
+    /**
+     * Record one coalesced waiter (walk-MSHR merge): a translation
+     * request that parked on an in-flight same-page walk and completed
+     * when that primary retired, @p latency cycles after it was
+     * issued. The waiter is a walk whose entire latency is
+     * AttrCause::Coalesce — no probe traffic happened on its behalf —
+     * so the walks ≈ L2-TLB-misses invariant and the attr/busy
+     * conservation identity both hold exactly.
+     */
+    void
+    recordCoalescedWalk(Cycles latency)
+    {
+        ++stats_.walks;
+        ++stats_.coalesced;
+        stats_.busy_cycles += latency;
+        stats_.walk_latency.sample(latency);
+        if (attr_enabled_) {
+            constexpr auto c =
+                static_cast<std::size_t>(AttrCause::Coalesce);
+            stats_.attr_cycles[c] += latency;
+            stats_.attr_hist[c].sample(latency);
+        }
+    }
+
+    /** Sample the waiters-per-primary distribution at entry close
+     *  (called once per primary walk that coalesced anything). */
+    void
+    noteCoalesceFanout(std::uint64_t waiters)
+    {
+        stats_.coalesce_waiters.sample(waiters);
     }
 
     /** MMU structure lookup latency (Table 2: 4 cycles RT). */

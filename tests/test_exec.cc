@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "coherence/churn.hh"
+#include "common/fault.hh"
 #include "exec/engine.hh"
 #include "exec/registry.hh"
 #include "exec/thread_pool.hh"
@@ -233,6 +235,61 @@ TEST(SweepEngine, OverlappedWalkGridIsWorkerCountInvariant)
         EXPECT_EQ(s.mmu_busy_cycles, w.mmu_busy_cycles);
         EXPECT_EQ(serial.records()[i].out.metrics.at("walk.inflight"),
                   wide.records()[i].out.metrics.at("walk.inflight"));
+    }
+}
+
+TEST(SweepEngine, CoalescedChurnGridIsWorkerCountInvariant)
+{
+    // Walk coalescing + translation churn + shootdown faults, the
+    // configuration where the walk-MSHR's merge/replay interactions
+    // are densest: jobs=1 and jobs=8 must still be bit-identical, and
+    // the merges must actually happen (walk.coalesced > 0) or the
+    // comparison proves nothing.
+    SimParams params;
+    params.warmup_accesses = 1'000;
+    params.measure_accesses = 5'000;
+    params.scale_denominator = 64;
+    params.cores = 2;
+    params.max_outstanding_walks = 4;
+    params.walk_coalescing = true;
+    params.churn = parseChurnSpec(
+        "migrate:5000:8,balloon:20000:16,protect:15000:4,batch:8");
+    params.faults = parseFaultSpec("shootdown:0.05");
+
+    std::vector<JobSpec> specs;
+    const ExperimentConfig config = makeConfig(ConfigId::NestedEcpt);
+    for (const char *app : {"GUPS", "SysBench"}) {
+        JobSpec spec;
+        spec.key = std::string("coalesce-mini/") + config.name + "/"
+            + app;
+        const std::string app_name = app;
+        spec.fn = [config, params, app_name](const JobContext &ctx) {
+            SimParams p = params;
+            p.seed = ctx.seed;
+            JobOutput out;
+            out.sim = runSim(config, p, app_name);
+            return out;
+        };
+        specs.push_back(std::move(spec));
+    }
+
+    const ResultSink serial = SweepEngine(quietOptions(1)).run(specs);
+    const ResultSink wide = SweepEngine(quietOptions(8)).run(specs);
+    ASSERT_EQ(serial.size(), specs.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const SimResult &s = serial.records()[i].out.sim;
+        const SimResult &w = wide.records()[i].out.sim;
+        EXPECT_EQ(serial.records()[i].status, JobStatus::Ok);
+        EXPECT_EQ(wide.records()[i].status, JobStatus::Ok);
+        EXPECT_EQ(s.cycles, w.cycles) << specs[i].key;
+        EXPECT_EQ(s.walks, w.walks);
+        EXPECT_EQ(s.mmu_busy_cycles, w.mmu_busy_cycles);
+        const auto sc = s.metrics.find("walk.coalesced");
+        const auto wc = w.metrics.find("walk.coalesced");
+        ASSERT_NE(sc, s.metrics.end());
+        ASSERT_NE(wc, w.metrics.end());
+        EXPECT_EQ(sc->second, wc->second);
+        EXPECT_GT(sc->second, 0.0) << specs[i].key;
     }
 }
 

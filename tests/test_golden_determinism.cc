@@ -38,13 +38,15 @@ namespace
 
 /** Render the run's scalar state as sorted "name value" lines. */
 std::string
-renderSnapshot(int mlp, const std::string &churn = "")
+renderSnapshot(int mlp, const std::string &churn = "",
+               bool coalesce = false)
 {
     SimParams params;
     params.warmup_accesses = 1000;
     params.measure_accesses = 5000;
     params.cores = 2;
     params.max_outstanding_walks = mlp;
+    params.walk_coalescing = coalesce;
     // Shrink the GUPS footprint (Table-4 divisor) so machine build +
     // prefault stay test-sized; behavior coverage is unaffected.
     params.scale_denominator = 64;
@@ -76,17 +78,19 @@ renderSnapshot(int mlp, const std::string &churn = "")
 }
 
 std::string
-goldenPath(int mlp, bool churn)
+goldenPath(int mlp, bool churn, bool coalesce)
 {
     return std::string(NECPT_SOURCE_DIR) + "/tests/golden/determinism_"
-        + (churn ? "churn_" : "") + "mlp" + std::to_string(mlp) + ".txt";
+        + (churn ? "churn_" : "") + (coalesce ? "coalesce_" : "") + "mlp"
+        + std::to_string(mlp) + ".txt";
 }
 
 void
-checkAgainstGolden(int mlp, const std::string &churn = "")
+checkAgainstGolden(int mlp, const std::string &churn = "",
+                   bool coalesce = false)
 {
-    const std::string snapshot = renderSnapshot(mlp, churn);
-    const std::string path = goldenPath(mlp, !churn.empty());
+    const std::string snapshot = renderSnapshot(mlp, churn, coalesce);
+    const std::string path = goldenPath(mlp, !churn.empty(), coalesce);
 
     if (std::getenv("NECPT_UPDATE_GOLDEN")) {
         std::ofstream out(path);
@@ -131,6 +135,24 @@ TEST(GoldenDeterminism, ChurnOverlappedWalksMatchGolden)
 {
     checkAgainstGolden(4, "migrate:5000:8,balloon:20000:16,"
                           "protect:15000:4,batch:8");
+}
+
+// Walk coalescing on (the headline mlp=4 configuration): same-page
+// misses merge in the walk-MSHR instead of spawning duplicate
+// machines. Pinned separately from the coalescing-off goldens above,
+// which must not move when the feature ships or changes — off means
+// byte-identical to the legacy path.
+TEST(GoldenDeterminism, CoalescedOverlappedWalksMatchGolden)
+{
+    checkAgainstGolden(4, "", true);
+}
+
+TEST(GoldenDeterminism, ChurnCoalescedOverlappedWalksMatchGolden)
+{
+    checkAgainstGolden(4,
+                       "migrate:5000:8,balloon:20000:16,"
+                       "protect:15000:4,batch:8",
+                       true);
 }
 
 } // namespace necpt

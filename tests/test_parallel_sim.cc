@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -54,7 +56,7 @@ struct RunOutputs
 };
 
 RunOutputs
-runOnce(int sim_threads, int mlp)
+runOnce(int sim_threads, int mlp, bool coalesce = false)
 {
     SimParams params;
     params.warmup_accesses = 1000;
@@ -62,6 +64,7 @@ runOnce(int sim_threads, int mlp)
     params.cores = 4;
     params.max_outstanding_walks = mlp;
     params.sim_threads = sim_threads;
+    params.walk_coalescing = coalesce;
     params.scale_denominator = 64;
     // Every deterministic perturbation source at once: churn rounds
     // land as domain events, faults stretch and divert walks.
@@ -101,8 +104,12 @@ runOnce(int sim_threads, int mlp)
         emit(name, v);
     out.snapshot = snap.str();
 
+    // ctest -j runs each test in its own process but a shared cwd;
+    // the pid keeps concurrent instances from clobbering each other's
+    // scratch file (coalesced and plain mlp=4 traces differ).
     const std::string trace_path = "parallel_sim_trace_st"
         + std::to_string(sim_threads) + "_mlp" + std::to_string(mlp)
+        + (coalesce ? "_co" : "") + "_p" + std::to_string(::getpid())
         + ".json";
     EXPECT_TRUE(writeChromeTrace(trace_path, tracer, "sim",
                                  /*canonical=*/true));
@@ -124,6 +131,14 @@ reference(int mlp)
     static const RunOutputs serialized = runOnce(1, 1);
     static const RunOutputs overlapped = runOnce(1, 4);
     return mlp == 1 ? serialized : overlapped;
+}
+
+/** sim-threads=1 reference with walk coalescing on (mlp=4). */
+const RunOutputs &
+coalescedReference()
+{
+    static const RunOutputs coalesced = runOnce(1, 4, true);
+    return coalesced;
 }
 
 void
@@ -161,8 +176,75 @@ TEST_P(ParallelSimDeterminism, OverlappedWalksBitIdentical)
     expectIdentical(reference(4), runOnce(GetParam(), 4), GetParam(), 4);
 }
 
+// Walk coalescing adds the walk-MSHR (park/fan-out on the coordinator)
+// on top of overlapped walks, and at sim-threads > 1 the epoch workers
+// additionally precompute speculative walk plans that the machines
+// consume stamp-checked — both must leave every byte alone. Churn and
+// shootdown faults stay armed, so plans and coalescer entries are
+// invalidated mid-flight, exercising every fallback path.
+TEST_P(ParallelSimDeterminism, CoalescedWalksBitIdentical)
+{
+    expectIdentical(coalescedReference(), runOnce(GetParam(), 4, true),
+                    GetParam(), 4);
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSimDeterminism,
                          ::testing::Values(2, 8));
+
+// The coalescer's staleness contract: a waiter parked on a primary
+// whose walk raced an invalidation must retire the *replayed*
+// translation, never the stale one. The fan-out happens after the
+// primary's replay (and NECPT_ASSERT(tr.valid) guards every retire),
+// so the test's job is to prove the race actually occurs — merges and
+// replays non-zero in one run — and that the run is still
+// bit-identical across thread counts. Churn here is far denser than
+// the determinism pins above (a full migrate+protect batch every 100
+// cycles): the coherence directory's 256-record ring overflows past
+// every in-flight walk's epoch, forcing its conservative
+// invalidated-since answer and with it the replay path on walks whose
+// waiters are parked.
+TEST(WalkCoalescing, WaitersAndReplaysCooccurUnderChurn)
+{
+    auto heavyChurnRun = [](int sim_threads) {
+        SimParams params;
+        params.warmup_accesses = 500;
+        params.measure_accesses = 2000;
+        params.cores = 2;
+        params.max_outstanding_walks = 4;
+        params.sim_threads = sim_threads;
+        params.walk_coalescing = true;
+        params.scale_denominator = 64;
+        params.churn =
+            parseChurnSpec("migrate:100:64,protect:100:64,batch:64");
+        params.faults = parseFaultSpec("shootdown:0.05");
+
+        Simulator sim(makeConfig(ConfigId::NestedEcpt), params);
+        sim.run("GUPS");
+        MetricsRegistry reg;
+        sim.exportMetrics(reg);
+        return reg.scalarSnapshot();
+    };
+
+    const auto serial = heavyChurnRun(1);
+    const auto sharded = heavyChurnRun(8);
+    EXPECT_EQ(serial, sharded)
+        << "replay + coalesce + spec-plan interplay diverged across "
+           "sim-threads";
+
+    double coalesced = 0.0, replays = 0.0;
+    for (const auto &[name, value] : serial) {
+        if (name.find(".coalesced") != std::string::npos)
+            coalesced += value;
+        if (name.find("walk_replays") != std::string::npos)
+            replays += value;
+    }
+    EXPECT_GT(coalesced, 0.0)
+        << "no walk ever merged: the workload no longer exercises "
+           "the coalescer";
+    EXPECT_GT(replays, 0.0)
+        << "no walk ever raced an invalidation: the staleness path "
+           "is untested";
+}
 
 // ---------------------------------------------------------------------
 // Canonical ordering key: the total order every queue agrees on.

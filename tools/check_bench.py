@@ -16,7 +16,15 @@ quality bar rather than a drift detector:
   --min-rate "NAME=VALUE"   the named entry's rate must be >= VALUE
                             (repeatable; an absolute floor survives
                             baseline regeneration, which a relative
-                            diff alone does not)
+                            diff alone does not). When both the current
+                            and baseline files carry "host_ref" — the
+                            bench's fixed-work reference-kernel rate,
+                            measuring raw host speed — the floor is
+                            rescaled by current/baseline host_ref, so
+                            a dev laptop is held to its own machine's
+                            standard, not the CI runner's
+                            (--no-host-calibration restores literal
+                            floors)
   --require-order "A>B"     entry A's rate must be strictly greater
                             than entry B's (repeatable; e.g. the
                             overlapped-walk configuration must beat
@@ -55,7 +63,9 @@ def load(path):
         if isinstance(entry.get("attr"), dict):
             attrs[entry["name"]] = {
                 k: float(v) for k, v in entry["attr"].items()}
-    return unit, rates, attrs
+    host_ref = data.get("host_ref")
+    host_ref = float(host_ref) if host_ref else None
+    return unit, rates, attrs, host_ref
 
 
 def attr_shifts(baseline, current, threshold):
@@ -92,12 +102,29 @@ def main():
                         metavar="A>B",
                         help="entry A's rate must be strictly greater "
                              "than entry B's (repeatable)")
+    parser.add_argument("--no-host-calibration", action="store_true",
+                        help="take --min-rate floors literally instead "
+                             "of rescaling them by the current/baseline "
+                             "host_ref ratio")
     args = parser.parse_args()
 
-    unit, current, current_attr = load(args.current)
-    base_unit, baseline, baseline_attr = load(args.baseline)
+    unit, current, current_attr, cur_ref = load(args.current)
+    base_unit, baseline, baseline_attr, base_ref = load(args.baseline)
     if unit != base_unit:
         sys.exit(f"unit mismatch: {unit!r} vs baseline {base_unit!r}")
+
+    # Host calibration: the floors were chosen for the host that
+    # produced the committed baseline. Both files carry host_ref — the
+    # rate of a fixed-work reference kernel measured in the same
+    # process as the rows — so floor * (current/baseline host_ref)
+    # asks "is the simulator as fast *relative to this machine* as the
+    # floor demanded of the baseline machine", which is the question
+    # an absolute floor actually means to ask. Without both refs the
+    # floors apply literally (pre-host_ref baselines keep working).
+    host_scale = 1.0
+    if (not args.no_host_calibration and cur_ref and base_ref
+            and base_ref > 0):
+        host_scale = cur_ref / base_ref
 
     lines = [
         f"### Bench comparison ({unit}, max drop "
@@ -126,14 +153,19 @@ def main():
         if name not in baseline:
             lines.append(f"| {name} | (new) | {current[name]:.0f} | |")
 
-    # Absolute floors: independent of the baseline file, so they hold
-    # even across a baseline regeneration.
+    # Absolute floors: independent of the baseline file's rates, so
+    # they hold even across a baseline regeneration. Rescaled by the
+    # host calibration ratio unless --no-host-calibration.
     gate_lines = []
+    if args.min_rate and host_scale != 1.0:
+        gate_lines.append(
+            f"| calibration | host_ref | {base_ref:.0f} -> "
+            f"{cur_ref:.0f} | floors x {host_scale:.2f} |")
     for spec in args.min_rate:
         name, sep, value = spec.rpartition("=")
         if not sep:
             sys.exit(f"--min-rate {spec!r}: expected NAME=VALUE")
-        floor = float(value)
+        floor = float(value) * host_scale
         if name not in current:
             regressions.append(f"{name}: missing (floor {floor:.0f})")
             gate_lines.append(f"| floor | {name} | >= {floor:.0f} | "
@@ -144,7 +176,9 @@ def main():
         if not ok:
             regressions.append(
                 f"{name}: {rate:.0f} {unit} below absolute floor "
-                f"{floor:.0f}")
+                f"{floor:.0f}"
+                + (f" (= {float(value):.0f} x host scale "
+                   f"{host_scale:.2f})" if host_scale != 1.0 else ""))
         gate_lines.append(
             f"| floor | {name} | >= {floor:.0f} | {rate:.0f}"
             f"{'' if ok else ' :warning:'} |")
